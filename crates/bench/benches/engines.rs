@@ -1,0 +1,126 @@
+//! Criterion end-to-end benchmarks: one PUT / GET through each system's
+//! full software path (instant device: pure software cost, the quantity
+//! the paper's CPU-bottleneck analysis is about).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+use p2kvs_bench::setups;
+use ycsb::KvClient;
+
+fn bench_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("put-128B");
+    g.throughput(Throughput::Elements(1));
+
+    let rocks = setups::rocksdb_single(setups::instant_env(), "cb-rocks");
+    let mut i = 0u64;
+    g.bench_function("lsmkv-single", |b| {
+        b.iter(|| {
+            rocks
+                .insert(format!("key{i:012}").as_bytes(), &[7u8; 128])
+                .unwrap();
+            i += 1;
+        })
+    });
+
+    let p2 = setups::p2kvs(setups::instant_env(), "cb-p2", 2, true);
+    let mut i = 0u64;
+    g.bench_function("p2kvs-2w", |b| {
+        b.iter(|| {
+            p2.insert(format!("key{i:012}").as_bytes(), &[7u8; 128]).unwrap();
+            i += 1;
+        })
+    });
+
+    let kv = setups::kvell(setups::instant_env(), "cb-kvell", 2);
+    let mut i = 0u64;
+    g.bench_function("kvell-2w", |b| {
+        b.iter(|| {
+            kv.insert(format!("key{i:012}").as_bytes(), &[7u8; 128]).unwrap();
+            i += 1;
+        })
+    });
+
+    let wt = setups::wiredtiger_single(setups::instant_env(), "cb-wt");
+    let mut i = 0u64;
+    g.bench_function("wtiger-single", |b| {
+        b.iter(|| {
+            wt.insert(format!("key{i:012}").as_bytes(), &[7u8; 128]).unwrap();
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("get-128B");
+    g.throughput(Throughput::Elements(1));
+    const N: u64 = 20_000;
+
+    let rocks = setups::rocksdb_single(setups::instant_env(), "cg-rocks");
+    let p2 = setups::p2kvs(setups::instant_env(), "cg-p2", 2, true);
+    let kv = setups::kvell(setups::instant_env(), "cg-kvell", 2);
+    let clients: [(&str, &dyn KvClient); 3] =
+        [("lsmkv-single", &rocks), ("p2kvs-2w", &p2), ("kvell-2w", &kv)];
+    for (_, client) in &clients {
+        for i in 0..N {
+            client
+                .insert(format!("key{i:08}").as_bytes(), &[9u8; 128])
+                .unwrap();
+        }
+    }
+    rocks.db.flush().unwrap();
+    rocks.db.wait_idle().unwrap();
+    for (name, client) in clients {
+        let mut i = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let k = format!("key{:08}", (i * 7919) % N);
+                i += 1;
+                std::hint::black_box(client.read(k.as_bytes()).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_multiget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multiget-32keys");
+    g.throughput(Throughput::Elements(32));
+    const N: u64 = 20_000;
+    let rocks = setups::rocksdb_single(setups::instant_env(), "cm-rocks");
+    for i in 0..N {
+        rocks
+            .insert(format!("key{i:08}").as_bytes(), &[9u8; 128])
+            .unwrap();
+    }
+    rocks.db.flush().unwrap();
+    let mut i = 0u64;
+    g.bench_function("lsmkv-multiget", |b| {
+        b.iter(|| {
+            let keys: Vec<Vec<u8>> = (0..32)
+                .map(|j| format!("key{:08}", (i * 31 + j * 977) % N).into_bytes())
+                .collect();
+            i += 1;
+            std::hint::black_box(Arc::clone(&rocks.db).multiget(&keys).unwrap());
+        })
+    });
+    let mut i = 0u64;
+    g.bench_function("lsmkv-32-serial-gets", |b| {
+        b.iter(|| {
+            for j in 0..32u64 {
+                let k = format!("key{:08}", (i * 31 + j * 977) % N);
+                std::hint::black_box(rocks.db.get(k.as_bytes()).unwrap());
+            }
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_put, bench_get, bench_multiget
+);
+criterion_main!(benches);

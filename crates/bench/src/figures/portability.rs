@@ -1,0 +1,177 @@
+//! §5.6 portability experiments (Figs 22, 23) and the ablation suite.
+
+use std::time::Instant;
+
+use ycsb::micro::MicroKind;
+
+use crate::figures::{drive_micro, preload};
+use crate::setups;
+use crate::{kqps, print_table, scaled};
+
+/// Fig 22: p2KVS over LevelDB-mode engines vs plain LevelDB.
+///
+/// Expected shape: plain LevelDB barely scales with threads (shared
+/// instance); p2KVS with `threads = instances` scales writes ~3× and
+/// reads ~5× without multiget.
+pub fn fig22() {
+    println!("fig22: p2KVS over LevelDB (threads = instances)");
+    let ops = scaled(30_000);
+    let load = scaled(40_000);
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8, 16] {
+        // Plain LevelDB: one shared instance.
+        let ldb = setups::leveldb_single(setups::nvme_env(), &format!("f22-l-{threads}"));
+        let w_l = drive_micro(&ldb, MicroKind::FillRandom, ops, ops, 128, threads, true, 0).qps();
+        preload(&ldb, load, 128);
+        ldb.db.flush().unwrap();
+        ldb.db.wait_idle().unwrap();
+        let r_l =
+            drive_micro(&ldb, MicroKind::ReadRandom, load, ops, 128, threads, true, 0).qps();
+        // p2KVS over LevelDB-mode instances.
+        let p2 = setups::p2kvs_over_leveldb(setups::nvme_env(), &format!("f22-p-{threads}"), threads);
+        let w_p = drive_micro(&p2, MicroKind::FillRandom, ops, ops, 128, threads, true, 0).qps();
+        preload(&p2, load, 128);
+        for e in p2.store.engines() {
+            e.flush().unwrap();
+            e.wait_idle().unwrap();
+        }
+        let r_p = drive_micro(&p2, MicroKind::ReadRandom, load, ops, 128, threads, true, 0).qps();
+        rows.push(vec![
+            threads.to_string(),
+            kqps(w_l),
+            format!("{} ({:.1}x)", kqps(w_p), w_p / w_l),
+            kqps(r_l),
+            format!("{} ({:.1}x)", kqps(r_p), r_p / r_l),
+        ]);
+    }
+    print_table(
+        "Fig 22: LevelDB random write / read KQPS",
+        &["threads", "LevelDB write", "p2KVS write", "LevelDB read", "p2KVS read"],
+        &rows,
+    );
+}
+
+/// Fig 23: p2KVS over WiredTiger vs plain WiredTiger.
+///
+/// Expected shape: WiredTiger's global-latch write path is flat with
+/// threads; p2KVS scales both reads and writes with instances even though
+/// OBM-write is disabled (no batch API).
+pub fn fig23() {
+    println!("fig23: p2KVS over WiredTiger (threads = instances)");
+    let ops = scaled(25_000);
+    let load = scaled(30_000);
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8, 16] {
+        let wt = setups::wiredtiger_single(setups::nvme_env(), &format!("f23-w-{threads}"));
+        let w_s = drive_micro(&wt, MicroKind::FillRandom, ops, ops, 128, threads, true, 0).qps();
+        preload(&wt, load, 128);
+        let r_s =
+            drive_micro(&wt, MicroKind::ReadRandom, load, ops, 128, threads, true, 0).qps();
+        let p2 = setups::p2kvs_over_wt(setups::nvme_env(), &format!("f23-p-{threads}"), threads);
+        let w_p = drive_micro(&p2, MicroKind::FillRandom, ops, ops, 128, threads, true, 0).qps();
+        preload(&p2, load, 128);
+        let r_p = drive_micro(&p2, MicroKind::ReadRandom, load, ops, 128, threads, true, 0).qps();
+        rows.push(vec![
+            threads.to_string(),
+            kqps(w_s),
+            format!("{} ({:.1}x)", kqps(w_p), w_p / w_s),
+            kqps(r_s),
+            format!("{} ({:.1}x)", kqps(r_p), r_p / r_s),
+        ]);
+    }
+    print_table(
+        "Fig 23: WiredTiger random write / read KQPS",
+        &["threads", "WT write", "p2KVS write", "WT read", "p2KVS read"],
+        &rows,
+    );
+}
+
+/// Ablation suite for the design choices DESIGN.md §5 calls out: OBM batch
+/// bound `M`, scan strategy, and partitioning scheme.
+pub fn ablate() {
+    println!("ablate: design-choice ablations");
+    // (1) OBM batch bound M.
+    {
+        let ops = scaled(40_000);
+        let mut rows = Vec::new();
+        for m in [1usize, 4, 8, 32, 128] {
+            let env = setups::nvme_env();
+            let factory = p2kvs::engine::LsmFactory::new(setups::bench_options(env));
+            let mut opts = p2kvs::P2KvsOptions::with_workers(4);
+            opts.batch_max = m;
+            let store = p2kvs::P2Kvs::open(factory, format!("ab-m{m}"), opts).unwrap();
+            let client = crate::clients::P2Client { store };
+            let r = drive_micro(&client, MicroKind::FillRandom, ops, ops, 128, 32, false, 0);
+            let snap = client.store.snapshot();
+            rows.push(vec![
+                m.to_string(),
+                kqps(r.qps()),
+                format!("{:.1}", snap.avg_batch_size()),
+                format!("{:.0}", r.p99_latency.as_micros()),
+            ]);
+        }
+        print_table(
+            "Ablation: OBM batch bound M (fillrandom, 32 threads, 4 workers)",
+            &["M", "KQPS", "avg batch", "p99 µs"],
+            &rows,
+        );
+    }
+    // (2) Scan strategy: read amplification vs exactness.
+    {
+        let load = scaled(40_000);
+        let keys = ycsb::generator::KeySpace::ordered();
+        let mut rows = Vec::new();
+        for (name, strategy) in [
+            ("parallel-full", p2kvs::ScanStrategy::ParallelFull),
+            ("adaptive", p2kvs::ScanStrategy::Adaptive),
+        ] {
+            let env = setups::nvme_env();
+            let factory = p2kvs::engine::LsmFactory::new(setups::bench_options(env));
+            let mut opts = p2kvs::P2KvsOptions::with_workers(8);
+            opts.scan_strategy = strategy;
+            let store = p2kvs::P2Kvs::open(factory, format!("ab-scan-{name}"), opts).unwrap();
+            for i in 0..load {
+                store.put(&keys.key(i), &keys.value(i, 128)).unwrap();
+            }
+            let ops = scaled(300);
+            let t0 = Instant::now();
+            let mut rng = 7u64;
+            for _ in 0..ops {
+                rng = p2kvs_util::hash::mix64(rng);
+                let s = rng % load.saturating_sub(200).max(1);
+                let got = store.scan(&keys.key(s), 100).unwrap();
+                assert_eq!(got.len(), 100, "scan must stay exact");
+            }
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.0}", ops as f64 / t0.elapsed().as_secs_f64()),
+            ]);
+        }
+        print_table("Ablation: SCAN strategy (size 100)", &["strategy", "scans/s"], &rows);
+    }
+    // (3) Partitioning: hash vs skew (zipfian hot keys across workers).
+    {
+        use p2kvs::Partitioner;
+        let p = p2kvs::HashPartitioner::new(8);
+        let zipf = ycsb::generator::ScrambledZipfian::new(1_000_000);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let mut counts = [0u64; 8];
+        let keys = ycsb::generator::KeySpace::hashed();
+        for _ in 0..200_000 {
+            let k = keys.key(zipf.next(&mut rng));
+            counts[p.worker_of(&k)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        let rows = vec![vec![
+            format!("{counts:?}"),
+            format!("{:.2}", max / min),
+        ]];
+        print_table(
+            "Ablation: hash partitioning under zipfian skew (200k requests, 8 workers)",
+            &["per-worker request counts", "max/min"],
+            &rows,
+        );
+    }
+}

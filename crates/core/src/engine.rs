@@ -1,0 +1,340 @@
+//! The engine abstraction p2KVS schedules over, plus adapters for the
+//! bundled engines.
+//!
+//! p2KVS treats engines as black boxes (§4.6): it only needs open /
+//! submit / close plus two optional fast paths — `write_batch`
+//! (RocksDB/LevelDB `WriteBatch`) and `multiget` (RocksDB). The
+//! [`Capabilities`] struct tells the OBM which fast paths exist; when one
+//! is missing the worker falls back to per-request calls, exactly like the
+//! paper's WiredTiger port.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::types::WriteOp;
+
+/// Optional engine fast paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// The engine can apply a batch of writes atomically.
+    pub batch_write: bool,
+    /// The engine has an optimized batched point lookup.
+    pub multiget: bool,
+}
+
+/// Predicate deciding whether a GSN-tagged batch replays at recovery.
+pub type GsnFilter = Arc<dyn Fn(u64) -> bool + Send + Sync>;
+
+/// A key-value engine instance owned by one worker.
+pub trait KvsEngine: Send + Sync + 'static {
+    /// Inserts one pair.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Deletes one key.
+    fn delete(&self, key: &[u8]) -> Result<()>;
+
+    /// Applies `ops` atomically, tagged with `gsn` (0 = untagged).
+    /// Engines without [`Capabilities::batch_write`] may return
+    /// [`Error::Unsupported`].
+    fn write_batch(&self, ops: &[WriteOp], gsn: u64) -> Result<()>;
+
+    /// Point lookup.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Batched point lookups; the default loops over [`KvsEngine::get`].
+    fn multiget(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Up to `count` entries with keys `>= start`, in order.
+    fn scan(&self, start: &[u8], count: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+
+    /// Entries in `[begin, end)`, in order.
+    fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+
+    /// The engine's fast paths.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Durability barrier for everything written so far.
+    fn sync(&self) -> Result<()>;
+
+    /// Approximate resident memory in bytes.
+    fn mem_usage(&self) -> usize;
+}
+
+/// Opens engine instances, one per worker.
+pub trait EngineFactory: Send + Sync + 'static {
+    /// The engine type this factory produces.
+    type Engine: KvsEngine;
+
+    /// Opens (or recovers) the instance stored in `dir`. `filter`, when
+    /// present, suppresses replay of WAL batches whose GSN it rejects
+    /// (p2KVS transaction rollback).
+    fn open(&self, dir: &Path, filter: Option<GsnFilter>) -> Result<Self::Engine>;
+
+    /// The environment instances live in (the framework stores its
+    /// transaction log beside them).
+    fn env(&self) -> p2kvs_storage::EnvRef;
+}
+
+// ---------------------------------------------------------------------
+// lsmkv adapter (RocksDB / LevelDB / PebblesDB modes)
+// ---------------------------------------------------------------------
+
+/// Factory for [`lsmkv::Db`] instances sharing an options template.
+pub struct LsmFactory {
+    template: lsmkv::Options,
+}
+
+impl LsmFactory {
+    /// Creates a factory cloning `template` per instance.
+    pub fn new(template: lsmkv::Options) -> LsmFactory {
+        LsmFactory { template }
+    }
+
+    /// The options template.
+    pub fn options(&self) -> &lsmkv::Options {
+        &self.template
+    }
+}
+
+impl EngineFactory for LsmFactory {
+    type Engine = lsmkv::Db;
+
+    fn open(&self, dir: &Path, filter: Option<GsnFilter>) -> Result<lsmkv::Db> {
+        let filter = filter.map(|f| -> lsmkv::db::RecoveryFilter { Arc::new(move |gsn| f(gsn)) });
+        Ok(lsmkv::Db::open_with_recovery_filter(
+            self.template.clone(),
+            dir,
+            filter,
+        )?)
+    }
+
+    fn env(&self) -> p2kvs_storage::EnvRef {
+        self.template.env.clone()
+    }
+}
+
+impl KvsEngine for lsmkv::Db {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        Ok(lsmkv::Db::put(self, &lsmkv::WriteOptions::default(), key, value)?)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        Ok(lsmkv::Db::delete(self, &lsmkv::WriteOptions::default(), key)?)
+    }
+
+    fn write_batch(&self, ops: &[WriteOp], gsn: u64) -> Result<()> {
+        let mut batch = lsmkv::WriteBatch::new();
+        for op in ops {
+            match op {
+                WriteOp::Put { key, value } => batch.put(key, value),
+                WriteOp::Delete { key } => batch.delete(key),
+            }
+        }
+        batch.set_gsn(gsn);
+        // Transactional sub-batches are synced so a persisted commit
+        // record implies durable data (§4.5).
+        let wo = lsmkv::WriteOptions {
+            sync: gsn != 0,
+            ..lsmkv::WriteOptions::default()
+        };
+        Ok(lsmkv::Db::write(self, &wo, batch)?)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(lsmkv::Db::get(self, key)?)
+    }
+
+    fn multiget(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        Ok(lsmkv::Db::multiget(self, keys)?)
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Ok(lsmkv::Db::scan(self, start, count)?)
+    }
+
+    fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Ok(lsmkv::Db::range(self, begin, end)?)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            batch_write: true,
+            multiget: self.options().has_multiget,
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(self.sync_wal()?)
+    }
+
+    fn mem_usage(&self) -> usize {
+        self.approximate_memory_usage()
+    }
+}
+
+// ---------------------------------------------------------------------
+// wtiger adapter (WiredTiger stand-in: no batch write)
+// ---------------------------------------------------------------------
+
+/// Factory for [`wtiger::WtDb`] instances sharing an options template.
+pub struct WtFactory {
+    template: wtiger::WtOptions,
+}
+
+impl WtFactory {
+    /// Creates a factory cloning `template` per instance.
+    pub fn new(template: wtiger::WtOptions) -> WtFactory {
+        WtFactory { template }
+    }
+}
+
+impl EngineFactory for WtFactory {
+    type Engine = wtiger::WtDb;
+
+    fn open(&self, dir: &Path, _filter: Option<GsnFilter>) -> Result<wtiger::WtDb> {
+        // WiredTiger has no batch-write, hence no GSN tagging: the filter
+        // is inapplicable (transactions are unsupported on this engine).
+        Ok(wtiger::WtDb::open(self.template.clone(), dir)?)
+    }
+
+    fn env(&self) -> p2kvs_storage::EnvRef {
+        self.template.env.clone()
+    }
+}
+
+impl KvsEngine for wtiger::WtDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        Ok(wtiger::WtDb::put(self, key, value)?)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        wtiger::WtDb::delete(self, key)?;
+        Ok(())
+    }
+
+    fn write_batch(&self, ops: &[WriteOp], gsn: u64) -> Result<()> {
+        if gsn != 0 {
+            return Err(Error::Unsupported("transactions on an engine without batch-write"));
+        }
+        // No batch API: apply writes one by one (OBM-write disabled, §4.6).
+        for op in ops {
+            match op {
+                WriteOp::Put { key, value } => wtiger::WtDb::put(self, key, value)?,
+                WriteOp::Delete { key } => {
+                    wtiger::WtDb::delete(self, key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(wtiger::WtDb::get(self, key)?)
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Ok(wtiger::WtDb::scan(self, start, count)?)
+    }
+
+    fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = wtiger::WtDb::scan(self, begin, usize::MAX / 2)?;
+        out.retain(|(k, _)| k.as_slice() < end);
+        Ok(out)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            batch_write: false,
+            multiget: false,
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn mem_usage(&self) -> usize {
+        wtiger::WtDb::mem_usage(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2kvs_storage::MemEnv;
+
+    #[test]
+    fn lsm_adapter_roundtrip() {
+        let factory = LsmFactory::new(lsmkv::Options::for_test());
+        let db = factory.open(Path::new("e1"), None).unwrap();
+        KvsEngine::put(&db, b"k", b"v").unwrap();
+        assert_eq!(KvsEngine::get(&db, b"k").unwrap().unwrap(), b"v");
+        db.write_batch(
+            &[
+                WriteOp::Put { key: b"a".to_vec(), value: b"1".to_vec() },
+                WriteOp::Delete { key: b"k".to_vec() },
+            ],
+            0,
+        )
+        .unwrap();
+        assert_eq!(KvsEngine::get(&db, b"k").unwrap(), None);
+        let caps = db.capabilities();
+        assert!(caps.batch_write && caps.multiget);
+        let got = KvsEngine::multiget(&db, &[b"a".to_vec(), b"zz".to_vec()]).unwrap();
+        assert_eq!(got, vec![Some(b"1".to_vec()), None]);
+    }
+
+    #[test]
+    fn leveldb_mode_reports_no_multiget() {
+        let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+        let factory = LsmFactory::new(lsmkv::Options::leveldb_like(env));
+        let db = factory.open(Path::new("e2"), None).unwrap();
+        assert!(!db.capabilities().multiget);
+        assert!(db.capabilities().batch_write);
+    }
+
+    #[test]
+    fn wtiger_adapter_roundtrip() {
+        let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+        let factory = WtFactory::new(wtiger::WtOptions::new(env));
+        let db = factory.open(Path::new("e3"), None).unwrap();
+        let caps = db.capabilities();
+        assert!(!caps.batch_write && !caps.multiget);
+        KvsEngine::put(&db, b"b", b"2").unwrap();
+        KvsEngine::put(&db, b"a", b"1").unwrap();
+        // Batch falls back to sequential writes.
+        db.write_batch(&[WriteOp::Put { key: b"c".to_vec(), value: b"3".to_vec() }], 0)
+            .unwrap();
+        assert!(db.write_batch(&[], 7).is_err(), "GSN batches unsupported");
+        assert_eq!(
+            KvsEngine::range(&db, b"a", b"c").unwrap(),
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn lsm_recovery_filter_is_wired_through() {
+        let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+        let opts = lsmkv::Options::rocksdb_like(env.clone());
+        {
+            let factory = LsmFactory::new(opts.clone());
+            let db = factory.open(Path::new("e4"), None).unwrap();
+            db.write_batch(&[WriteOp::Put { key: b"x".to_vec(), value: b"1".to_vec() }], 3)
+                .unwrap();
+            db.write_batch(&[WriteOp::Put { key: b"y".to_vec(), value: b"2".to_vec() }], 9)
+                .unwrap();
+            db.crash();
+        }
+        let factory = LsmFactory::new(opts);
+        let filter: GsnFilter = Arc::new(|gsn| gsn <= 3);
+        let db = factory.open(Path::new("e4"), Some(filter)).unwrap();
+        assert_eq!(KvsEngine::get(&db, b"x").unwrap().unwrap(), b"1");
+        assert_eq!(KvsEngine::get(&db, b"y").unwrap(), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! p2KVS: a portable 2-dimensional parallelizing framework for key-value
+//! stores (EuroSys '22 reproduction — the paper's primary contribution).
+//!
+//! p2KVS is a **user-space request scheduler** layered on unmodified KVS
+//! instances:
+//!
+//! * **Horizontal (inter-instance) dimension** — the key space is
+//!   hash-partitioned over `N` independent engine instances, each owned by
+//!   one worker thread pinned to a core. Per-instance WAL/MemTable/LSM-tree
+//!   removes all contention on shared engine structures (§4.1–4.2).
+//! * **Vertical (intra-instance) dimension** — an accessing layer separates
+//!   user threads from workers: user threads enqueue requests and sleep;
+//!   each worker drains its queue with the **opportunistic batching
+//!   mechanism** (OBM, Algorithm 1): consecutive same-type requests (bound
+//!   `M`, default 32) merge into one engine `WriteBatch` or one `multiget`
+//!   (§4.3).
+//! * **Range queries** — RANGE forks into parallel per-instance sub-ranges;
+//!   SCAN uses a parallel scan-and-filter (with an adaptive-quota variant)
+//!   because per-instance key distribution is unknown a priori (§4.4).
+//! * **Transactions** — cross-instance WriteBatches share a Global Sequence
+//!   Number persisted in a commit log; recovery rolls back batches whose
+//!   GSN never committed (§4.5).
+//! * **Portability** — everything is programmed against the small
+//!   [`engine::KvsEngine`] trait; adapters for the bundled `lsmkv`
+//!   (RocksDB/LevelDB/PebblesDB modes) and `wtiger` engines are provided,
+//!   and OBM degrades gracefully when an engine lacks batch-write or
+//!   multiget (§4.6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use p2kvs::{P2Kvs, P2KvsOptions};
+//! use p2kvs::engine::LsmFactory;
+//! use lsmkv::Options;
+//!
+//! let factory = LsmFactory::new(Options::for_test());
+//! let store = P2Kvs::open(factory, "quickstart-db", P2KvsOptions::default()).unwrap();
+//! store.put(b"hello", b"world").unwrap();
+//! assert_eq!(store.get(b"hello").unwrap().unwrap(), b"world");
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod queue;
+pub mod router;
+pub mod stats;
+pub mod store;
+pub mod txn;
+pub mod types;
+pub mod worker;
+
+pub use engine::{Capabilities, EngineFactory, KvsEngine};
+pub use error::{Error, Result};
+pub use router::{HashPartitioner, Partitioner, RangePartitioner};
+pub use store::{P2Kvs, P2KvsOptions, ScanStrategy};
+pub use types::{Op, Response, WriteOp};

@@ -1,0 +1,207 @@
+//! Per-worker request queue with opportunistic batch dequeue.
+//!
+//! Implements the queue side of Algorithm 1: `pop_batch` blocks for the
+//! first request, then *opportunistically* (without waiting) drains up to
+//! `max - 1` further requests **of the same OBM class**. SCAN/RANGE and
+//! GSN-tagged batches are always dequeued alone; under a light load the
+//! queue is usually empty after the first pop and batching degrades to
+//! single-request processing, exactly as §4.3 describes.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::types::{OpClass, Request};
+
+/// A blocking MPSC queue of requests.
+pub struct RequestQueue {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+struct Inner {
+    queue: VecDeque<Request>,
+    closed: bool,
+}
+
+impl Default for RequestQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestQueue {
+    /// Creates an empty queue.
+    pub fn new() -> RequestQueue {
+        RequestQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `req`; returns `false` (completing nothing) if the queue
+    /// is closed.
+    pub fn push(&self, req: Request) -> Result<(), Request> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(req);
+        }
+        inner.queue.push_back(req);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next request, then drains consecutive same-class
+    /// requests up to `max` total (Algorithm 1). Returns `None` when the
+    /// queue is closed and drained.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<Request>> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(first) = inner.queue.pop_front() {
+                let class = first.op.class();
+                let mut batch = vec![first];
+                if class != OpClass::Solo {
+                    while batch.len() < max {
+                        let next_same = inner
+                            .queue
+                            .front()
+                            .map(|r| r.op.class() == class)
+                            .unwrap_or(false);
+                        if !next_same {
+                            break;
+                        }
+                        batch.push(inner.queue.pop_front().expect("front just checked"));
+                    }
+                }
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Closes the queue: waiting workers drain what is left and stop.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current depth (for monitoring).
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Op, Request};
+
+    fn put(k: &str) -> Request {
+        Request::sync(Op::Put {
+            key: k.as_bytes().to_vec(),
+            value: b"v".to_vec(),
+        })
+        .0
+    }
+
+    fn get(k: &str) -> Request {
+        Request::sync(Op::Get {
+            key: k.as_bytes().to_vec(),
+        })
+        .0
+    }
+
+    fn scan() -> Request {
+        Request::sync(Op::Scan {
+            start: b"a".to_vec(),
+            count: 10,
+        })
+        .0
+    }
+
+    #[test]
+    fn batches_consecutive_same_type() {
+        let q = RequestQueue::new();
+        q.push(put("1")).ok().unwrap();
+        q.push(put("2")).ok().unwrap();
+        q.push(get("3")).ok().unwrap();
+        q.push(put("4")).ok().unwrap();
+        let b1 = q.pop_batch(32).unwrap();
+        assert_eq!(b1.len(), 2, "two consecutive writes merge");
+        let b2 = q.pop_batch(32).unwrap();
+        assert_eq!(b2.len(), 1, "read breaks the write run");
+        assert!(matches!(b2[0].op, Op::Get { .. }));
+        let b3 = q.pop_batch(32).unwrap();
+        assert_eq!(b3.len(), 1);
+    }
+
+    #[test]
+    fn batch_bound_is_respected() {
+        let q = RequestQueue::new();
+        for i in 0..100 {
+            q.push(put(&i.to_string())).ok().unwrap();
+        }
+        let b = q.pop_batch(32).unwrap();
+        assert_eq!(b.len(), 32, "batch capped at M");
+        assert_eq!(q.len(), 68);
+    }
+
+    #[test]
+    fn solo_requests_never_merge() {
+        let q = RequestQueue::new();
+        q.push(scan()).ok().unwrap();
+        q.push(scan()).ok().unwrap();
+        assert_eq!(q.pop_batch(32).unwrap().len(), 1);
+        assert_eq!(q.pop_batch(32).unwrap().len(), 1);
+        // GSN-tagged batches are solo too.
+        q.push(Request::sync(Op::TxnBatch { ops: vec![], gsn: 3 }).0)
+            .ok()
+            .unwrap();
+        q.push(put("x")).ok().unwrap();
+        assert_eq!(q.pop_batch(32).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = std::sync::Arc::new(RequestQueue::new());
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || q2.pop_batch(32).map(|b| b.len()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(put("late")).ok().unwrap();
+        assert_eq!(popper.join().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = RequestQueue::new();
+        q.push(put("a")).ok().unwrap();
+        q.close();
+        assert!(q.push(put("rejected")).is_err());
+        assert_eq!(q.pop_batch(32).unwrap().len(), 1);
+        assert!(q.pop_batch(32).is_none());
+    }
+
+    #[test]
+    fn opportunism_takes_only_what_is_there() {
+        // A single queued request returns immediately as a batch of one —
+        // the worker never waits to fill a batch.
+        let q = RequestQueue::new();
+        q.push(put("only")).ok().unwrap();
+        let start = std::time::Instant::now();
+        let b = q.pop_batch(32).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(start.elapsed() < std::time::Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,126 @@
+//! Key-space partitioning (the balanced request allocation of §4.2).
+
+use p2kvs_util::hash::fnv1a64;
+
+/// Maps keys to worker indices.
+pub trait Partitioner: Send + Sync + 'static {
+    /// The worker owning `key`.
+    fn worker_of(&self, key: &[u8]) -> usize;
+
+    /// Number of partitions.
+    fn partitions(&self) -> usize;
+}
+
+/// The paper's default: `Hash(key) % N`. Load-balanced (even under
+/// zipfian skew, hot keys spread across partitions), zero metadata, and no
+/// read amplification because partitions never overlap.
+pub struct HashPartitioner {
+    n: usize,
+}
+
+impl HashPartitioner {
+    /// Creates a partitioner over `n` workers.
+    pub fn new(n: usize) -> HashPartitioner {
+        HashPartitioner { n: n.max(1) }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn worker_of(&self, key: &[u8]) -> usize {
+        (fnv1a64(key) % self.n as u64) as usize
+    }
+
+    fn partitions(&self) -> usize {
+        self.n
+    }
+}
+
+/// Alternative partitioning by sorted key ranges (mentioned in §4.2 as a
+/// configurable strategy for workloads whose access pattern matches known
+/// ranges). `boundaries` are the split points: worker `i` owns keys in
+/// `[boundaries[i-1], boundaries[i])`.
+pub struct RangePartitioner {
+    boundaries: Vec<Vec<u8>>,
+}
+
+impl RangePartitioner {
+    /// Creates a partitioner with the given split points (sorted).
+    /// `boundaries.len() + 1` workers are implied.
+    pub fn new(mut boundaries: Vec<Vec<u8>>) -> RangePartitioner {
+        boundaries.sort();
+        RangePartitioner { boundaries }
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn worker_of(&self, key: &[u8]) -> usize {
+        self.boundaries.partition_point(|b| b.as_slice() <= key)
+    }
+
+    fn partitions(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_stable_and_in_range() {
+        let p = HashPartitioner::new(8);
+        assert_eq!(p.partitions(), 8);
+        for i in 0..1000 {
+            let key = format!("user{i}");
+            let w = p.worker_of(key.as_bytes());
+            assert!(w < 8);
+            assert_eq!(w, p.worker_of(key.as_bytes()), "routing must be stable");
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_balances_dense_keys() {
+        let p = HashPartitioner::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..80_000u64 {
+            counts[p.worker_of(format!("user{i:016}").as_bytes())] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min < min / 5, "imbalance: {counts:?}");
+    }
+
+    #[test]
+    fn hash_partitioner_balances_zipfian_hot_keys() {
+        // Even when requests are highly skewed toward a few keys, distinct
+        // hot keys spread across partitions (§4.2's claim).
+        let p = HashPartitioner::new(4);
+        let hot: Vec<usize> = (0..64).map(|i| p.worker_of(format!("hot{i}").as_bytes())).collect();
+        for w in 0..4 {
+            assert!(hot.contains(&w), "worker {w} got no hot keys");
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let p = HashPartitioner::new(0);
+        assert_eq!(p.partitions(), 1);
+        assert_eq!(p.worker_of(b"k"), 0);
+    }
+
+    #[test]
+    fn range_partitioner_routes_by_boundaries() {
+        let p = RangePartitioner::new(vec![b"g".to_vec(), b"p".to_vec()]);
+        assert_eq!(p.partitions(), 3);
+        assert_eq!(p.worker_of(b"apple"), 0);
+        assert_eq!(p.worker_of(b"g"), 1, "boundary belongs to the right");
+        assert_eq!(p.worker_of(b"monkey"), 1);
+        assert_eq!(p.worker_of(b"zebra"), 2);
+    }
+
+    #[test]
+    fn range_partitioner_sorts_boundaries() {
+        let p = RangePartitioner::new(vec![b"p".to_vec(), b"g".to_vec()]);
+        assert_eq!(p.worker_of(b"h"), 1);
+    }
+}

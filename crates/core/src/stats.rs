@@ -1,0 +1,118 @@
+//! Aggregated framework statistics.
+
+use std::time::Duration;
+
+/// Snapshot of one worker's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSnapshot {
+    /// Requests completed.
+    pub ops: u64,
+    /// Engine calls issued.
+    pub batches: u64,
+    /// Requests that rode in multi-request batches.
+    pub merged_ops: u64,
+    /// Useful processing time.
+    pub busy: Duration,
+    /// Current queue depth.
+    pub queue_depth: usize,
+}
+
+/// Snapshot of the whole store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSnapshot {
+    /// Per-worker counters.
+    pub workers: Vec<WorkerSnapshot>,
+    /// Wall time since open.
+    pub uptime: Duration,
+    /// Approximate resident memory across engines.
+    pub mem_usage: usize,
+}
+
+impl StoreSnapshot {
+    /// Total requests completed.
+    pub fn total_ops(&self) -> u64 {
+        self.workers.iter().map(|w| w.ops).sum()
+    }
+
+    /// Mean requests per engine call across workers.
+    pub fn avg_batch_size(&self) -> f64 {
+        let ops: u64 = self.workers.iter().map(|w| w.ops).sum();
+        let batches: u64 = self.workers.iter().map(|w| w.batches).sum();
+        if batches == 0 {
+            0.0
+        } else {
+            ops as f64 / batches as f64
+        }
+    }
+
+    /// Fraction of requests that were merged by OBM.
+    pub fn merge_ratio(&self) -> f64 {
+        let ops: u64 = self.workers.iter().map(|w| w.ops).sum();
+        let merged: u64 = self.workers.iter().map(|w| w.merged_ops).sum();
+        if ops == 0 {
+            0.0
+        } else {
+            merged as f64 / ops as f64
+        }
+    }
+
+    /// Per-worker CPU utilization (busy / uptime), one entry per worker.
+    pub fn worker_utilization(&self) -> Vec<f64> {
+        let wall = self.uptime.as_secs_f64().max(1e-9);
+        self.workers
+            .iter()
+            .map(|w| (w.busy.as_secs_f64() / wall).min(1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> StoreSnapshot {
+        StoreSnapshot {
+            workers: vec![
+                WorkerSnapshot {
+                    ops: 100,
+                    batches: 25,
+                    merged_ops: 80,
+                    busy: Duration::from_millis(500),
+                    queue_depth: 0,
+                },
+                WorkerSnapshot {
+                    ops: 60,
+                    batches: 15,
+                    merged_ops: 40,
+                    busy: Duration::from_millis(250),
+                    queue_depth: 3,
+                },
+            ],
+            uptime: Duration::from_secs(1),
+            mem_usage: 1024,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = snap();
+        assert_eq!(s.total_ops(), 160);
+        assert!((s.avg_batch_size() - 4.0).abs() < 1e-9);
+        assert!((s.merge_ratio() - 0.75).abs() < 1e-9);
+        let util = s.worker_utilization();
+        assert!((util[0] - 0.5).abs() < 1e-9);
+        assert!((util[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = StoreSnapshot {
+            workers: vec![],
+            uptime: Duration::from_secs(1),
+            mem_usage: 0,
+        };
+        assert_eq!(s.total_ops(), 0);
+        assert_eq!(s.avg_batch_size(), 0.0);
+        assert_eq!(s.merge_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,410 @@
+//! The p2KVS store: accessing layer + workers + transactions.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::engine::{EngineFactory, GsnFilter, KvsEngine};
+use crate::error::{Error, Result};
+use crate::router::{HashPartitioner, Partitioner};
+use crate::stats::{StoreSnapshot, WorkerSnapshot};
+use crate::txn::TxnManager;
+use crate::types::{Op, Request, Response, WriteOp};
+use crate::worker::WorkerHandle;
+
+/// How SCAN distributes work across instances (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanStrategy {
+    /// Ask every instance for the full scan size, merge, truncate. Simple
+    /// and parallel; reads up to `N×` extra entries (the paper's default
+    /// parallelizing approach).
+    ParallelFull,
+    /// Start with `count / N` (plus margin) per instance and enlarge only
+    /// the instances that might still contribute — the ablation variant
+    /// trading round trips for read amplification.
+    Adaptive,
+}
+
+/// Framework configuration.
+#[derive(Clone)]
+pub struct P2KvsOptions {
+    /// Number of workers / engine instances (the paper defaults to 8).
+    pub workers: usize,
+    /// OBM batch bound `M` (32 in the paper); 1 disables merging.
+    pub batch_max: usize,
+    /// Whether OBM is enabled at all (ablation switch).
+    pub obm: bool,
+    /// Pin worker threads to cores.
+    pub pin_workers: bool,
+    /// SCAN strategy.
+    pub scan_strategy: ScanStrategy,
+}
+
+impl Default for P2KvsOptions {
+    fn default() -> Self {
+        P2KvsOptions {
+            workers: 8,
+            batch_max: 32,
+            obm: true,
+            pin_workers: true,
+            scan_strategy: ScanStrategy::ParallelFull,
+        }
+    }
+}
+
+impl P2KvsOptions {
+    /// Convenience: `n` workers, everything else default.
+    pub fn with_workers(n: usize) -> P2KvsOptions {
+        P2KvsOptions {
+            workers: n,
+            ..P2KvsOptions::default()
+        }
+    }
+}
+
+/// A p2KVS store over engine type `E`.
+pub struct P2Kvs<E: KvsEngine> {
+    engines: Vec<Arc<E>>,
+    workers: Vec<WorkerHandle>,
+    partitioner: Box<dyn Partitioner>,
+    txn: TxnManager,
+    opts: P2KvsOptions,
+    opened: Instant,
+}
+
+impl<E: KvsEngine> P2Kvs<E> {
+    /// Opens (or recovers) a store under `dir`, creating one engine
+    /// instance per worker via `factory`.
+    ///
+    /// Recovery order (§4.5): read the transaction commit log first, then
+    /// reopen every instance with a GSN filter that drops batches of
+    /// transactions that never committed.
+    pub fn open<F>(factory: F, dir: impl Into<PathBuf>, opts: P2KvsOptions) -> Result<P2Kvs<E>>
+    where
+        F: EngineFactory<Engine = E>,
+    {
+        let dir = dir.into();
+        let env = factory.env();
+        env.create_dir_all(&dir)?;
+        let recovered = TxnManager::recover(&env, &dir)?;
+        let txn = TxnManager::open(&env, &dir, &recovered)?;
+        let filter: GsnFilter = {
+            let recovered = recovered.clone();
+            Arc::new(move |gsn| recovered.should_replay(gsn))
+        };
+        let n = opts.workers.max(1);
+        let mut engines = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let instance_dir = dir.join(format!("instance-{i}"));
+            let engine = Arc::new(factory.open(&instance_dir, Some(filter.clone()))?);
+            let batch_max = if opts.obm { opts.batch_max } else { 1 };
+            workers.push(WorkerHandle::spawn(
+                i,
+                engine.clone(),
+                batch_max,
+                opts.pin_workers,
+            ));
+            engines.push(engine);
+        }
+        Ok(P2Kvs {
+            engines,
+            workers,
+            partitioner: Box::new(HashPartitioner::new(n)),
+            txn,
+            opts,
+            opened: Instant::now(),
+        })
+    }
+
+    /// Number of workers / instances.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The engine instances (inspection and tests).
+    pub fn engines(&self) -> &[Arc<E>] {
+        &self.engines
+    }
+
+    /// Per-worker counters (monitoring and benchmarks).
+    pub fn worker_stats(&self) -> Vec<Arc<crate::worker::WorkerStats>> {
+        self.workers.iter().map(|w| w.stats.clone()).collect()
+    }
+
+    fn submit(&self, worker: usize, op: Op) -> Result<Response> {
+        let (req, done) = Request::sync(op);
+        self.workers[worker]
+            .queue
+            .push(req)
+            .map_err(|_| Error::Closed)?;
+        done.wait()
+    }
+
+    fn submit_to_key(&self, key: &[u8], op: Op) -> Result<Response> {
+        self.submit(self.partitioner.worker_of(key), op)
+    }
+
+    /// Inserts `key -> value` (blocking).
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        match self.submit_to_key(
+            key,
+            Op::Put {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+        )? {
+            Response::Done => Ok(()),
+            other => Err(Error::Engine(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Inserts `key -> value` without blocking; `cb` runs on the worker
+    /// when the write completes (the asynchronous interface of §4.1).
+    pub fn put_async(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        cb: impl FnOnce(Result<()>) + Send + 'static,
+    ) -> Result<()> {
+        let op = Op::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        };
+        let worker = self.partitioner.worker_of(key);
+        let req = Request::asynchronous(
+            op,
+            Box::new(move |r| cb(r.map(|_| ()))),
+        );
+        self.workers[worker]
+            .queue
+            .push(req)
+            .map_err(|_| Error::Closed)
+    }
+
+    /// Deletes `key` (blocking).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        match self.submit_to_key(key, Op::Delete { key: key.to_vec() })? {
+            Response::Done => Ok(()),
+            other => Err(Error::Engine(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.submit_to_key(key, Op::Get { key: key.to_vec() })? {
+            Response::Value(v) => Ok(v),
+            other => Err(Error::Engine(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Batched lookups: requests are enqueued to all owning workers first,
+    /// then awaited, so OBM can merge them per worker.
+    pub fn get_many(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        let mut completions = Vec::with_capacity(keys.len());
+        for key in keys {
+            let (req, done) = Request::sync(Op::Get { key: key.clone() });
+            self.workers[self.partitioner.worker_of(key)]
+                .queue
+                .push(req)
+                .map_err(|_| Error::Closed)?;
+            completions.push(done);
+        }
+        completions
+            .into_iter()
+            .map(|c| match c.wait()? {
+                Response::Value(v) => Ok(v),
+                other => Err(Error::Engine(format!("unexpected response {other:?}"))),
+            })
+            .collect()
+    }
+
+    /// Applies `ops` atomically across instances (§4.5).
+    ///
+    /// Single-instance batches use the engine's atomic WriteBatch
+    /// directly. Cross-instance batches get a GSN: sub-batches are
+    /// dispatched in parallel, and the commit record is persisted only
+    /// after every sub-batch is durable; a crash in between is rolled back
+    /// at recovery.
+    pub fn write_batch(&self, ops: Vec<WriteOp>) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut per_worker: Vec<Vec<WriteOp>> = (0..self.workers()).map(|_| Vec::new()).collect();
+        for op in ops {
+            per_worker[self.partitioner.worker_of(op.key())].push(op);
+        }
+        let involved: Vec<usize> = (0..self.workers())
+            .filter(|w| !per_worker[*w].is_empty())
+            .collect();
+        if involved.len() == 1 {
+            let w = involved[0];
+            return match self.submit(
+                w,
+                Op::TxnBatch {
+                    ops: std::mem::take(&mut per_worker[w]),
+                    gsn: 0,
+                },
+            )? {
+                Response::Done => Ok(()),
+                other => Err(Error::Engine(format!("unexpected response {other:?}"))),
+            };
+        }
+        let gsn = self.txn.begin()?;
+        let mut completions = Vec::with_capacity(involved.len());
+        for &w in &involved {
+            let (req, done) = Request::sync(Op::TxnBatch {
+                ops: std::mem::take(&mut per_worker[w]),
+                gsn,
+            });
+            self.workers[w].queue.push(req).map_err(|_| Error::Closed)?;
+            completions.push(done);
+        }
+        let mut first_err = None;
+        for c in completions {
+            if let Err(e) = c.wait() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => {
+                self.txn.commit(gsn)?;
+                Ok(())
+            }
+            // No commit record: recovery rolls every sub-batch back.
+            Some(e) => Err(e),
+        }
+    }
+
+    /// RANGE `[begin, end)`: forked into parallel per-instance sub-ranges
+    /// and merged (partitions are disjoint, so this is exact).
+    pub fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut completions = Vec::with_capacity(self.workers());
+        for w in 0..self.workers() {
+            let (req, done) = Request::sync(Op::Range {
+                begin: begin.to_vec(),
+                end: end.to_vec(),
+            });
+            self.workers[w].queue.push(req).map_err(|_| Error::Closed)?;
+            completions.push(done);
+        }
+        let mut all = Vec::new();
+        for c in completions {
+            match c.wait()? {
+                Response::Entries(mut e) => all.append(&mut e),
+                other => return Err(Error::Engine(format!("unexpected response {other:?}"))),
+            }
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(all)
+    }
+
+    /// SCAN: up to `count` entries with keys `>= start`, using the
+    /// configured [`ScanStrategy`].
+    pub fn scan(&self, start: &[u8], count: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match self.opts.scan_strategy {
+            ScanStrategy::ParallelFull => self.scan_with_quota(start, count, count),
+            ScanStrategy::Adaptive => {
+                let n = self.workers();
+                let mut quota = (count / n + count / (2 * n).max(1) + 4).min(count);
+                loop {
+                    let merged = self.scan_with_quota(start, count, quota)?;
+                    if merged.len() >= count || quota >= count {
+                        return Ok(merged);
+                    }
+                    // Some instance may still hold closer keys beyond its
+                    // quota: enlarge and retry.
+                    quota = (quota * 2).min(count);
+                }
+            }
+        }
+    }
+
+    /// One parallel scan round: every instance returns up to `quota`
+    /// entries, merged and truncated to `count`.
+    fn scan_with_quota(
+        &self,
+        start: &[u8],
+        count: usize,
+        quota: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut completions = Vec::with_capacity(self.workers());
+        for w in 0..self.workers() {
+            let (req, done) = Request::sync(Op::Scan {
+                start: start.to_vec(),
+                count: quota,
+            });
+            self.workers[w].queue.push(req).map_err(|_| Error::Closed)?;
+            completions.push(done);
+        }
+        let mut per_worker: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::with_capacity(completions.len());
+        for c in completions {
+            match c.wait()? {
+                Response::Entries(e) => per_worker.push(e),
+                other => return Err(Error::Engine(format!("unexpected response {other:?}"))),
+            }
+        }
+        // The merged prefix is exact up to the smallest "horizon" of any
+        // instance that filled its quota.
+        let mut horizon: Option<Vec<u8>> = None;
+        for entries in &per_worker {
+            if entries.len() == quota {
+                let last = entries.last().expect("quota > 0").0.clone();
+                horizon = Some(match horizon {
+                    None => last,
+                    Some(h) if last < h => last,
+                    Some(h) => h,
+                });
+            }
+        }
+        let mut all: Vec<(Vec<u8>, Vec<u8>)> = per_worker.into_iter().flatten().collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        if let Some(h) = horizon {
+            // Entries beyond the horizon may be wrong (an instance could
+            // hold closer keys past its quota); keep the exact prefix.
+            let cut = all.partition_point(|(k, _)| k.as_slice() <= h.as_slice());
+            all.truncate(cut);
+        }
+        all.truncate(count);
+        Ok(all)
+    }
+
+    /// Durability barrier across all instances.
+    pub fn sync(&self) -> Result<()> {
+        for e in &self.engines {
+            e.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Point-in-time statistics.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerSnapshot {
+                    ops: w.stats.ops.load(std::sync::atomic::Ordering::Relaxed),
+                    batches: w.stats.batches.load(std::sync::atomic::Ordering::Relaxed),
+                    merged_ops: w.stats.merged_ops.load(std::sync::atomic::Ordering::Relaxed),
+                    busy: w.stats.busy.busy(),
+                    queue_depth: w.queue.len(),
+                })
+                .collect(),
+            uptime: self.opened.elapsed(),
+            mem_usage: self.engines.iter().map(|e| e.mem_usage()).sum(),
+        }
+    }
+
+    /// Framework options in effect.
+    pub fn options(&self) -> &P2KvsOptions {
+        &self.opts
+    }
+
+    /// Closes the store: drains queues, joins workers, drops engines.
+    pub fn close(mut self) {
+        for w in &mut self.workers {
+            w.shutdown();
+        }
+    }
+}

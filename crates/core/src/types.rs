@@ -1,0 +1,221 @@
+//! Request and response types flowing through the accessing layer.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{Error, Result};
+
+/// One update inside a (possibly transactional) write batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert `key -> value`.
+    Put { key: Vec<u8>, value: Vec<u8> },
+    /// Delete `key`.
+    Delete { key: Vec<u8> },
+}
+
+impl WriteOp {
+    /// The key this update targets.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            WriteOp::Put { key, .. } | WriteOp::Delete { key } => key,
+        }
+    }
+
+    /// Approximate payload bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            WriteOp::Put { key, value } => key.len() + value.len(),
+            WriteOp::Delete { key } => key.len(),
+        }
+    }
+}
+
+/// An operation submitted to a worker queue.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Insert one pair.
+    Put { key: Vec<u8>, value: Vec<u8> },
+    /// Delete one key.
+    Delete { key: Vec<u8> },
+    /// Point lookup.
+    Get { key: Vec<u8> },
+    /// Read up to `count` entries starting at `start`.
+    Scan { start: Vec<u8>, count: usize },
+    /// Read entries in `[begin, end)`.
+    Range { begin: Vec<u8>, end: Vec<u8> },
+    /// A transaction sub-batch carrying a Global Sequence Number. Never
+    /// merged with other requests by OBM.
+    TxnBatch { ops: Vec<WriteOp>, gsn: u64 },
+}
+
+/// OBM request classes (Algorithm 1 merges only same-class neighbours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Mergeable writes (PUT/UPDATE/DELETE).
+    Write,
+    /// Mergeable reads (GET).
+    Read,
+    /// Never merged: SCAN/RANGE and GSN-tagged batches.
+    Solo,
+}
+
+impl Op {
+    /// The request's OBM class.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Op::Put { .. } | Op::Delete { .. } => OpClass::Write,
+            Op::Get { .. } => OpClass::Read,
+            Op::Scan { .. } | Op::Range { .. } | Op::TxnBatch { .. } => OpClass::Solo,
+        }
+    }
+}
+
+/// Result payload of a completed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Write acknowledged.
+    Done,
+    /// GET result.
+    Value(Option<Vec<u8>>),
+    /// SCAN/RANGE result.
+    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+}
+
+/// How a finished request reports back.
+pub enum Completion {
+    /// A waiting user thread (synchronous interface): it sleeps on the
+    /// condvar until the worker stores the result.
+    Sync(Arc<SyncCompletion>),
+    /// Fire-and-forget callback (asynchronous interface, §4.1).
+    Async(Box<dyn FnOnce(Result<Response>) + Send>),
+}
+
+/// Shared slot a synchronous caller parks on.
+#[derive(Default)]
+pub struct SyncCompletion {
+    slot: Mutex<Option<Result<Response>>>,
+    cv: Condvar,
+}
+
+impl SyncCompletion {
+    /// Creates an empty completion.
+    pub fn new() -> Arc<SyncCompletion> {
+        Arc::new(SyncCompletion::default())
+    }
+
+    /// Stores the result and wakes the waiter.
+    pub fn fulfill(&self, result: Result<Response>) {
+        let mut slot = self.slot.lock();
+        *slot = Some(result);
+        drop(slot);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the result arrives.
+    pub fn wait(&self) -> Result<Response> {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            self.cv.wait(&mut slot);
+        }
+    }
+}
+
+/// A queued request: the operation plus its completion.
+pub struct Request {
+    pub op: Op,
+    pub completion: Completion,
+    /// Nanosecond timestamp when the request entered the queue (for queue
+    /// wait accounting).
+    pub enqueued: std::time::Instant,
+}
+
+impl Request {
+    /// Builds a synchronous request, returning it with its completion.
+    pub fn sync(op: Op) -> (Request, Arc<SyncCompletion>) {
+        let completion = SyncCompletion::new();
+        (
+            Request {
+                op,
+                completion: Completion::Sync(completion.clone()),
+                enqueued: std::time::Instant::now(),
+            },
+            completion,
+        )
+    }
+
+    /// Builds an asynchronous request.
+    pub fn asynchronous(op: Op, cb: Box<dyn FnOnce(Result<Response>) + Send>) -> Request {
+        Request {
+            op,
+            completion: Completion::Async(cb),
+            enqueued: std::time::Instant::now(),
+        }
+    }
+
+    /// Completes the request with `result`.
+    pub fn finish(self, result: Result<Response>) {
+        match self.completion {
+            Completion::Sync(c) => c.fulfill(result),
+            Completion::Async(cb) => cb(result),
+        }
+    }
+
+    /// Completes the request with a cloned error.
+    pub fn finish_err(self, err: &Error) {
+        self.finish(Err(err.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classes() {
+        assert_eq!(Op::Put { key: vec![], value: vec![] }.class(), OpClass::Write);
+        assert_eq!(Op::Delete { key: vec![] }.class(), OpClass::Write);
+        assert_eq!(Op::Get { key: vec![] }.class(), OpClass::Read);
+        assert_eq!(Op::Scan { start: vec![], count: 1 }.class(), OpClass::Solo);
+        assert_eq!(
+            Op::TxnBatch { ops: vec![], gsn: 1 }.class(),
+            OpClass::Solo
+        );
+    }
+
+    #[test]
+    fn sync_completion_wakes_waiter() {
+        let (req, completion) = Request::sync(Op::Get { key: b"k".to_vec() });
+        let waiter = std::thread::spawn(move || completion.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        req.finish(Ok(Response::Value(Some(b"v".to_vec()))));
+        assert_eq!(
+            waiter.join().unwrap().unwrap(),
+            Response::Value(Some(b"v".to_vec()))
+        );
+    }
+
+    #[test]
+    fn async_completion_invokes_callback() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let req = Request::asynchronous(
+            Op::Put { key: b"k".to_vec(), value: b"v".to_vec() },
+            Box::new(move |r| tx.send(r.is_ok()).unwrap()),
+        );
+        req.finish(Ok(Response::Done));
+        assert!(rx.recv().unwrap());
+    }
+
+    #[test]
+    fn write_op_accessors() {
+        let p = WriteOp::Put { key: b"k".to_vec(), value: b"vvv".to_vec() };
+        assert_eq!(p.key(), b"k");
+        assert_eq!(p.size(), 4);
+        let d = WriteOp::Delete { key: b"kk".to_vec() };
+        assert_eq!(d.size(), 2);
+    }
+}

@@ -1,0 +1,310 @@
+//! Worker threads: one engine instance each, drained with OBM.
+//!
+//! A worker owns one KVS instance and is pinned to one core (§4.1). Its
+//! loop is Algorithm 1: dequeue a batch of consecutive same-type requests,
+//! then execute it as one engine call — `write_batch` for writes,
+//! `multiget` for reads — falling back to per-request calls when the
+//! engine lacks the capability or the batch has a single element.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use p2kvs_util::timing::BusyClock;
+
+use crate::engine::KvsEngine;
+use crate::queue::RequestQueue;
+use crate::types::{Op, OpClass, Request, Response, WriteOp};
+
+/// Counters published by one worker.
+#[derive(Default)]
+pub struct WorkerStats {
+    /// Useful processing time.
+    pub busy: BusyClock,
+    /// Requests completed.
+    pub ops: AtomicU64,
+    /// Engine calls issued (batched or not).
+    pub batches: AtomicU64,
+    /// Requests that were merged into multi-request batches.
+    pub merged_ops: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Mean requests per engine call.
+    pub fn avg_batch_size(&self) -> f64 {
+        let b = self.batches.load(Ordering::Relaxed);
+        if b == 0 {
+            0.0
+        } else {
+            self.ops.load(Ordering::Relaxed) as f64 / b as f64
+        }
+    }
+}
+
+/// A running worker.
+pub struct WorkerHandle {
+    /// The worker's request queue.
+    pub queue: Arc<RequestQueue>,
+    /// The worker's counters.
+    pub stats: Arc<WorkerStats>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Spawns worker `id` over `engine`.
+    ///
+    /// `batch_max` bounds OBM batches (1 disables merging); `pin` binds
+    /// the thread to core `id`.
+    pub fn spawn<E: KvsEngine>(
+        id: usize,
+        engine: Arc<E>,
+        batch_max: usize,
+        pin: bool,
+    ) -> WorkerHandle {
+        let queue = Arc::new(RequestQueue::new());
+        let stats = Arc::new(WorkerStats::default());
+        let q = queue.clone();
+        let s = stats.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("p2kvs-worker-{id}"))
+            .spawn(move || {
+                if pin {
+                    p2kvs_util::affinity::pin_to_core(id);
+                }
+                let max = batch_max.max(1);
+                while let Some(batch) = q.pop_batch(max) {
+                    s.busy.time(|| execute_batch(&*engine, batch, &s));
+                }
+            })
+            .expect("spawn p2kvs worker");
+        WorkerHandle {
+            queue,
+            stats,
+            handle: Some(handle),
+        }
+    }
+
+    /// Closes the queue and joins the thread (drains pending requests).
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Executes one OBM batch against the engine.
+fn execute_batch<E: KvsEngine>(engine: &E, batch: Vec<Request>, stats: &WorkerStats) {
+    let n = batch.len() as u64;
+    stats.ops.fetch_add(n, Ordering::Relaxed);
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    if n > 1 {
+        stats.merged_ops.fetch_add(n, Ordering::Relaxed);
+    }
+    let caps = engine.capabilities();
+    match batch[0].op.class() {
+        OpClass::Write if batch.len() > 1 && caps.batch_write => {
+            // Merge the run into one WriteBatch (Fig 10a).
+            let ops: Vec<WriteOp> = batch
+                .iter()
+                .map(|r| match &r.op {
+                    Op::Put { key, value } => WriteOp::Put {
+                        key: key.clone(),
+                        value: value.clone(),
+                    },
+                    Op::Delete { key } => WriteOp::Delete { key: key.clone() },
+                    other => unreachable!("non-write op {other:?} in write batch"),
+                })
+                .collect();
+            match engine.write_batch(&ops, 0) {
+                Ok(()) => {
+                    for req in batch {
+                        req.finish(Ok(Response::Done));
+                    }
+                }
+                Err(e) => {
+                    for req in batch {
+                        req.finish_err(&e);
+                    }
+                }
+            }
+        }
+        OpClass::Read if batch.len() > 1 && caps.multiget => {
+            // Merge the run into one multiget (Fig 10b).
+            let keys: Vec<Vec<u8>> = batch
+                .iter()
+                .map(|r| match &r.op {
+                    Op::Get { key } => key.clone(),
+                    other => unreachable!("non-read op {other:?} in read batch"),
+                })
+                .collect();
+            match engine.multiget(&keys) {
+                Ok(values) => {
+                    for (req, v) in batch.into_iter().zip(values) {
+                        req.finish(Ok(Response::Value(v)));
+                    }
+                }
+                Err(e) => {
+                    for req in batch {
+                        req.finish_err(&e);
+                    }
+                }
+            }
+        }
+        _ => {
+            // Single request, or the engine lacks the batched fast path.
+            for req in batch {
+                execute_one(engine, req);
+            }
+        }
+    }
+}
+
+/// Executes one request without batching.
+fn execute_one<E: KvsEngine>(engine: &E, req: Request) {
+    let Request { op, completion, .. } = req;
+    let result = match op {
+        Op::Put { key, value } => engine.put(&key, &value).map(|()| Response::Done),
+        Op::Delete { key } => engine.delete(&key).map(|()| Response::Done),
+        Op::Get { key } => engine.get(&key).map(Response::Value),
+        Op::Scan { start, count } => engine.scan(&start, count).map(Response::Entries),
+        Op::Range { begin, end } => engine.range(&begin, &end).map(Response::Entries),
+        Op::TxnBatch { ops, gsn } => engine.write_batch(&ops, gsn).map(|()| Response::Done),
+    };
+    match completion {
+        crate::types::Completion::Sync(c) => c.fulfill(result),
+        crate::types::Completion::Async(cb) => cb(result),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineFactory, LsmFactory};
+    use std::path::Path;
+
+    fn worker() -> (WorkerHandle, Arc<lsmkv::Db>) {
+        let factory = LsmFactory::new(lsmkv::Options::for_test());
+        let engine = Arc::new(factory.open(Path::new("w0"), None).unwrap());
+        (WorkerHandle::spawn(0, engine.clone(), 32, false), engine)
+    }
+
+    #[test]
+    fn processes_sync_requests() {
+        let (worker, _) = worker();
+        let (req, done) = Request::sync(Op::Put {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        });
+        worker.queue.push(req).ok().unwrap();
+        assert_eq!(done.wait().unwrap(), Response::Done);
+        let (req, got) = Request::sync(Op::Get { key: b"k".to_vec() });
+        worker.queue.push(req).ok().unwrap();
+        assert_eq!(got.wait().unwrap(), Response::Value(Some(b"v".to_vec())));
+    }
+
+    #[test]
+    fn batches_are_merged_and_all_complete() {
+        let (worker, _) = worker();
+        let mut completions = Vec::new();
+        for i in 0..100 {
+            let (req, c) = Request::sync(Op::Put {
+                key: format!("k{i:03}").as_bytes().to_vec(),
+                value: b"v".to_vec(),
+            });
+            worker.queue.push(req).ok().unwrap();
+            completions.push(c);
+        }
+        for c in completions {
+            assert_eq!(c.wait().unwrap(), Response::Done);
+        }
+        let stats = &worker.stats;
+        assert_eq!(stats.ops.load(Ordering::Relaxed), 100);
+        assert!(
+            stats.batches.load(Ordering::Relaxed) <= 100,
+            "some batching expected"
+        );
+        assert!(stats.avg_batch_size() >= 1.0);
+    }
+
+    #[test]
+    fn scan_executes_solo() {
+        let (worker, _) = worker();
+        for i in 0..10 {
+            let (req, c) = Request::sync(Op::Put {
+                key: format!("k{i}").as_bytes().to_vec(),
+                value: format!("{i}").as_bytes().to_vec(),
+            });
+            worker.queue.push(req).ok().unwrap();
+            c.wait().unwrap();
+        }
+        let (req, c) = Request::sync(Op::Scan {
+            start: b"k3".to_vec(),
+            count: 3,
+        });
+        worker.queue.push(req).ok().unwrap();
+        match c.wait().unwrap() {
+            Response::Entries(e) => {
+                assert_eq!(e.len(), 3);
+                assert_eq!(e[0].0, b"k3");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn txn_batch_carries_gsn() {
+        let (worker, engine) = worker();
+        let (req, c) = Request::sync(Op::TxnBatch {
+            ops: vec![WriteOp::Put {
+                key: b"t".to_vec(),
+                value: b"1".to_vec(),
+            }],
+            gsn: 42,
+        });
+        worker.queue.push(req).ok().unwrap();
+        c.wait().unwrap();
+        assert_eq!(engine.get(b"t").unwrap().unwrap(), b"1");
+    }
+
+    #[test]
+    fn async_requests_invoke_callback() {
+        let (worker, _) = worker();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let req = Request::asynchronous(
+            Op::Put {
+                key: b"a".to_vec(),
+                value: b"b".to_vec(),
+            },
+            Box::new(move |r| {
+                tx.send(r.is_ok()).unwrap();
+            }),
+        );
+        worker.queue.push(req).ok().unwrap();
+        assert!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap());
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let (mut worker, _) = worker();
+        let mut completions = Vec::new();
+        for i in 0..50 {
+            let (req, c) = Request::sync(Op::Put {
+                key: format!("d{i}").as_bytes().to_vec(),
+                value: b"v".to_vec(),
+            });
+            worker.queue.push(req).ok().unwrap();
+            completions.push(c);
+        }
+        worker.shutdown();
+        for c in completions {
+            assert!(c.wait().is_ok(), "pending requests must complete");
+        }
+    }
+}

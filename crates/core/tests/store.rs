@@ -1,0 +1,401 @@
+//! End-to-end tests of the p2KVS framework over its engines: partitioned
+//! CRUD, OBM batching, range/scan strategies, transactions, crash
+//! recovery, async interface, and portability (LevelDB mode, WiredTiger).
+
+use std::sync::Arc;
+
+use p2kvs::engine::{LsmFactory, WtFactory};
+use p2kvs::{P2Kvs, P2KvsOptions, ScanStrategy, WriteOp};
+use p2kvs_storage::{EnvRef, MemEnv};
+
+fn lsm_factory() -> LsmFactory {
+    LsmFactory::new(lsmkv::Options::for_test())
+}
+
+fn open_lsm(workers: usize) -> P2Kvs<lsmkv::Db> {
+    let mut opts = P2KvsOptions::with_workers(workers);
+    opts.pin_workers = false;
+    P2Kvs::open(lsm_factory(), "p2", opts).unwrap()
+}
+
+#[test]
+fn crud_roundtrip_across_partitions() {
+    let store = open_lsm(4);
+    for i in 0..500 {
+        store
+            .put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    for i in 0..500 {
+        assert_eq!(
+            store.get(format!("key{i:04}").as_bytes()).unwrap().unwrap(),
+            format!("v{i}").as_bytes()
+        );
+    }
+    store.delete(b"key0100").unwrap();
+    assert_eq!(store.get(b"key0100").unwrap(), None);
+    assert_eq!(store.get(b"missing").unwrap(), None);
+    // Data really is spread across instances.
+    let populated = store
+        .engines()
+        .iter()
+        .filter(|e| e.visible_sequence() > 0)
+        .count();
+    assert_eq!(populated, 4, "every instance should own some keys");
+}
+
+#[test]
+fn concurrent_user_threads() {
+    let store = Arc::new(open_lsm(4));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for i in 0..300 {
+                    let k = format!("t{t}-{i:04}");
+                    store.put(k.as_bytes(), k.as_bytes()).unwrap();
+                }
+                for i in (0..300).step_by(7) {
+                    let k = format!("t{t}-{i:04}");
+                    assert_eq!(store.get(k.as_bytes()).unwrap().unwrap(), k.as_bytes());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = store.snapshot();
+    assert!(snap.total_ops() >= 8 * 300);
+    // Concurrency should produce some OBM merging.
+    assert!(snap.avg_batch_size() >= 1.0);
+}
+
+#[test]
+fn obm_merges_under_concurrency() {
+    let mut opts = P2KvsOptions::with_workers(1);
+    opts.pin_workers = false;
+    let store = Arc::new(P2Kvs::open(lsm_factory(), "p2", opts).unwrap());
+    // Many async writes into one worker queue back up and merge.
+    let (tx, rx) = std::sync::mpsc::channel();
+    const N: usize = 2000;
+    for i in 0..N {
+        let tx = tx.clone();
+        store
+            .put_async(
+                format!("k{i:05}").as_bytes(),
+                b"v",
+                move |r| {
+                    r.unwrap();
+                    tx.send(()).unwrap();
+                },
+            )
+            .unwrap();
+    }
+    for _ in 0..N {
+        rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+    }
+    let snap = store.snapshot();
+    assert!(
+        snap.merge_ratio() > 0.5,
+        "async flood should batch heavily, got {}",
+        snap.merge_ratio()
+    );
+    assert!(snap.avg_batch_size() > 2.0, "avg batch {}", snap.avg_batch_size());
+}
+
+#[test]
+fn obm_disabled_never_merges() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.obm = false;
+    opts.pin_workers = false;
+    let store = P2Kvs::open(lsm_factory(), "p2", opts).unwrap();
+    for i in 0..200 {
+        store.put(format!("k{i}").as_bytes(), b"v").unwrap();
+    }
+    let snap = store.snapshot();
+    assert_eq!(snap.merge_ratio(), 0.0);
+    assert_eq!(snap.avg_batch_size(), 1.0);
+}
+
+#[test]
+fn get_many_batches_reads() {
+    let store = open_lsm(4);
+    for i in 0..300 {
+        store
+            .put(format!("k{i:04}").as_bytes(), format!("{i}").as_bytes())
+            .unwrap();
+    }
+    let keys: Vec<Vec<u8>> = (0..300).map(|i| format!("k{i:04}").into_bytes()).collect();
+    let got = store.get_many(&keys).unwrap();
+    assert_eq!(got.len(), 300);
+    for (i, v) in got.iter().enumerate() {
+        assert_eq!(v.as_deref().unwrap(), format!("{i}").as_bytes());
+    }
+    let missing = store.get_many(&[b"zzz".to_vec()]).unwrap();
+    assert_eq!(missing, vec![None]);
+}
+
+#[test]
+fn range_is_exact_across_partitions() {
+    let store = open_lsm(4);
+    for i in 0..1000 {
+        store
+            .put(format!("key{i:04}").as_bytes(), format!("{i}").as_bytes())
+            .unwrap();
+    }
+    let got = store.range(b"key0100", b"key0200").unwrap();
+    assert_eq!(got.len(), 100);
+    assert_eq!(got[0].0, b"key0100");
+    assert_eq!(got[99].0, b"key0199");
+    // Sorted.
+    for w in got.windows(2) {
+        assert!(w[0].0 < w[1].0);
+    }
+    assert!(store.range(b"z", b"zz").unwrap().is_empty());
+}
+
+#[test]
+fn scan_strategies_agree() {
+    for strategy in [ScanStrategy::ParallelFull, ScanStrategy::Adaptive] {
+        let mut opts = P2KvsOptions::with_workers(4);
+        opts.scan_strategy = strategy;
+        opts.pin_workers = false;
+        let store = P2Kvs::open(lsm_factory(), "p2", opts).unwrap();
+        for i in 0..1000 {
+            store
+                .put(format!("key{i:04}").as_bytes(), format!("{i}").as_bytes())
+                .unwrap();
+        }
+        for (start, n) in [(b"key0000".as_slice(), 10), (b"key0500", 137), (b"key0990", 50)] {
+            let got = store.scan(start, n).unwrap();
+            // Expected: the n smallest keys >= start.
+            let expect: Vec<Vec<u8>> = (0..1000)
+                .map(|i| format!("key{i:04}").into_bytes())
+                .filter(|k| k.as_slice() >= start)
+                .take(n)
+                .collect();
+            let got_keys: Vec<Vec<u8>> = got.iter().map(|(k, _)| k.clone()).collect();
+            assert_eq!(got_keys, expect, "strategy {strategy:?} start {start:?} n {n}");
+        }
+    }
+}
+
+#[test]
+fn write_batch_single_partition_is_atomic() {
+    let store = open_lsm(1);
+    store
+        .write_batch(vec![
+            WriteOp::Put { key: b"a".to_vec(), value: b"1".to_vec() },
+            WriteOp::Put { key: b"b".to_vec(), value: b"2".to_vec() },
+            WriteOp::Delete { key: b"a".to_vec() },
+        ])
+        .unwrap();
+    assert_eq!(store.get(b"a").unwrap(), None);
+    assert_eq!(store.get(b"b").unwrap().unwrap(), b"2");
+}
+
+#[test]
+fn cross_instance_transaction_commits() {
+    let store = open_lsm(4);
+    let ops: Vec<WriteOp> = (0..100)
+        .map(|i| WriteOp::Put {
+            key: format!("txn{i:03}").into_bytes(),
+            value: b"committed".to_vec(),
+        })
+        .collect();
+    store.write_batch(ops).unwrap();
+    for i in 0..100 {
+        assert_eq!(
+            store.get(format!("txn{i:03}").as_bytes()).unwrap().unwrap(),
+            b"committed"
+        );
+    }
+}
+
+#[test]
+fn uncommitted_transaction_rolls_back_at_recovery() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let factory = || LsmFactory::new(lsmkv::Options::rocksdb_like(env.clone()));
+    let opts = || {
+        let mut o = P2KvsOptions::with_workers(4);
+        o.pin_workers = false;
+        o
+    };
+    {
+        let store = P2Kvs::open(factory(), "p2", opts()).unwrap();
+        // A committed transaction...
+        store
+            .write_batch(
+                (0..40)
+                    .map(|i| WriteOp::Put {
+                        key: format!("ok{i:02}").into_bytes(),
+                        value: b"yes".to_vec(),
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        // ...and an uncommitted one: simulate the crash window by writing
+        // GSN-tagged sub-batches directly without a commit record.
+        let gsn = 999_999u64; // Never recorded as committed.
+        for (i, engine) in store.engines().iter().enumerate() {
+            use p2kvs::KvsEngine;
+            engine
+                .write_batch(
+                    &[WriteOp::Put {
+                        key: format!("ghost{i}").into_bytes(),
+                        value: b"no".to_vec(),
+                    }],
+                    gsn,
+                )
+                .unwrap();
+        }
+        // Crash every instance without syncing framework state.
+        store.close();
+    }
+    let store = P2Kvs::open(factory(), "p2", opts()).unwrap();
+    for i in 0..40 {
+        assert_eq!(
+            store.get(format!("ok{i:02}").as_bytes()).unwrap().unwrap(),
+            b"yes",
+            "committed transaction must survive"
+        );
+    }
+    for i in 0..4 {
+        assert_eq!(
+            store.get(format!("ghost{i}").as_bytes()).unwrap(),
+            None,
+            "uncommitted sub-batch must be rolled back"
+        );
+    }
+}
+
+#[test]
+fn reopen_preserves_data_and_gsns() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let factory = || LsmFactory::new(lsmkv::Options::rocksdb_like(env.clone()));
+    let mk_opts = || {
+        let mut o = P2KvsOptions::with_workers(2);
+        o.pin_workers = false;
+        o
+    };
+    {
+        let store = P2Kvs::open(factory(), "p2", mk_opts()).unwrap();
+        for i in 0..200 {
+            store.put(format!("k{i}").as_bytes(), b"v1").unwrap();
+        }
+        store
+            .write_batch(vec![
+                WriteOp::Put { key: b"tx-a".to_vec(), value: b"1".to_vec() },
+                WriteOp::Put { key: b"tx-b".to_vec(), value: b"2".to_vec() },
+            ])
+            .unwrap();
+        store.close();
+    }
+    let store = P2Kvs::open(factory(), "p2", mk_opts()).unwrap();
+    assert_eq!(store.get(b"k0").unwrap().unwrap(), b"v1");
+    assert_eq!(store.get(b"k199").unwrap().unwrap(), b"v1");
+    assert_eq!(store.get(b"tx-a").unwrap().unwrap(), b"1");
+    assert_eq!(store.get(b"tx-b").unwrap().unwrap(), b"2");
+    // New transactions must get fresh GSNs (no reuse after recovery).
+    store
+        .write_batch(vec![
+            WriteOp::Put { key: b"tx-c".to_vec(), value: b"3".to_vec() },
+            WriteOp::Put { key: b"tx-d".to_vec(), value: b"4".to_vec() },
+        ])
+        .unwrap();
+    assert_eq!(store.get(b"tx-c").unwrap().unwrap(), b"3");
+}
+
+#[test]
+fn async_writes_complete() {
+    let store = Arc::new(open_lsm(2));
+    let (tx, rx) = std::sync::mpsc::channel();
+    for i in 0..100 {
+        let tx = tx.clone();
+        store
+            .put_async(format!("a{i}").as_bytes(), b"v", move |r| {
+                tx.send(r.is_ok()).unwrap();
+            })
+            .unwrap();
+    }
+    for _ in 0..100 {
+        assert!(rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap());
+    }
+    assert_eq!(store.get(b"a99").unwrap().unwrap(), b"v");
+}
+
+#[test]
+fn works_over_leveldb_mode() {
+    // LevelDB mode: no multiget, no concurrent memtable; OBM write-merge
+    // still applies (LevelDB has WriteBatch).
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let factory = LsmFactory::new(lsmkv::Options::leveldb_like(env));
+    let mut opts = P2KvsOptions::with_workers(3);
+    opts.pin_workers = false;
+    let store = P2Kvs::open(factory, "p2l", opts).unwrap();
+    for i in 0..300 {
+        store.put(format!("k{i:03}").as_bytes(), b"v").unwrap();
+    }
+    for i in (0..300).step_by(11) {
+        assert_eq!(store.get(format!("k{i:03}").as_bytes()).unwrap().unwrap(), b"v");
+    }
+    let scan = store.scan(b"k100", 5).unwrap();
+    assert_eq!(scan.len(), 5);
+    assert_eq!(scan[0].0, b"k100");
+}
+
+#[test]
+fn works_over_wiredtiger() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let factory = WtFactory::new(wtiger::WtOptions::new(env));
+    let mut opts = P2KvsOptions::with_workers(3);
+    opts.pin_workers = false;
+    let store = P2Kvs::open(factory, "p2w", opts).unwrap();
+    for i in 0..300 {
+        store
+            .put(format!("k{i:03}").as_bytes(), format!("{i}").as_bytes())
+            .unwrap();
+    }
+    for i in (0..300).step_by(13) {
+        assert_eq!(
+            store.get(format!("k{i:03}").as_bytes()).unwrap().unwrap(),
+            format!("{i}").as_bytes()
+        );
+    }
+    store.delete(b"k100").unwrap();
+    assert_eq!(store.get(b"k100").unwrap(), None);
+    let range = store.range(b"k200", b"k205").unwrap();
+    assert_eq!(range.len(), 5);
+    // Cross-instance transactions are unsupported without batch-write.
+    let err = store.write_batch(
+        (0..50)
+            .map(|i| WriteOp::Put {
+                key: format!("t{i}").into_bytes(),
+                value: b"v".to_vec(),
+            })
+            .collect(),
+    );
+    assert!(err.is_err(), "WiredTiger transactions must be rejected");
+}
+
+#[test]
+fn snapshot_reports_worker_activity() {
+    let store = open_lsm(2);
+    for i in 0..200 {
+        store.put(format!("k{i}").as_bytes(), b"v").unwrap();
+    }
+    let snap = store.snapshot();
+    assert_eq!(snap.workers.len(), 2);
+    assert_eq!(snap.total_ops(), 200);
+    assert!(snap.mem_usage > 0);
+    assert!(snap.workers.iter().all(|w| w.queue_depth == 0));
+    let util = snap.worker_utilization();
+    assert!(util.iter().all(|u| (0.0..=1.0).contains(u)));
+}
+
+#[test]
+fn empty_batch_is_noop() {
+    let store = open_lsm(2);
+    store.write_batch(vec![]).unwrap();
+}

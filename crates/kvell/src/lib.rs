@@ -1,0 +1,27 @@
+//! `kvell`: a share-nothing, B-tree-indexed KV store (KVell stand-in).
+//!
+//! Reproduces the architecture the p2KVS paper compares against in §5.5
+//! (KVell, SOSP '19):
+//!
+//! * **Share nothing** — the key space is hash-partitioned across worker
+//!   threads; each worker owns its shard's index, slab files, free lists
+//!   and item cache, so no locks are shared between workers.
+//! * **In-memory B-tree index** — every key lives in RAM with its disk
+//!   location; this is why KVell's memory footprint is an order of
+//!   magnitude larger than an LSM engine's (Fig 21b).
+//! * **In-place updates, no log, no compaction** — items live in
+//!   size-classed slab files and are overwritten in place; writes are
+//!   single-slot IOs, giving low write amplification but small random IOs
+//!   that cannot saturate the device's sequential bandwidth (Fig 21a).
+//! * **Item cache** — a per-shard LRU over slab slots stands in for
+//!   KVell's page cache.
+//!
+//! Commit durability matches KVell's: an item is durable once its slot
+//! write completes; there is no WAL to replay, and recovery rebuilds the
+//! index by scanning the slabs.
+
+pub mod shard;
+pub mod slab;
+pub mod store;
+
+pub use store::{KvellDb, KvellOptions, KvellStats};

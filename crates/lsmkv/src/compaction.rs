@@ -1,0 +1,460 @@
+//! Flush (minor compaction) and major compaction jobs.
+//!
+//! These are pure jobs: given inputs and a version for overlap checks they
+//! produce new table files and return the metadata, leaving manifest
+//! logging and state swapping to the caller (the DB's background thread).
+//! Keeping them pure makes the GC rules independently testable.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use p2kvs_storage::EnvRef;
+
+use crate::error::Result;
+use crate::iterator::{InternalIterator, MergingIterator};
+use crate::memtable::MemTable;
+use crate::options::{CompactionStyle, Options};
+use crate::sst::{TableBuilder, TableConfig};
+use crate::stats::DbStats;
+use crate::types::{file_path, seq_and_type, user_key, FileKind, SequenceNumber, ValueType};
+use crate::version::edit::FileMetaData;
+use crate::version::table_cache::TableCache;
+use crate::version::{CompactionTask, Version};
+
+/// Everything a compaction job needs from the engine.
+pub struct JobContext<'a> {
+    pub env: &'a EnvRef,
+    pub dir: &'a Path,
+    pub opts: &'a Options,
+    pub table_cache: &'a Arc<TableCache>,
+    pub stats: &'a DbStats,
+}
+
+/// Result of a major compaction.
+pub struct CompactionOutput {
+    /// New files to install at the output level.
+    pub files: Vec<FileMetaData>,
+    /// Bytes read from input tables.
+    pub bytes_read: u64,
+    /// Bytes written to output tables.
+    pub bytes_written: u64,
+}
+
+/// Writes the contents of `mem` as one or more L0 tables.
+///
+/// Every entry (all sequence numbers, tombstones included) is preserved —
+/// visibility decisions belong to reads and major compactions.
+pub fn flush_memtable(
+    ctx: &JobContext<'_>,
+    mem: &Arc<MemTable>,
+    alloc_number: &dyn Fn() -> u64,
+) -> Result<Vec<FileMetaData>> {
+    let mut iter = mem.iter();
+    iter.seek_to_first();
+    let files = write_sorted_stream(
+        ctx,
+        &mut iter,
+        alloc_number,
+        None,
+        ctx.opts.target_file_size as u64,
+    )?;
+    let written: u64 = files.iter().map(|f| f.size).sum();
+    DbStats::bump(&ctx.stats.flushes, 1);
+    DbStats::bump(&ctx.stats.compaction_bytes_written, written);
+    Ok(files)
+}
+
+/// Runs a major compaction task.
+///
+/// `version` is the version the task was picked from (used for
+/// tombstone-drop overlap checks); `smallest_snapshot` is the lowest
+/// sequence any live snapshot (or the current read head) can observe.
+pub fn run_compaction(
+    ctx: &JobContext<'_>,
+    task: &CompactionTask,
+    version: &Version,
+    smallest_snapshot: SequenceNumber,
+    alloc_number: &dyn Fn() -> u64,
+) -> Result<CompactionOutput> {
+    // Build the merged input stream.
+    let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+    for f in task.inputs.iter().chain(task.next_inputs.iter()) {
+        let reader = ctx.table_cache.get(f.number, f.size)?;
+        children.push(Box::new(reader.iter()));
+    }
+    let mut merged = MergingIterator::new(children);
+    merged.seek_to_first();
+
+    let gc = GcPolicy {
+        version,
+        style: ctx.opts.compaction_style,
+        output_level: task.output_level,
+        smallest_snapshot,
+    };
+    // Fragmented outputs are kept large (PebblesDB guards do not split
+    // aggressively); small fragments would re-trigger the count-based
+    // merge threshold immediately and cascade data down the tree.
+    let split = match ctx.opts.compaction_style {
+        CompactionStyle::Leveled => ctx.opts.target_file_size as u64,
+        CompactionStyle::Fragmented => 8 * ctx.opts.target_file_size as u64,
+    };
+    let files = write_sorted_stream(ctx, &mut merged, alloc_number, Some(&gc), split)?;
+
+    let bytes_read = task.input_bytes();
+    let bytes_written: u64 = files.iter().map(|f| f.size).sum();
+    DbStats::bump(&ctx.stats.compactions, 1);
+    DbStats::bump(&ctx.stats.compaction_bytes_read, bytes_read);
+    DbStats::bump(&ctx.stats.compaction_bytes_written, bytes_written);
+    Ok(CompactionOutput {
+        files,
+        bytes_read,
+        bytes_written,
+    })
+}
+
+/// Garbage-collection rules applied while rewriting entries.
+struct GcPolicy<'a> {
+    version: &'a Version,
+    style: CompactionStyle,
+    output_level: usize,
+    smallest_snapshot: SequenceNumber,
+}
+
+impl GcPolicy<'_> {
+    /// Whether `ukey` could exist in any file the compaction does not
+    /// rewrite and that a read would consult *after* the output level.
+    fn key_survives_elsewhere(&self, ukey: &[u8]) -> bool {
+        // Deeper levels always shadow-check.
+        for level in self.output_level + 1..self.version.levels.len() {
+            if !self.version.overlapping(level, Some(ukey), Some(ukey)).is_empty() {
+                return true;
+            }
+        }
+        // Fragmented compactions leave the target level's existing
+        // fragments untouched; they may still hold older versions.
+        if self.style == CompactionStyle::Fragmented
+            && !self
+                .version
+                .overlapping(self.output_level, Some(ukey), Some(ukey))
+                .is_empty()
+        {
+            return true;
+        }
+        false
+    }
+}
+
+/// Consumes a sorted internal-entry stream into size-capped tables,
+/// applying GC rules when `gc` is provided.
+fn write_sorted_stream(
+    ctx: &JobContext<'_>,
+    iter: &mut dyn InternalIterator,
+    alloc_number: &dyn Fn() -> u64,
+    gc: Option<&GcPolicy<'_>>,
+    split_size: u64,
+) -> Result<Vec<FileMetaData>> {
+    let mut outputs: Vec<FileMetaData> = Vec::new();
+    let mut builder: Option<(u64, TableBuilder)> = None;
+    let mut current_ukey: Option<Vec<u8>> = None;
+    // Sequence of the most recent (newest) retained entry for the current
+    // user key; MAX means "none seen yet".
+    let mut last_seq_for_key = u64::MAX;
+
+    while iter.valid() {
+        let ikey = iter.key();
+        let (seq, kind) = seq_and_type(ikey);
+        let ukey = user_key(ikey);
+        let first_occurrence = current_ukey.as_deref() != Some(ukey);
+        if first_occurrence {
+            current_ukey = Some(ukey.to_vec());
+            last_seq_for_key = u64::MAX;
+        }
+
+        let drop = if let Some(gc) = gc {
+            if last_seq_for_key <= gc.smallest_snapshot {
+                // A newer entry for this key is visible to every snapshot:
+                // this one can never be read again.
+                true
+            } else {
+                kind == ValueType::Deletion
+                    && seq <= gc.smallest_snapshot
+                    && !gc.key_survives_elsewhere(ukey)
+            }
+        } else {
+            false
+        };
+        last_seq_for_key = seq;
+
+        if !drop {
+            if builder.is_none() {
+                let number = alloc_number();
+                let path = file_path(ctx.dir, number, FileKind::Table);
+                let file = ctx.env.new_writable(&path)?;
+                builder = Some((number, TableBuilder::new(file, TableConfig::from(ctx.opts))));
+            }
+            let (_, b) = builder.as_mut().expect("builder just ensured");
+            b.add(ikey, iter.value())?;
+            // Split outputs at the target size, but never inside one user
+            // key's version chain (keeps first-occurrence GC sound when the
+            // outputs are later compacted again).
+            let full = b.estimated_size() >= split_size;
+            if full {
+                // Peek whether the next entry starts a new user key.
+                iter.next();
+                let new_key = !iter.valid() || user_key(iter.key()) != current_ukey.as_deref().unwrap_or(b"");
+                if new_key {
+                    let (number, b) = builder.take().expect("builder present");
+                    outputs.push(finish_builder(number, b)?);
+                }
+                continue;
+            }
+        }
+        iter.next();
+    }
+    if let Some((number, b)) = builder.take() {
+        if b.entries() > 0 {
+            outputs.push(finish_builder(number, b)?);
+        } else {
+            // Remove the empty placeholder file.
+            let _ = ctx.env.remove_file(&file_path(ctx.dir, number, FileKind::Table));
+        }
+    }
+    Ok(outputs)
+}
+
+fn finish_builder(number: u64, builder: TableBuilder) -> Result<FileMetaData> {
+    let summary = builder.finish()?;
+    Ok(FileMetaData {
+        number,
+        size: summary.file_size,
+        smallest: summary.smallest,
+        largest: summary.largest,
+        entries: summary.entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::make_internal_key;
+    use crate::version::edit::VersionEdit;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Fixture {
+        opts: Options,
+        dir: std::path::PathBuf,
+        cache: Arc<TableCache>,
+        stats: DbStats,
+        next: AtomicU64,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            Self::new_styled(CompactionStyle::Leveled)
+        }
+
+        fn new_styled(style: CompactionStyle) -> Fixture {
+            let mut opts = Options::for_test();
+            opts.compaction_style = style;
+            let dir = std::path::PathBuf::from("cdb");
+            opts.env.create_dir_all(&dir).unwrap();
+            let cache = Arc::new(TableCache::new(opts.env.clone(), dir.clone(), None));
+            Fixture {
+                dir,
+                cache,
+                stats: DbStats::new(),
+                next: AtomicU64::new(10),
+                opts,
+            }
+        }
+
+        fn ctx(&self) -> JobContext<'_> {
+            JobContext {
+                env: &self.opts.env,
+                dir: &self.dir,
+                opts: &self.opts,
+                table_cache: &self.cache,
+                stats: &self.stats,
+            }
+        }
+
+        fn alloc(&self) -> u64 {
+            self.next.fetch_add(1, Ordering::Relaxed)
+        }
+    }
+
+    fn read_table_keys(fx: &Fixture, meta: &FileMetaData) -> Vec<(Vec<u8>, u64, ValueType)> {
+        let reader = fx.cache.get(meta.number, meta.size).unwrap();
+        let mut it = reader.iter();
+        it.seek_to_first();
+        let mut out = Vec::new();
+        while it.valid() {
+            let (seq, kind) = seq_and_type(it.key());
+            out.push((user_key(it.key()).to_vec(), seq, kind));
+            it.next();
+        }
+        out
+    }
+
+    #[test]
+    fn flush_preserves_everything() {
+        let fx = Fixture::new();
+        let mem = Arc::new(MemTable::new());
+        mem.add(1, ValueType::Value, b"a", b"v1");
+        mem.add(2, ValueType::Value, b"a", b"v2");
+        mem.add(3, ValueType::Deletion, b"b", b"");
+        let files = flush_memtable(&fx.ctx(), &mem, &|| fx.alloc()).unwrap();
+        assert_eq!(files.len(), 1);
+        let keys = read_table_keys(&fx, &files[0]);
+        assert_eq!(
+            keys,
+            vec![
+                (b"a".to_vec(), 2, ValueType::Value),
+                (b"a".to_vec(), 1, ValueType::Value),
+                (b"b".to_vec(), 3, ValueType::Deletion),
+            ]
+        );
+        assert_eq!(fx.stats.flushes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn flush_empty_memtable_produces_nothing() {
+        let fx = Fixture::new();
+        let mem = Arc::new(MemTable::new());
+        let files = flush_memtable(&fx.ctx(), &mem, &|| fx.alloc()).unwrap();
+        assert!(files.is_empty());
+    }
+
+    /// Builds an L0 file from explicit entries via a memtable flush.
+    fn build_l0(fx: &Fixture, entries: &[(&str, u64, ValueType, &str)]) -> FileMetaData {
+        let mem = Arc::new(MemTable::new());
+        for (k, seq, kind, v) in entries {
+            mem.add(*seq, *kind, k.as_bytes(), v.as_bytes());
+        }
+        flush_memtable(&fx.ctx(), &mem, &|| fx.alloc())
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn compaction_drops_shadowed_versions() {
+        let fx = Fixture::new();
+        let f1 = build_l0(&fx, &[("k", 5, ValueType::Value, "new")]);
+        let f2 = build_l0(&fx, &[("k", 3, ValueType::Value, "old")]);
+        let version = Version::empty(7, CompactionStyle::Leveled).apply(&{
+            let mut e = VersionEdit::default();
+            e.added.push((0, f1.clone()));
+            e.added.push((0, f2.clone()));
+            e
+        });
+        let task = CompactionTask {
+            level: 0,
+            output_level: 1,
+            inputs: vec![Arc::new(f1), Arc::new(f2)],
+            next_inputs: vec![],
+        };
+        // Everyone can see seq 5: the old version is dead.
+        let out = run_compaction(&fx.ctx(), &task, &version, 100, &|| fx.alloc()).unwrap();
+        assert_eq!(out.files.len(), 1);
+        let keys = read_table_keys(&fx, &out.files[0]);
+        assert_eq!(keys, vec![(b"k".to_vec(), 5, ValueType::Value)]);
+        assert!(out.bytes_read > 0 && out.bytes_written > 0);
+    }
+
+    #[test]
+    fn snapshot_preserves_old_versions() {
+        let fx = Fixture::new();
+        let f1 = build_l0(&fx, &[("k", 5, ValueType::Value, "new")]);
+        let f2 = build_l0(&fx, &[("k", 3, ValueType::Value, "old")]);
+        let version = Version::empty(7, CompactionStyle::Leveled);
+        let task = CompactionTask {
+            level: 0,
+            output_level: 1,
+            inputs: vec![Arc::new(f1), Arc::new(f2)],
+            next_inputs: vec![],
+        };
+        // A snapshot at seq 3 still needs the old version.
+        let out = run_compaction(&fx.ctx(), &task, &version, 3, &|| fx.alloc()).unwrap();
+        let keys = read_table_keys(&fx, &out.files[0]);
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn tombstone_dropped_at_base_level() {
+        let fx = Fixture::new();
+        let f1 = build_l0(&fx, &[("dead", 7, ValueType::Deletion, "")]);
+        let version = Version::empty(7, CompactionStyle::Leveled);
+        let task = CompactionTask {
+            level: 0,
+            output_level: 1,
+            inputs: vec![Arc::new(f1)],
+            next_inputs: vec![],
+        };
+        let out = run_compaction(&fx.ctx(), &task, &version, 100, &|| fx.alloc()).unwrap();
+        assert!(out.files.is_empty(), "lone tombstone must vanish");
+    }
+
+    #[test]
+    fn tombstone_kept_when_deeper_level_overlaps() {
+        let fx = Fixture::new();
+        let f1 = build_l0(&fx, &[("dead", 7, ValueType::Deletion, "")]);
+        let deep = build_l0(&fx, &[("dead", 1, ValueType::Value, "zombie")]);
+        let version = Version::empty(7, CompactionStyle::Leveled).apply(&{
+            let mut e = VersionEdit::default();
+            e.added.push((3, deep));
+            e
+        });
+        let task = CompactionTask {
+            level: 0,
+            output_level: 1,
+            inputs: vec![Arc::new(f1)],
+            next_inputs: vec![],
+        };
+        let out = run_compaction(&fx.ctx(), &task, &version, 100, &|| fx.alloc()).unwrap();
+        let keys = read_table_keys(&fx, &out.files[0]);
+        assert_eq!(keys, vec![(b"dead".to_vec(), 7, ValueType::Deletion)]);
+    }
+
+    #[test]
+    fn fragmented_keeps_tombstone_when_target_level_overlaps() {
+        let fx = Fixture::new_styled(CompactionStyle::Fragmented);
+        let f1 = build_l0(&fx, &[("dead", 7, ValueType::Deletion, "")]);
+        let frag = build_l0(&fx, &[("dead", 1, ValueType::Value, "zombie")]);
+        let mut version = Version::empty(7, CompactionStyle::Fragmented);
+        version = version.apply(&{
+            let mut e = VersionEdit::default();
+            e.added.push((1, frag));
+            e
+        });
+        let task = CompactionTask {
+            level: 0,
+            output_level: 1,
+            inputs: vec![Arc::new(f1)],
+            next_inputs: vec![],
+        };
+        let out = run_compaction(&fx.ctx(), &task, &version, 100, &|| fx.alloc()).unwrap();
+        let keys = read_table_keys(&fx, &out.files[0]);
+        assert_eq!(keys.len(), 1, "tombstone must survive fragmented append");
+    }
+
+    #[test]
+    fn outputs_split_at_target_size() {
+        let fx = Fixture::new();
+        // ~32 KiB target file size in test options; write ~200 KiB.
+        let mem = Arc::new(MemTable::new());
+        for i in 0..2000u64 {
+            mem.add(i + 1, ValueType::Value, format!("key{i:08}").as_bytes(), &[7u8; 90]);
+        }
+        let files = flush_memtable(&fx.ctx(), &mem, &|| fx.alloc()).unwrap();
+        assert!(files.len() > 2, "expected several outputs, got {}", files.len());
+        // Ranges must be disjoint and ordered.
+        for pair in files.windows(2) {
+            assert!(
+                crate::types::internal_cmp(&pair[0].largest, &pair[1].smallest)
+                    == std::cmp::Ordering::Less
+            );
+        }
+        let total: u64 = files.iter().map(|f| f.entries).sum();
+        assert_eq!(total, 2000);
+    }
+}

@@ -1,0 +1,250 @@
+//! Internal iterator trait and the merging iterator.
+//!
+//! Internal iterators walk *internal* entries — `(user_key, seq, type)`
+//! keys with raw values — in internal-key order. User-visible iteration
+//! (deduplication, tombstone filtering, snapshot visibility) is layered on
+//! top in `db::DbIterator`. Iteration is forward-only throughout the
+//! engine: the paper's RANGE/SCAN operations are forward scans.
+
+use crate::types::internal_cmp;
+
+/// A forward-only cursor over internal entries.
+pub trait InternalIterator: Send {
+    /// Whether the cursor points at an entry.
+    fn valid(&self) -> bool;
+
+    /// Positions at the first entry.
+    fn seek_to_first(&mut self);
+
+    /// Positions at the first entry with internal key `>= target`.
+    fn seek(&mut self, target: &[u8]);
+
+    /// Advances to the next entry. Requires `valid()`.
+    fn next(&mut self);
+
+    /// Current internal key. Requires `valid()`.
+    fn key(&self) -> &[u8];
+
+    /// Current value. Requires `valid()`.
+    fn value(&self) -> &[u8];
+}
+
+/// An iterator over zero entries.
+pub struct EmptyIterator;
+
+impl InternalIterator for EmptyIterator {
+    fn valid(&self) -> bool {
+        false
+    }
+    fn seek_to_first(&mut self) {}
+    fn seek(&mut self, _target: &[u8]) {}
+    fn next(&mut self) {
+        panic!("next() on empty iterator");
+    }
+    fn key(&self) -> &[u8] {
+        panic!("key() on empty iterator");
+    }
+    fn value(&self) -> &[u8] {
+        panic!("value() on empty iterator");
+    }
+}
+
+/// Merges multiple sorted children into one sorted stream.
+///
+/// Children yielding equal internal keys (impossible inside one engine, but
+/// tolerated) are emitted in child order. A linear min-scan is used — the
+/// fan-in is small (a handful of memtables and levels), matching LevelDB's
+/// own choice.
+pub struct MergingIterator {
+    children: Vec<Box<dyn InternalIterator>>,
+    current: Option<usize>,
+}
+
+impl MergingIterator {
+    /// Builds a merging iterator over `children`.
+    pub fn new(children: Vec<Box<dyn InternalIterator>>) -> MergingIterator {
+        MergingIterator {
+            children,
+            current: None,
+        }
+    }
+
+    fn find_smallest(&mut self) {
+        let mut smallest: Option<usize> = None;
+        for (i, child) in self.children.iter().enumerate() {
+            if !child.valid() {
+                continue;
+            }
+            smallest = match smallest {
+                None => Some(i),
+                Some(s) => {
+                    if internal_cmp(child.key(), self.children[s].key()) == std::cmp::Ordering::Less
+                    {
+                        Some(i)
+                    } else {
+                        Some(s)
+                    }
+                }
+            };
+        }
+        self.current = smallest;
+    }
+}
+
+impl InternalIterator for MergingIterator {
+    fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn seek_to_first(&mut self) {
+        for child in &mut self.children {
+            child.seek_to_first();
+        }
+        self.find_smallest();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        for child in &mut self.children {
+            child.seek(target);
+        }
+        self.find_smallest();
+    }
+
+    fn next(&mut self) {
+        let cur = self.current.expect("next() on invalid merging iterator");
+        self.children[cur].next();
+        self.find_smallest();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.children[self.current.expect("key() on invalid iterator")].key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.children[self.current.expect("value() on invalid iterator")].value()
+    }
+}
+
+/// A sorted in-memory iterator used by tests and small metadata scans.
+pub struct VecIterator {
+    /// `(internal_key, value)` pairs sorted by internal key.
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    pos: usize,
+}
+
+impl VecIterator {
+    /// Builds an iterator; `entries` are sorted internally.
+    pub fn new(mut entries: Vec<(Vec<u8>, Vec<u8>)>) -> VecIterator {
+        entries.sort_by(|a, b| internal_cmp(&a.0, &b.0));
+        VecIterator {
+            entries,
+            pos: usize::MAX,
+        }
+    }
+}
+
+impl InternalIterator for VecIterator {
+    fn valid(&self) -> bool {
+        self.pos < self.entries.len()
+    }
+
+    fn seek_to_first(&mut self) {
+        self.pos = 0;
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.pos = self
+            .entries
+            .partition_point(|(k, _)| internal_cmp(k, target) == std::cmp::Ordering::Less);
+    }
+
+    fn next(&mut self) {
+        assert!(self.valid());
+        self.pos += 1;
+    }
+
+    fn key(&self) -> &[u8] {
+        &self.entries[self.pos].0
+    }
+
+    fn value(&self) -> &[u8] {
+        &self.entries[self.pos].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{make_internal_key, user_key, ValueType};
+
+    fn ik(k: &[u8], seq: u64) -> Vec<u8> {
+        make_internal_key(k, seq, ValueType::Value)
+    }
+
+    fn drain(it: &mut dyn InternalIterator) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while it.valid() {
+            out.push(user_key(it.key()).to_vec());
+            it.next();
+        }
+        out
+    }
+
+    #[test]
+    fn empty_children() {
+        let mut m = MergingIterator::new(vec![Box::new(EmptyIterator), Box::new(EmptyIterator)]);
+        m.seek_to_first();
+        assert!(!m.valid());
+        m.seek(&ik(b"a", 1));
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_streams() {
+        let a = VecIterator::new(vec![(ik(b"a", 1), b"1".to_vec()), (ik(b"c", 1), b"3".to_vec())]);
+        let b = VecIterator::new(vec![(ik(b"b", 1), b"2".to_vec()), (ik(b"d", 1), b"4".to_vec())]);
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+        m.seek_to_first();
+        assert_eq!(
+            drain(&mut m),
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
+    }
+
+    #[test]
+    fn merge_respects_seq_ordering_within_key() {
+        // Same user key in two children: newer (higher seq) must win order.
+        let a = VecIterator::new(vec![(ik(b"k", 5), b"old".to_vec())]);
+        let b = VecIterator::new(vec![(ik(b"k", 9), b"new".to_vec())]);
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+        m.seek_to_first();
+        assert!(m.valid());
+        assert_eq!(m.value(), b"new");
+        m.next();
+        assert_eq!(m.value(), b"old");
+        m.next();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merge_seek_lands_on_lower_bound() {
+        let a = VecIterator::new(vec![(ik(b"apple", 1), vec![]), (ik(b"melon", 1), vec![])]);
+        let b = VecIterator::new(vec![(ik(b"banana", 1), vec![])]);
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+        m.seek(&make_internal_key(b"b", u64::MAX >> 8, ValueType::Value));
+        assert!(m.valid());
+        assert_eq!(user_key(m.key()), b"banana");
+        assert_eq!(drain(&mut m), vec![b"banana".to_vec(), b"melon".to_vec()]);
+    }
+
+    #[test]
+    fn vec_iterator_sorts_input() {
+        let mut v = VecIterator::new(vec![
+            (ik(b"z", 1), vec![]),
+            (ik(b"a", 1), vec![]),
+            (ik(b"m", 1), vec![]),
+        ]);
+        v.seek_to_first();
+        assert_eq!(drain(&mut v), vec![b"a".to_vec(), b"m".to_vec(), b"z".to_vec()]);
+    }
+}

@@ -1,0 +1,641 @@
+//! SSTable builder and reader.
+//!
+//! File layout:
+//!
+//! ```text
+//! [data block + trailer]*
+//! [filter block (bloom) + trailer]
+//! [index block + trailer]
+//! footer: filter_handle (16) | index_handle (16) | entries (8) | magic (8)
+//! ```
+//!
+//! Each block trailer is `type: u8 (0 = raw) | masked_crc32c: fixed32` over
+//! the block bytes plus the type byte. Index entries map the last internal
+//! key of each data block to its [`BlockHandle`].
+
+use std::sync::Arc;
+
+use p2kvs_storage::{RandomAccessFile, WritableFile};
+use p2kvs_util::coding::{get_fixed64, put_fixed64};
+use p2kvs_util::crc32c;
+
+use super::block::{Block, BlockBuilder, BlockIter};
+use super::bloom::BloomPolicy;
+use super::cache::BlockCache;
+use crate::error::{Error, Result};
+use crate::iterator::InternalIterator;
+use crate::types::user_key;
+
+const MAGIC: u64 = 0x7032_6b76_735f_7373; // "p2kvs_ss"
+const FOOTER_SIZE: usize = 16 + 16 + 8 + 8;
+const BLOCK_TRAILER_SIZE: usize = 5;
+
+/// Location of a block within the table file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHandle {
+    /// Byte offset of the block.
+    pub offset: u64,
+    /// Length of the block excluding its trailer.
+    pub size: u64,
+}
+
+impl BlockHandle {
+    fn encode(&self, dst: &mut Vec<u8>) {
+        put_fixed64(dst, self.offset);
+        put_fixed64(dst, self.size);
+    }
+
+    fn decode(src: &[u8]) -> BlockHandle {
+        BlockHandle {
+            offset: get_fixed64(src),
+            size: get_fixed64(&src[8..]),
+        }
+    }
+}
+
+/// Configuration subset needed to build tables.
+#[derive(Debug, Clone, Copy)]
+pub struct TableConfig {
+    /// Target uncompressed data-block size.
+    pub block_size: usize,
+    /// Restart interval of data blocks.
+    pub restart_interval: usize,
+    /// Bloom bits per key; 0 disables the filter block.
+    pub bloom_bits_per_key: usize,
+}
+
+impl From<&crate::options::Options> for TableConfig {
+    fn from(o: &crate::options::Options) -> Self {
+        TableConfig {
+            block_size: o.block_size,
+            restart_interval: o.block_restart_interval,
+            bloom_bits_per_key: o.bloom_bits_per_key,
+        }
+    }
+}
+
+/// Summary of a finished table.
+#[derive(Debug, Clone)]
+pub struct TableSummary {
+    /// Final file size in bytes.
+    pub file_size: u64,
+    /// Smallest internal key.
+    pub smallest: Vec<u8>,
+    /// Largest internal key.
+    pub largest: Vec<u8>,
+    /// Number of entries.
+    pub entries: u64,
+}
+
+/// Streams sorted entries into an SSTable file.
+pub struct TableBuilder {
+    file: Box<dyn WritableFile>,
+    config: TableConfig,
+    data_block: BlockBuilder,
+    index_block: BlockBuilder,
+    /// User keys for the table-wide bloom filter.
+    key_hashes: Vec<Vec<u8>>,
+    offset: u64,
+    entries: u64,
+    smallest: Option<Vec<u8>>,
+    last_key: Vec<u8>,
+}
+
+impl TableBuilder {
+    /// Starts a table in `file`.
+    pub fn new(file: Box<dyn WritableFile>, config: TableConfig) -> TableBuilder {
+        TableBuilder {
+            file,
+            data_block: BlockBuilder::new(config.restart_interval),
+            index_block: BlockBuilder::new(1),
+            config,
+            key_hashes: Vec::new(),
+            offset: 0,
+            entries: 0,
+            smallest: None,
+            last_key: Vec::new(),
+        }
+    }
+
+    /// Adds an entry; internal keys must arrive strictly increasing.
+    pub fn add(&mut self, ikey: &[u8], value: &[u8]) -> Result<()> {
+        if self.smallest.is_none() {
+            self.smallest = Some(ikey.to_vec());
+        }
+        if self.config.bloom_bits_per_key > 0 {
+            self.key_hashes.push(user_key(ikey).to_vec());
+        }
+        self.data_block.add(ikey, value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(ikey);
+        self.entries += 1;
+        if self.data_block.size_estimate() >= self.config.block_size {
+            self.flush_data_block()?;
+        }
+        Ok(())
+    }
+
+    /// Estimated final file size so far.
+    pub fn estimated_size(&self) -> u64 {
+        self.offset + self.data_block.size_estimate() as u64
+    }
+
+    /// Number of entries added so far.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    fn flush_data_block(&mut self) -> Result<()> {
+        if self.data_block.is_empty() {
+            return Ok(());
+        }
+        let block = std::mem::replace(
+            &mut self.data_block,
+            BlockBuilder::new(self.config.restart_interval),
+        );
+        let last_key = block.last_key().to_vec();
+        let handle = self.write_block(&block.finish())?;
+        let mut handle_enc = Vec::with_capacity(16);
+        handle.encode(&mut handle_enc);
+        self.index_block.add(&last_key, &handle_enc);
+        Ok(())
+    }
+
+    fn write_block(&mut self, contents: &[u8]) -> Result<BlockHandle> {
+        let handle = BlockHandle {
+            offset: self.offset,
+            size: contents.len() as u64,
+        };
+        self.file.append(contents)?;
+        let mut trailer = [0u8; BLOCK_TRAILER_SIZE];
+        trailer[0] = 0; // Raw, uncompressed.
+        let crc = crc32c::mask(crc32c::extend(crc32c::crc32c(contents), &trailer[..1]));
+        trailer[1..].copy_from_slice(&crc.to_le_bytes());
+        self.file.append(&trailer)?;
+        self.offset += contents.len() as u64 + BLOCK_TRAILER_SIZE as u64;
+        Ok(handle)
+    }
+
+    /// Finishes the table: writes filter, index, and footer, then syncs.
+    pub fn finish(mut self) -> Result<TableSummary> {
+        self.flush_data_block()?;
+        // Filter block.
+        let filter_handle = if self.config.bloom_bits_per_key > 0 {
+            let mut filter = Vec::new();
+            let keys: Vec<&[u8]> = self.key_hashes.iter().map(|k| k.as_slice()).collect();
+            BloomPolicy::new(self.config.bloom_bits_per_key).create_filter(&keys, &mut filter);
+            self.write_block(&filter)?
+        } else {
+            BlockHandle { offset: 0, size: 0 }
+        };
+        // Index block.
+        let index = std::mem::replace(&mut self.index_block, BlockBuilder::new(1));
+        let index_handle = self.write_block(&index.finish())?;
+        // Footer.
+        let mut footer = Vec::with_capacity(FOOTER_SIZE);
+        filter_handle.encode(&mut footer);
+        index_handle.encode(&mut footer);
+        put_fixed64(&mut footer, self.entries);
+        put_fixed64(&mut footer, MAGIC);
+        self.file.append(&footer)?;
+        self.file.sync()?;
+        Ok(TableSummary {
+            file_size: self.offset + FOOTER_SIZE as u64,
+            smallest: self.smallest.unwrap_or_default(),
+            largest: self.last_key.clone(),
+            entries: self.entries,
+        })
+    }
+}
+
+/// Reads an SSTable.
+pub struct TableReader {
+    file: Box<dyn RandomAccessFile>,
+    /// Unique id for block-cache keys.
+    table_id: u64,
+    cache: Option<Arc<BlockCache>>,
+    index: Arc<Block>,
+    filter: Option<Vec<u8>>,
+    /// Number of entries recorded in the footer.
+    pub entries: u64,
+}
+
+impl TableReader {
+    /// Opens a table of `size` bytes from `file`.
+    pub fn open(
+        file: Box<dyn RandomAccessFile>,
+        size: u64,
+        table_id: u64,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<TableReader> {
+        if size < FOOTER_SIZE as u64 {
+            return Err(Error::corruption("table smaller than footer"));
+        }
+        let mut footer = [0u8; FOOTER_SIZE];
+        file.read_at(size - FOOTER_SIZE as u64, &mut footer)?;
+        if get_fixed64(&footer[40..]) != MAGIC {
+            return Err(Error::corruption("bad table magic"));
+        }
+        let filter_handle = BlockHandle::decode(&footer[..16]);
+        let index_handle = BlockHandle::decode(&footer[16..32]);
+        let entries = get_fixed64(&footer[32..40]);
+        let index_bytes = Self::read_block_raw(&*file, index_handle)?;
+        let index = Arc::new(Block::new(Arc::new(index_bytes))?);
+        let filter = if filter_handle.size > 0 {
+            Some(Self::read_block_raw(&*file, filter_handle)?)
+        } else {
+            None
+        };
+        Ok(TableReader {
+            file,
+            table_id,
+            cache,
+            index,
+            filter,
+            entries,
+        })
+    }
+
+    /// Reads and verifies a block's bytes (no cache).
+    fn read_block_raw(file: &dyn RandomAccessFile, handle: BlockHandle) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; handle.size as usize + BLOCK_TRAILER_SIZE];
+        file.read_at(handle.offset, &mut buf)?;
+        let (contents, trailer) = buf.split_at(handle.size as usize);
+        let stored = u32::from_le_bytes(trailer[1..5].try_into().expect("4 bytes"));
+        let actual = crc32c::mask(crc32c::extend(crc32c::crc32c(contents), &trailer[..1]));
+        if stored != actual {
+            return Err(Error::corruption(format!(
+                "block crc mismatch at offset {}",
+                handle.offset
+            )));
+        }
+        let mut out = buf;
+        out.truncate(handle.size as usize);
+        Ok(out)
+    }
+
+    /// Loads a data block, via the cache when one is configured.
+    fn read_block(&self, handle: BlockHandle, skip_cache: bool) -> Result<Arc<Block>> {
+        let key = (self.table_id, handle.offset);
+        if !skip_cache {
+            if let Some(cache) = &self.cache {
+                if let Some(block) = cache.get(&key) {
+                    return Ok(block);
+                }
+            }
+        }
+        let bytes = Self::read_block_raw(&*self.file, handle)?;
+        let block = Arc::new(Block::new(Arc::new(bytes))?);
+        if !skip_cache {
+            if let Some(cache) = &self.cache {
+                cache.insert(key, block.clone());
+            }
+        }
+        Ok(block)
+    }
+
+    /// Whether the bloom filter rules out `ukey`.
+    pub fn may_contain(&self, ukey: &[u8]) -> bool {
+        match &self.filter {
+            Some(f) => BloomPolicy::key_may_match(ukey, f),
+            None => true,
+        }
+    }
+
+    /// Point lookup: the first entry with internal key `>= ikey`, if it is
+    /// in this table. The caller checks user-key equality and visibility.
+    pub fn get(&self, ikey: &[u8], skip_cache: bool) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        if !self.may_contain(user_key(ikey)) {
+            return Ok(None);
+        }
+        let mut index_iter = self.index.iter();
+        index_iter.seek(ikey);
+        if !index_iter.valid() {
+            return Ok(None);
+        }
+        let handle = BlockHandle::decode(index_iter.value());
+        let block = self.read_block(handle, skip_cache)?;
+        let mut it = block.iter();
+        it.seek(ikey);
+        if !it.valid() {
+            return Ok(None);
+        }
+        Ok(Some((it.key().to_vec(), it.value().to_vec())))
+    }
+
+    /// Full iterator over the table.
+    pub fn iter(self: &Arc<Self>) -> TableIterator {
+        TableIterator {
+            table: self.clone(),
+            index_iter: self.index.iter(),
+            data_iter: None,
+        }
+    }
+}
+
+/// Two-level iterator: index block → data blocks.
+pub struct TableIterator {
+    table: Arc<TableReader>,
+    index_iter: BlockIter,
+    data_iter: Option<BlockIter>,
+}
+
+impl TableIterator {
+    fn load_data_block(&mut self) {
+        self.data_iter = None;
+        if !self.index_iter.valid() {
+            return;
+        }
+        let handle = BlockHandle::decode(self.index_iter.value());
+        if let Ok(block) = self.table.read_block(handle, false) {
+            self.data_iter = Some(block.iter());
+        }
+    }
+
+    /// Advances the index until the data iterator is valid or exhausted.
+    fn skip_empty_blocks(&mut self) {
+        while self
+            .data_iter
+            .as_ref()
+            .map(|it| !it.valid())
+            .unwrap_or(false)
+        {
+            if !self.index_iter.valid() {
+                self.data_iter = None;
+                return;
+            }
+            self.index_iter.next();
+            self.load_data_block();
+            if let Some(it) = &mut self.data_iter {
+                it.seek_to_first();
+            }
+        }
+    }
+}
+
+impl InternalIterator for TableIterator {
+    fn valid(&self) -> bool {
+        self.data_iter.as_ref().map(BlockIter::valid).unwrap_or(false)
+    }
+
+    fn seek_to_first(&mut self) {
+        self.index_iter.seek_to_first();
+        self.load_data_block();
+        if let Some(it) = &mut self.data_iter {
+            it.seek_to_first();
+        }
+        self.skip_empty_blocks();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.index_iter.seek(target);
+        self.load_data_block();
+        if let Some(it) = &mut self.data_iter {
+            it.seek(target);
+        }
+        self.skip_empty_blocks();
+    }
+
+    fn next(&mut self) {
+        let it = self.data_iter.as_mut().expect("next() on invalid iterator");
+        it.next();
+        self.skip_empty_blocks();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("invalid").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("invalid").value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{make_internal_key, seq_and_type, ValueType};
+    use p2kvs_storage::{Env, MemEnv};
+    use std::path::Path;
+
+    fn config() -> TableConfig {
+        TableConfig {
+            block_size: 512,
+            restart_interval: 4,
+            bloom_bits_per_key: 10,
+        }
+    }
+
+    fn build_table(env: &MemEnv, path: &Path, n: usize) -> (TableSummary, Arc<TableReader>) {
+        let mut b = TableBuilder::new(env.new_writable(path).unwrap(), config());
+        for i in 0..n {
+            let ikey = make_internal_key(format!("key{i:06}").as_bytes(), 1, ValueType::Value);
+            b.add(&ikey, format!("value{i}").as_bytes()).unwrap();
+        }
+        let summary = b.finish().unwrap();
+        let file = env.new_random_access(path).unwrap();
+        let reader =
+            Arc::new(TableReader::open(file, summary.file_size, 1, None).unwrap());
+        (summary, reader)
+    }
+
+    #[test]
+    fn build_and_get_all_keys() {
+        let env = MemEnv::new();
+        let (summary, reader) = build_table(&env, Path::new("t.sst"), 1000);
+        assert_eq!(summary.entries, 1000);
+        assert_eq!(reader.entries, 1000);
+        for i in (0..1000).step_by(17) {
+            let ikey = make_internal_key(
+                format!("key{i:06}").as_bytes(),
+                u64::MAX >> 8,
+                ValueType::Value,
+            );
+            let (k, v) = reader.get(&ikey, false).unwrap().unwrap();
+            assert_eq!(user_key(&k), format!("key{i:06}").as_bytes());
+            assert_eq!(v, format!("value{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn get_missing_key_filtered_by_bloom() {
+        let env = MemEnv::new();
+        let (_, reader) = build_table(&env, Path::new("t.sst"), 100);
+        let ikey = make_internal_key(b"not-present", u64::MAX >> 8, ValueType::Value);
+        // Bloom should reject the vast majority of absent keys without IO.
+        let mut rejected = 0;
+        for i in 0..100 {
+            let ikey = make_internal_key(
+                format!("absent{i:04}").as_bytes(),
+                u64::MAX >> 8,
+                ValueType::Value,
+            );
+            if !reader.may_contain(user_key(&ikey)) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 90, "bloom rejected only {rejected}/100");
+        // And a full get on a missing key returns a non-matching or absent
+        // entry rather than a wrong one.
+        if let Some((k, _)) = reader.get(&ikey, false).unwrap() {
+            assert_ne!(user_key(&k), b"not-present");
+        }
+    }
+
+    #[test]
+    fn summary_bounds_are_correct() {
+        let env = MemEnv::new();
+        let (summary, _) = build_table(&env, Path::new("t.sst"), 50);
+        assert_eq!(user_key(&summary.smallest), b"key000000");
+        assert_eq!(user_key(&summary.largest), b"key000049");
+        assert_eq!(
+            env.file_size(Path::new("t.sst")).unwrap(),
+            summary.file_size
+        );
+    }
+
+    #[test]
+    fn iterator_walks_everything_in_order() {
+        let env = MemEnv::new();
+        let (_, reader) = build_table(&env, Path::new("t.sst"), 500);
+        let mut it = reader.iter();
+        it.seek_to_first();
+        let mut count = 0;
+        let mut last: Option<Vec<u8>> = None;
+        while it.valid() {
+            let k = user_key(it.key()).to_vec();
+            if let Some(prev) = &last {
+                assert!(*prev < k);
+            }
+            last = Some(k);
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn iterator_seek_mid_table() {
+        let env = MemEnv::new();
+        let (_, reader) = build_table(&env, Path::new("t.sst"), 300);
+        let mut it = reader.iter();
+        it.seek(&make_internal_key(b"key000150", u64::MAX >> 8, ValueType::Value));
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"key000150");
+        it.seek(&make_internal_key(b"zzzz", u64::MAX >> 8, ValueType::Value));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn tombstones_survive_roundtrip() {
+        let env = MemEnv::new();
+        let path = Path::new("d.sst");
+        let mut b = TableBuilder::new(env.new_writable(path).unwrap(), config());
+        let del = make_internal_key(b"gone", 5, ValueType::Deletion);
+        b.add(&del, b"").unwrap();
+        let put = make_internal_key(b"here", 6, ValueType::Value);
+        b.add(&put, b"v").unwrap();
+        let summary = b.finish().unwrap();
+        let reader = Arc::new(
+            TableReader::open(
+                env.new_random_access(path).unwrap(),
+                summary.file_size,
+                2,
+                None,
+            )
+            .unwrap(),
+        );
+        let (k, _) = reader
+            .get(
+                &make_internal_key(b"gone", u64::MAX >> 8, ValueType::Value),
+                false,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(seq_and_type(&k), (5, ValueType::Deletion));
+    }
+
+    #[test]
+    fn cache_serves_repeat_reads() {
+        let env = MemEnv::new();
+        let path = Path::new("c.sst");
+        let mut b = TableBuilder::new(env.new_writable(path).unwrap(), config());
+        for i in 0..200 {
+            let ikey = make_internal_key(format!("k{i:05}").as_bytes(), 1, ValueType::Value);
+            b.add(&ikey, b"v").unwrap();
+        }
+        let summary = b.finish().unwrap();
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let reader = Arc::new(
+            TableReader::open(
+                env.new_random_access(path).unwrap(),
+                summary.file_size,
+                3,
+                Some(cache.clone()),
+            )
+            .unwrap(),
+        );
+        let ikey = make_internal_key(b"k00007", u64::MAX >> 8, ValueType::Value);
+        let read0 = env.io_stats().bytes_read;
+        reader.get(&ikey, false).unwrap().unwrap();
+        let read1 = env.io_stats().bytes_read;
+        reader.get(&ikey, false).unwrap().unwrap();
+        let read2 = env.io_stats().bytes_read;
+        assert!(read1 > read0, "first read hits the file");
+        assert_eq!(read2, read1, "second read served from cache");
+        let (hits, _) = cache.stats();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn corrupt_table_detected() {
+        let env = MemEnv::new();
+        let path = Path::new("x.sst");
+        let (summary, _) = build_table(&env, Path::new("x.sst"), 100);
+        let mut data = p2kvs_storage::env::read_all(&env, path).unwrap();
+        data[10] ^= 0xff;
+        p2kvs_storage::env::write_all(&env, path, &data).unwrap();
+        let reader = TableReader::open(
+            env.new_random_access(path).unwrap(),
+            summary.file_size,
+            4,
+            None,
+        )
+        .unwrap();
+        let ikey = make_internal_key(b"key000000", u64::MAX >> 8, ValueType::Value);
+        assert!(matches!(reader.get(&ikey, false), Err(Error::Corruption(_))));
+        // Truncated file fails to open.
+        assert!(TableReader::open(
+            env.new_random_access(path).unwrap(),
+            10,
+            5,
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let env = MemEnv::new();
+        let path = Path::new("e.sst");
+        let b = TableBuilder::new(env.new_writable(path).unwrap(), config());
+        let summary = b.finish().unwrap();
+        assert_eq!(summary.entries, 0);
+        // An empty table still has a valid (single restart, zero entry)
+        // index? No: the index block would be empty, which Block::new
+        // rejects only if it has no restart array. BlockBuilder always
+        // writes one restart, so the open must succeed.
+        let reader = Arc::new(
+            TableReader::open(
+                env.new_random_access(path).unwrap(),
+                summary.file_size,
+                6,
+                None,
+            )
+            .unwrap(),
+        );
+        let mut it = reader.iter();
+        it.seek_to_first();
+        assert!(!it.valid());
+    }
+}

@@ -1,0 +1,204 @@
+//! Engine statistics, including the write-path latency breakdown.
+//!
+//! The paper's root-cause analysis (Fig 6) splits user-thread write latency
+//! into **WAL**, **MemTable**, **WAL lock**, **MemTable lock**, and
+//! **Others**. The write queue records exactly those components per request
+//! into [`WriteBreakdown`]; the `repro fig6` harness prints the resulting
+//! percentages.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sum-and-count accumulator (nanoseconds).
+#[derive(Default)]
+pub struct LatencyAccumulator {
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyAccumulator {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum_ns() as f64 / c as f64
+        }
+    }
+}
+
+/// Per-write breakdown of where a user thread's time went.
+#[derive(Default)]
+pub struct WriteBreakdown {
+    /// Executing write-ahead logging (encode + append + flush).
+    pub wal: LatencyAccumulator,
+    /// Inserting into the MemTable (skiplist update).
+    pub memtable: LatencyAccumulator,
+    /// Waiting for the group-logging leader (lock acquisition + wakeup).
+    pub wal_lock: LatencyAccumulator,
+    /// Synchronizing with the group during MemTable insertion.
+    pub memtable_lock: LatencyAccumulator,
+    /// Everything else (allocation, queueing, stalls).
+    pub other: LatencyAccumulator,
+}
+
+/// A snapshot of the five breakdown components, averaged per write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownSnapshot {
+    pub wal_us: f64,
+    pub memtable_us: f64,
+    pub wal_lock_us: f64,
+    pub memtable_lock_us: f64,
+    pub other_us: f64,
+}
+
+impl BreakdownSnapshot {
+    /// Total average write latency in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.wal_us + self.memtable_us + self.wal_lock_us + self.memtable_lock_us + self.other_us
+    }
+
+    /// Percentage of the total spent in each component, in declaration
+    /// order (WAL, MemTable, WAL lock, MemTable lock, Others).
+    pub fn percentages(&self) -> [f64; 5] {
+        let t = self.total_us();
+        if t == 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.wal_us / t * 100.0,
+            self.memtable_us / t * 100.0,
+            self.wal_lock_us / t * 100.0,
+            self.memtable_lock_us / t * 100.0,
+            self.other_us / t * 100.0,
+        ]
+    }
+}
+
+impl WriteBreakdown {
+    /// Averages per component, in microseconds.
+    pub fn snapshot(&self) -> BreakdownSnapshot {
+        BreakdownSnapshot {
+            wal_us: self.wal.mean_ns() / 1e3,
+            memtable_us: self.memtable.mean_ns() / 1e3,
+            wal_lock_us: self.wal_lock.mean_ns() / 1e3,
+            memtable_lock_us: self.memtable_lock.mean_ns() / 1e3,
+            other_us: self.other.mean_ns() / 1e3,
+        }
+    }
+}
+
+/// Cumulative counters for one database instance.
+#[derive(Default)]
+pub struct DbStats {
+    /// Write-path latency breakdown.
+    pub breakdown: WriteBreakdown,
+    /// Completed write requests (user-visible, not groups).
+    pub writes: AtomicU64,
+    /// Write groups committed (leaders).
+    pub write_groups: AtomicU64,
+    /// Keys written.
+    pub keys_written: AtomicU64,
+    /// User bytes written (key+value payload).
+    pub user_bytes_written: AtomicU64,
+    /// Point lookups served.
+    pub gets: AtomicU64,
+    /// Multiget batches served.
+    pub multigets: AtomicU64,
+    /// Gets answered from a MemTable.
+    pub memtable_hits: AtomicU64,
+    /// SST probes skipped thanks to bloom filters.
+    pub bloom_skips: AtomicU64,
+    /// MemTable flushes (minor compactions).
+    pub flushes: AtomicU64,
+    /// Major compactions run.
+    pub compactions: AtomicU64,
+    /// Bytes read by compactions.
+    pub compaction_bytes_read: AtomicU64,
+    /// Bytes written by compactions (incl. flushes).
+    pub compaction_bytes_written: AtomicU64,
+    /// Nanoseconds writers spent stalled on L0/imm backpressure.
+    pub stall_ns: AtomicU64,
+    /// CPU time consumed by background flush/compaction jobs.
+    pub bg_busy: LatencyAccumulator,
+}
+
+impl DbStats {
+    /// Creates zeroed stats.
+    pub fn new() -> DbStats {
+        DbStats::default()
+    }
+
+    /// Adds `d` to the stall-time counter.
+    pub fn add_stall(&self, d: Duration) {
+        self.stall_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Convenience relaxed add.
+    #[inline]
+    pub fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_math() {
+        let a = LatencyAccumulator::default();
+        assert_eq!(a.mean_ns(), 0.0);
+        a.record(100);
+        a.record(300);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum_ns(), 400);
+        assert_eq!(a.mean_ns(), 200.0);
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let b = WriteBreakdown::default();
+        b.wal.record(2_100);
+        b.memtable.record(2_900);
+        b.wal_lock.record(1_000);
+        b.memtable_lock.record(500);
+        b.other.record(3_500);
+        let snap = b.snapshot();
+        let total: f64 = snap.percentages().iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((snap.total_us() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = WriteBreakdown::default();
+        assert_eq!(b.snapshot().percentages(), [0.0; 5]);
+    }
+
+    #[test]
+    fn stall_accumulates() {
+        let s = DbStats::new();
+        s.add_stall(Duration::from_micros(5));
+        s.add_stall(Duration::from_micros(7));
+        assert_eq!(s.stall_ns.load(Ordering::Relaxed), 12_000);
+    }
+}

@@ -1,0 +1,825 @@
+//! Versions: the immutable view of the LSM shape, and the version set that
+//! evolves it through manifest-logged edits.
+//!
+//! * [`Version`] — per-level file lists. L0 (and every level under the
+//!   fragmented policy) may contain overlapping files and is searched
+//!   newest-file-first; deeper leveled levels are disjoint and binary
+//!   searched.
+//! * [`VersionSet`] — owns the current version, the `MANIFEST` log, the
+//!   file-number allocator and compaction picking.
+
+pub mod edit;
+pub mod table_cache;
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use p2kvs_storage::EnvRef;
+
+use crate::error::{Error, Result};
+use crate::iterator::InternalIterator;
+use crate::options::{CompactionStyle, Options};
+use crate::sst::TableIterator;
+use crate::types::{
+    file_path, internal_cmp, seq_and_type, user_key, FileKind, SequenceNumber, ValueType,
+    CURRENT_FILE,
+};
+use crate::wal::{LogReader, LogWriter};
+use edit::{FileMetaData, FileRef, VersionEdit};
+use table_cache::TableCache;
+
+/// Outcome of a point lookup below the memtables.
+#[derive(Debug, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// Live value.
+    Found(Vec<u8>),
+    /// Tombstone visible at the snapshot.
+    Deleted,
+    /// No visible entry.
+    NotFound,
+}
+
+/// An immutable snapshot of the file layout.
+pub struct Version {
+    /// Files per level. Ordering invariants:
+    /// * L0 — descending file number (newest first).
+    /// * Leveled L1+ — ascending smallest key, ranges disjoint.
+    /// * Fragmented L1+ — descending file number (overlap allowed).
+    pub levels: Vec<Vec<FileRef>>,
+    style: CompactionStyle,
+}
+
+impl Version {
+    /// An empty version with `n` levels.
+    pub fn empty(n: usize, style: CompactionStyle) -> Version {
+        Version {
+            levels: vec![Vec::new(); n],
+            style,
+        }
+    }
+
+    /// Whether a level may contain overlapping files.
+    pub fn level_overlaps(&self, level: usize) -> bool {
+        level == 0 || self.style == CompactionStyle::Fragmented
+    }
+
+    /// Total bytes in `level`.
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.levels[level].iter().map(|f| f.size).sum()
+    }
+
+    /// Number of files across all levels.
+    pub fn num_files(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// File numbers referenced by this version.
+    pub fn live_files(&self) -> HashSet<u64> {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|f| f.number)
+            .collect()
+    }
+
+    /// Whether `file`'s key range covers `ukey`.
+    fn file_covers(file: &FileMetaData, ukey: &[u8]) -> bool {
+        user_key(&file.smallest) <= ukey && ukey <= user_key(&file.largest)
+    }
+
+    /// Files of `level` whose user-key range intersects `[begin, end]`
+    /// (`None` = unbounded), in the level's search order.
+    pub fn overlapping(
+        &self,
+        level: usize,
+        begin: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Vec<FileRef> {
+        self.levels[level]
+            .iter()
+            .filter(|f| {
+                let after = begin
+                    .map(|b| user_key(&f.largest) < b)
+                    .unwrap_or(false);
+                let before = end.map(|e| user_key(&f.smallest) > e).unwrap_or(false);
+                !after && !before
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// The candidate files for a point lookup of `ukey` in `level`, in the
+    /// order they must be searched.
+    fn candidates(&self, level: usize, ukey: &[u8]) -> Vec<FileRef> {
+        if self.level_overlaps(level) {
+            // Newest first (invariant: sorted by number descending).
+            self.levels[level]
+                .iter()
+                .filter(|f| Self::file_covers(f, ukey))
+                .cloned()
+                .collect()
+        } else {
+            // Binary search the disjoint level.
+            let files = &self.levels[level];
+            let idx = files.partition_point(|f| user_key(&f.largest) < ukey);
+            match files.get(idx) {
+                Some(f) if Self::file_covers(f, ukey) => vec![f.clone()],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    /// Looks up `ukey` as of `snapshot` through all levels.
+    pub fn get(
+        &self,
+        ukey: &[u8],
+        snapshot: SequenceNumber,
+        cache: &TableCache,
+        skip_block_cache: bool,
+        stats: Option<&crate::stats::DbStats>,
+    ) -> Result<GetOutcome> {
+        let lookup = crate::types::make_internal_key(ukey, snapshot, ValueType::Value);
+        for level in 0..self.levels.len() {
+            for file in self.candidates(level, ukey) {
+                let reader = cache.get(file.number, file.size)?;
+                if !reader.may_contain(ukey) {
+                    if let Some(s) = stats {
+                        crate::stats::DbStats::bump(&s.bloom_skips, 1);
+                    }
+                    continue;
+                }
+                if let Some((ikey, value)) = reader.get(&lookup, skip_block_cache)? {
+                    if user_key(&ikey) == ukey {
+                        return Ok(match seq_and_type(&ikey).1 {
+                            ValueType::Value => GetOutcome::Found(value),
+                            ValueType::Deletion => GetOutcome::Deleted,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(GetOutcome::NotFound)
+    }
+
+    /// Builds the internal iterators covering all levels.
+    pub fn iterators(&self, cache: &Arc<TableCache>) -> Result<Vec<Box<dyn InternalIterator>>> {
+        let mut out: Vec<Box<dyn InternalIterator>> = Vec::new();
+        for level in 0..self.levels.len() {
+            if self.level_overlaps(level) {
+                for f in &self.levels[level] {
+                    let reader = cache.get(f.number, f.size)?;
+                    out.push(Box::new(reader.iter()));
+                }
+            } else if !self.levels[level].is_empty() {
+                out.push(Box::new(LevelFileIterator::new(
+                    self.levels[level].clone(),
+                    cache.clone(),
+                )));
+            }
+        }
+        Ok(out)
+    }
+
+    fn sort_level(files: &mut Vec<FileRef>, level: usize, style: CompactionStyle) {
+        if level == 0 || style == CompactionStyle::Fragmented {
+            files.sort_by(|a, b| b.number.cmp(&a.number));
+        } else {
+            files.sort_by(|a, b| internal_cmp(&a.smallest, &b.smallest));
+        }
+    }
+
+    /// Applies `edit`, producing the successor version.
+    pub fn apply(&self, edit: &VersionEdit) -> Version {
+        let mut levels = self.levels.clone();
+        for (level, num) in &edit.deleted {
+            levels[*level].retain(|f| f.number != *num);
+        }
+        for (level, meta) in &edit.added {
+            levels[*level].push(Arc::new(meta.clone()));
+        }
+        for (level, files) in levels.iter_mut().enumerate() {
+            Self::sort_level(files, level, self.style);
+        }
+        Version {
+            levels,
+            style: self.style,
+        }
+    }
+}
+
+/// Concatenating iterator over a disjoint (leveled) level.
+pub struct LevelFileIterator {
+    files: Vec<FileRef>,
+    cache: Arc<TableCache>,
+    index: usize,
+    current: Option<TableIterator>,
+}
+
+impl LevelFileIterator {
+    /// Creates an iterator over `files` (sorted by smallest key).
+    pub fn new(files: Vec<FileRef>, cache: Arc<TableCache>) -> LevelFileIterator {
+        LevelFileIterator {
+            files,
+            cache,
+            index: 0,
+            current: None,
+        }
+    }
+
+    fn open(&mut self, index: usize) -> bool {
+        self.index = index;
+        self.current = None;
+        let Some(f) = self.files.get(index) else {
+            return false;
+        };
+        match self.cache.get(f.number, f.size) {
+            Ok(reader) => {
+                self.current = Some(reader.iter());
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn skip_exhausted(&mut self) {
+        while self
+            .current
+            .as_ref()
+            .map(|it| !it.valid())
+            .unwrap_or(false)
+        {
+            let next = self.index + 1;
+            if next >= self.files.len() {
+                self.current = None;
+                return;
+            }
+            if self.open(next) {
+                if let Some(it) = &mut self.current {
+                    it.seek_to_first();
+                }
+            }
+        }
+    }
+}
+
+impl InternalIterator for LevelFileIterator {
+    fn valid(&self) -> bool {
+        self.current.as_ref().map(|it| it.valid()).unwrap_or(false)
+    }
+
+    fn seek_to_first(&mut self) {
+        if self.open(0) {
+            if let Some(it) = &mut self.current {
+                it.seek_to_first();
+            }
+            self.skip_exhausted();
+        }
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        // Binary search for the first file whose largest key >= target.
+        let idx = self
+            .files
+            .partition_point(|f| internal_cmp(&f.largest, target) == std::cmp::Ordering::Less);
+        if idx >= self.files.len() {
+            self.current = None;
+            return;
+        }
+        if self.open(idx) {
+            if let Some(it) = &mut self.current {
+                it.seek(target);
+            }
+            self.skip_exhausted();
+        }
+    }
+
+    fn next(&mut self) {
+        self.current
+            .as_mut()
+            .expect("next() on invalid level iterator")
+            .next();
+        self.skip_exhausted();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.current.as_ref().expect("invalid").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.current.as_ref().expect("invalid").value()
+    }
+}
+
+/// A compaction picked by the version set.
+pub struct CompactionTask {
+    /// Source level.
+    pub level: usize,
+    /// Destination level.
+    pub output_level: usize,
+    /// Files from `level`.
+    pub inputs: Vec<FileRef>,
+    /// Overlapping files already in `output_level` (leveled only).
+    pub next_inputs: Vec<FileRef>,
+}
+
+impl CompactionTask {
+    /// Total input bytes.
+    pub fn input_bytes(&self) -> u64 {
+        self.inputs
+            .iter()
+            .chain(self.next_inputs.iter())
+            .map(|f| f.size)
+            .sum()
+    }
+}
+
+/// Owns the current [`Version`] and the manifest.
+pub struct VersionSet {
+    env: EnvRef,
+    dir: PathBuf,
+    opts: Options,
+    current: Arc<Version>,
+    manifest: Option<LogWriter>,
+    /// Number of the manifest file currently in use.
+    pub manifest_number: u64,
+    /// File-number allocator (shared with the DB for WAL numbers).
+    pub next_file: Arc<AtomicU64>,
+    /// Last sequence number recovered from the manifest.
+    pub last_sequence: AtomicU64,
+    /// WALs numbered below this are obsolete.
+    pub log_number: u64,
+    /// Round-robin compaction cursor per level (largest key compacted).
+    compact_pointer: Vec<Vec<u8>>,
+    /// Weak handles to every version ever installed; readers holding an
+    /// `Arc<Version>` keep their files protected from GC (LevelDB's
+    /// version refcounting).
+    alive: Mutex<Vec<std::sync::Weak<Version>>>,
+}
+
+impl VersionSet {
+    /// Creates or recovers the version set for `dir`.
+    pub fn open(env: EnvRef, dir: &Path, opts: &Options) -> Result<VersionSet> {
+        let current_path = dir.join(CURRENT_FILE);
+        if env.exists(&current_path) {
+            Self::recover(env, dir, opts)
+        } else if opts.create_if_missing {
+            Self::create(env, dir, opts)
+        } else {
+            Err(Error::InvalidState(format!(
+                "database missing at {}",
+                dir.display()
+            )))
+        }
+    }
+
+    fn create(env: EnvRef, dir: &Path, opts: &Options) -> Result<VersionSet> {
+        env.create_dir_all(dir)?;
+        let manifest_num = 1u64;
+        let mut set = VersionSet {
+            env: env.clone(),
+            dir: dir.to_path_buf(),
+            opts: opts.clone(),
+            current: Arc::new(Version::empty(opts.num_levels, opts.compaction_style)),
+            manifest: None,
+            manifest_number: 0,
+            next_file: Arc::new(AtomicU64::new(2)),
+            last_sequence: AtomicU64::new(0),
+            log_number: 0,
+            compact_pointer: vec![Vec::new(); opts.num_levels],
+            alive: Mutex::new(Vec::new()),
+        };
+        set.register_current();
+        set.roll_manifest(manifest_num)?;
+        Ok(set)
+    }
+
+    fn recover(env: EnvRef, dir: &Path, opts: &Options) -> Result<VersionSet> {
+        let current = p2kvs_storage::env::read_all(&*env, &dir.join(CURRENT_FILE))?;
+        let manifest_name = String::from_utf8(current)
+            .map_err(|_| Error::corruption("CURRENT is not utf-8"))?;
+        let manifest_name = manifest_name.trim_end();
+        let manifest_path = dir.join(manifest_name);
+        let mut reader = LogReader::new(env.new_sequential(&manifest_path)?);
+        let mut version = Version::empty(opts.num_levels, opts.compaction_style);
+        let mut next_file = 2u64;
+        let mut last_seq = 0u64;
+        let mut log_number = 0u64;
+        let mut record = Vec::new();
+        while reader.read_record(&mut record)? {
+            let edit = VersionEdit::decode(&record)?;
+            if let Some(v) = edit.next_file_number {
+                next_file = next_file.max(v);
+            }
+            if let Some(v) = edit.last_sequence {
+                last_seq = last_seq.max(v);
+            }
+            if let Some(v) = edit.log_number {
+                log_number = log_number.max(v);
+            }
+            for (_, f) in &edit.added {
+                next_file = next_file.max(f.number + 1);
+            }
+            version = version.apply(&edit);
+        }
+        let manifest_num = crate::types::parse_file_name(manifest_name)
+            .map(|(n, _)| n)
+            .unwrap_or(1);
+        let mut set = VersionSet {
+            env: env.clone(),
+            dir: dir.to_path_buf(),
+            opts: opts.clone(),
+            current: Arc::new(version),
+            manifest: None,
+            manifest_number: 0,
+            next_file: Arc::new(AtomicU64::new(next_file.max(manifest_num + 1))),
+            last_sequence: AtomicU64::new(last_seq),
+            log_number,
+            compact_pointer: vec![Vec::new(); opts.num_levels],
+            alive: Mutex::new(Vec::new()),
+        };
+        set.register_current();
+        // Start a fresh manifest summarizing the recovered state so old
+        // manifests never grow unboundedly.
+        let new_manifest = set.allocate_file_number();
+        set.roll_manifest(new_manifest)?;
+        Ok(set)
+    }
+
+    /// Writes a fresh manifest containing a full snapshot of the current
+    /// version, then points CURRENT at it.
+    fn roll_manifest(&mut self, number: u64) -> Result<()> {
+        let path = file_path(&self.dir, number, FileKind::Manifest);
+        let mut writer = LogWriter::new(self.env.new_writable(&path)?);
+        let mut snapshot = VersionEdit {
+            log_number: Some(self.log_number),
+            next_file_number: Some(self.next_file.load(Ordering::Relaxed)),
+            last_sequence: Some(self.last_sequence.load(Ordering::Relaxed)),
+            ..VersionEdit::default()
+        };
+        for (level, files) in self.current.levels.iter().enumerate() {
+            for f in files {
+                snapshot.added.push((level, (**f).clone()));
+            }
+        }
+        writer.add_record(&snapshot.encode())?;
+        writer.sync()?;
+        // Point CURRENT at the new manifest atomically (write temp, rename).
+        let tmp = self.dir.join("CURRENT.tmp");
+        let name = format!("MANIFEST-{number:06}\n");
+        p2kvs_storage::env::write_all(&*self.env, &tmp, name.as_bytes())?;
+        self.env.rename(&tmp, &self.dir.join(CURRENT_FILE))?;
+        self.manifest = Some(writer);
+        self.manifest_number = number;
+        Ok(())
+    }
+
+    /// The current version.
+    pub fn current(&self) -> Arc<Version> {
+        self.current.clone()
+    }
+
+    /// Allocates a fresh file number.
+    pub fn allocate_file_number(&self) -> u64 {
+        self.next_file.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A handle to the file-number allocator usable without holding the
+    /// database state lock (background jobs allocate output files with it).
+    pub fn file_counter(&self) -> Arc<AtomicU64> {
+        self.next_file.clone()
+    }
+
+    /// Logs `edit` to the manifest and installs the resulting version.
+    pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<()> {
+        edit.next_file_number = Some(self.next_file.load(Ordering::Relaxed));
+        if edit.last_sequence.is_none() {
+            edit.last_sequence = Some(self.last_sequence.load(Ordering::Relaxed));
+        }
+        if let Some(log) = edit.log_number {
+            self.log_number = self.log_number.max(log);
+        }
+        let writer = self
+            .manifest
+            .as_mut()
+            .expect("manifest writer always present after open");
+        writer.add_record(&edit.encode())?;
+        writer.sync()?;
+        self.current = Arc::new(self.current.apply(&edit));
+        self.register_current();
+        Ok(())
+    }
+
+    /// Records the current version in the alive registry, pruning dead
+    /// entries.
+    fn register_current(&mut self) {
+        let mut alive = self.alive.lock();
+        alive.retain(|w| w.strong_count() > 0);
+        alive.push(Arc::downgrade(&self.current));
+    }
+
+    /// File numbers referenced by *any* version still reachable — the
+    /// current one or one pinned by an in-flight reader or iterator. Only
+    /// files outside this set may be deleted.
+    pub fn live_files_any(&self) -> HashSet<u64> {
+        let mut out = self.current.live_files();
+        let mut alive = self.alive.lock();
+        alive.retain(|w| w.strong_count() > 0);
+        for w in alive.iter() {
+            if let Some(v) = w.upgrade() {
+                out.extend(v.live_files());
+            }
+        }
+        out
+    }
+
+    /// Updates the round-robin cursor after compacting up to `largest`.
+    pub fn set_compact_pointer(&mut self, level: usize, largest: Vec<u8>) {
+        self.compact_pointer[level] = largest;
+    }
+
+    /// Compaction score of each level; `>= 1.0` means compaction needed.
+    pub fn compaction_scores(&self) -> Vec<f64> {
+        let v = &self.current;
+        let mut scores = vec![0.0; v.levels.len()];
+        match self.opts.compaction_style {
+            CompactionStyle::Leveled => {
+                scores[0] = v.levels[0].len() as f64 / self.opts.l0_compaction_trigger as f64;
+                for level in 1..v.levels.len() - 1 {
+                    scores[level] =
+                        v.level_bytes(level) as f64 / self.opts.level_target(level) as f64;
+                }
+            }
+            CompactionStyle::Fragmented => {
+                // PebblesDB-style: a level compacts only when it holds too
+                // many overlapping fragments; size alone never triggers a
+                // rewrite (that is where the write-amplification win
+                // comes from).
+                for level in 0..v.levels.len() - 1 {
+                    let trigger = if level == 0 {
+                        self.opts.l0_compaction_trigger
+                    } else {
+                        self.opts.fragment_merge_threshold
+                    };
+                    scores[level] = v.levels[level].len() as f64 / trigger as f64;
+                }
+            }
+        }
+        scores
+    }
+
+    /// Picks the most urgent compaction, if any.
+    pub fn pick_compaction(&self) -> Option<CompactionTask> {
+        let scores = self.compaction_scores();
+        let (level, score) = scores
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        if score < 1.0 {
+            return None;
+        }
+        let v = &self.current;
+        let output_level = (level + 1).min(v.levels.len() - 1);
+        match self.opts.compaction_style {
+            CompactionStyle::Fragmented => {
+                // Merge the *oldest* fragments of the level and append the
+                // result to the next level without touching it (no
+                // read-modify-write of the target: PebblesDB's
+                // write-amplification win). Taking the oldest files keeps
+                // the per-level invariant "higher file number = newer
+                // data": the output's (new, high) number is correct in the
+                // target level because it carries data newer than anything
+                // already there, and the fragments left behind are newer
+                // than the ones merged away.
+                let files = &v.levels[level];
+                let take = files.len().min(2 * self.opts.fragment_merge_threshold);
+                let inputs: Vec<FileRef> = files.iter().rev().take(take).cloned().collect();
+                Some(CompactionTask {
+                    level,
+                    output_level,
+                    inputs,
+                    next_inputs: Vec::new(),
+                })
+            }
+            CompactionStyle::Leveled => {
+                let inputs: Vec<FileRef> = if level == 0 {
+                    v.levels[0].clone()
+                } else {
+                    // Round-robin: first file past the compaction cursor.
+                    let files = &v.levels[level];
+                    let start = files
+                        .iter()
+                        .position(|f| {
+                            self.compact_pointer[level].is_empty()
+                                || internal_cmp(&f.largest, &self.compact_pointer[level])
+                                    == std::cmp::Ordering::Greater
+                        })
+                        .unwrap_or(0);
+                    vec![files[start].clone()]
+                };
+                if inputs.is_empty() {
+                    return None;
+                }
+                let smallest = inputs
+                    .iter()
+                    .map(|f| user_key(&f.smallest).to_vec())
+                    .min()
+                    .expect("nonempty inputs");
+                let largest = inputs
+                    .iter()
+                    .map(|f| user_key(&f.largest).to_vec())
+                    .max()
+                    .expect("nonempty inputs");
+                let next_inputs = v.overlapping(output_level, Some(&smallest), Some(&largest));
+                Some(CompactionTask {
+                    level,
+                    output_level,
+                    inputs,
+                    next_inputs,
+                })
+            }
+        }
+    }
+
+    /// Options the set was opened with.
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::make_internal_key;
+
+    fn meta(num: u64, small: &str, large: &str) -> FileMetaData {
+        FileMetaData {
+            number: num,
+            size: 1 << 20,
+            smallest: make_internal_key(small.as_bytes(), 1, ValueType::Value),
+            largest: make_internal_key(large.as_bytes(), 1, ValueType::Value),
+            entries: 10,
+        }
+    }
+
+    #[test]
+    fn apply_add_delete_sorts_levels() {
+        let v = Version::empty(7, CompactionStyle::Leveled);
+        let mut e = VersionEdit::default();
+        e.added.push((0, meta(3, "a", "m")));
+        e.added.push((0, meta(5, "b", "z")));
+        e.added.push((1, meta(9, "n", "p")));
+        e.added.push((1, meta(8, "a", "c")));
+        let v2 = v.apply(&e);
+        // L0 newest first.
+        assert_eq!(v2.levels[0][0].number, 5);
+        assert_eq!(v2.levels[0][1].number, 3);
+        // L1 by smallest key.
+        assert_eq!(v2.levels[1][0].number, 8);
+        assert_eq!(v2.levels[1][1].number, 9);
+        let mut e2 = VersionEdit::default();
+        e2.deleted.push((0, 3));
+        let v3 = v2.apply(&e2);
+        assert_eq!(v3.levels[0].len(), 1);
+        assert_eq!(v3.num_files(), 3);
+        assert!(v3.live_files().contains(&9));
+        assert!(!v3.live_files().contains(&3));
+    }
+
+    #[test]
+    fn overlapping_filters_by_range() {
+        let v = Version::empty(7, CompactionStyle::Leveled);
+        let mut e = VersionEdit::default();
+        e.added.push((1, meta(1, "a", "c")));
+        e.added.push((1, meta(2, "d", "f")));
+        e.added.push((1, meta(3, "g", "i")));
+        let v = v.apply(&e);
+        let hit = v.overlapping(1, Some(b"e"), Some(b"h"));
+        assert_eq!(hit.len(), 2);
+        assert_eq!(hit[0].number, 2);
+        assert_eq!(hit[1].number, 3);
+        assert_eq!(v.overlapping(1, None, None).len(), 3);
+        assert_eq!(v.overlapping(1, Some(b"x"), None).len(), 0);
+        assert_eq!(v.overlapping(1, None, Some(b"a")).len(), 1);
+    }
+
+    #[test]
+    fn candidates_l0_newest_first_l1_binary_search() {
+        let v = Version::empty(7, CompactionStyle::Leveled);
+        let mut e = VersionEdit::default();
+        e.added.push((0, meta(1, "a", "z")));
+        e.added.push((0, meta(4, "a", "z")));
+        e.added.push((1, meta(2, "a", "c")));
+        e.added.push((1, meta(3, "d", "f")));
+        let v = v.apply(&e);
+        let c0 = v.candidates(0, b"m");
+        assert_eq!(c0.iter().map(|f| f.number).collect::<Vec<_>>(), vec![4, 1]);
+        let c1 = v.candidates(1, b"e");
+        assert_eq!(c1.len(), 1);
+        assert_eq!(c1[0].number, 3);
+        assert!(v.candidates(1, b"x").is_empty());
+        // Key between files (gap).
+        assert!(v.candidates(1, b"cc").is_empty());
+    }
+
+    #[test]
+    fn fragmented_levels_search_all_overlaps() {
+        let v = Version::empty(7, CompactionStyle::Fragmented);
+        let mut e = VersionEdit::default();
+        e.added.push((2, meta(10, "a", "m")));
+        e.added.push((2, meta(12, "c", "z")));
+        let v = v.apply(&e);
+        let c = v.candidates(2, b"d");
+        assert_eq!(c.iter().map(|f| f.number).collect::<Vec<_>>(), vec![12, 10]);
+    }
+
+    fn test_opts() -> Options {
+        Options::for_test()
+    }
+
+    #[test]
+    fn version_set_create_and_reopen() {
+        let opts = test_opts();
+        let env = opts.env.clone();
+        let dir = Path::new("vsdb");
+        {
+            let mut set = VersionSet::open(env.clone(), dir, &opts).unwrap();
+            let mut edit = VersionEdit::default();
+            edit.added.push((0, meta(11, "a", "b")));
+            edit.log_number = Some(3);
+            set.last_sequence.store(42, Ordering::Relaxed);
+            set.log_and_apply(edit).unwrap();
+        }
+        let set = VersionSet::open(env, dir, &opts).unwrap();
+        assert_eq!(set.current().levels[0].len(), 1);
+        assert_eq!(set.last_sequence.load(Ordering::Relaxed), 42);
+        assert_eq!(set.log_number, 3);
+        assert!(set.next_file.load(Ordering::Relaxed) > 11);
+    }
+
+    #[test]
+    fn missing_db_without_create_fails() {
+        let mut opts = test_opts();
+        opts.create_if_missing = false;
+        let env = opts.env.clone();
+        assert!(VersionSet::open(env, Path::new("nope"), &opts).is_err());
+    }
+
+    #[test]
+    fn compaction_scores_trigger_on_l0_count() {
+        let opts = test_opts();
+        let env = opts.env.clone();
+        let mut set = VersionSet::open(env, Path::new("sc"), &opts).unwrap();
+        assert!(set.pick_compaction().is_none());
+        let mut edit = VersionEdit::default();
+        for i in 0..opts.l0_compaction_trigger as u64 {
+            edit.added.push((0, meta(20 + i, "a", "z")));
+        }
+        set.log_and_apply(edit).unwrap();
+        let task = set.pick_compaction().expect("L0 full, must compact");
+        assert_eq!(task.level, 0);
+        assert_eq!(task.output_level, 1);
+        assert_eq!(task.inputs.len(), opts.l0_compaction_trigger);
+        assert!(task.input_bytes() > 0);
+    }
+
+    #[test]
+    fn leveled_compaction_includes_next_level_overlap() {
+        let opts = test_opts();
+        let env = opts.env.clone();
+        let mut set = VersionSet::open(env, Path::new("ovl"), &opts).unwrap();
+        let mut edit = VersionEdit::default();
+        // Oversize L1 (target is base_level_size = 128 KiB in tests; each
+        // meta() is 1 MiB).
+        edit.added.push((1, meta(30, "a", "m")));
+        edit.added.push((2, meta(31, "k", "q")));
+        edit.added.push((2, meta(32, "r", "t")));
+        set.log_and_apply(edit).unwrap();
+        let task = set.pick_compaction().expect("L1 oversize");
+        assert_eq!(task.level, 1);
+        assert_eq!(task.inputs.len(), 1);
+        assert_eq!(task.next_inputs.len(), 1);
+        assert_eq!(task.next_inputs[0].number, 31);
+    }
+
+    #[test]
+    fn fragmented_compaction_takes_whole_level_and_no_target_files() {
+        let mut opts = test_opts();
+        opts.compaction_style = CompactionStyle::Fragmented;
+        let env = opts.env.clone();
+        let mut set = VersionSet::open(env, Path::new("frag"), &opts).unwrap();
+        let mut edit = VersionEdit::default();
+        for i in 0..opts.fragment_merge_threshold as u64 {
+            edit.added.push((1, meta(40 + i, "a", "z")));
+        }
+        edit.added.push((2, meta(60, "a", "z")));
+        set.log_and_apply(edit).unwrap();
+        let task = set.pick_compaction().expect("fragments over threshold");
+        assert_eq!(task.level, 1);
+        assert_eq!(task.inputs.len(), opts.fragment_merge_threshold);
+        assert!(task.next_inputs.is_empty(), "fragmented never rewrites the target level");
+    }
+}

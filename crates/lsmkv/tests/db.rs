@@ -1,0 +1,529 @@
+//! End-to-end tests of the `lsmkv` engine: write/read paths, flushes,
+//! compactions, recovery, snapshots, concurrency, and the engine modes the
+//! p2KVS paper layers on (RocksDB-like / LevelDB-like / PebblesDB-like).
+
+use std::sync::Arc;
+
+use lsmkv::{CompactionStyle, Db, Options, ReadOptions, SyncPolicy, WriteBatch, WriteOptions};
+use p2kvs_storage::{Env, EnvRef, MemEnv};
+
+fn small_opts(env: EnvRef) -> Options {
+    let mut o = Options::rocksdb_like(env);
+    o.memtable_size = 32 << 10;
+    o.target_file_size = 16 << 10;
+    o.base_level_size = 64 << 10;
+    o.block_cache_size = 128 << 10;
+    o
+}
+
+fn wo() -> WriteOptions {
+    WriteOptions::default()
+}
+
+#[test]
+fn put_get_delete_roundtrip() {
+    let db = Db::open(Options::for_test(), "db").unwrap();
+    db.put(&wo(), b"hello", b"world").unwrap();
+    assert_eq!(db.get(b"hello").unwrap().unwrap(), b"world");
+    assert_eq!(db.get(b"missing").unwrap(), None);
+    db.delete(&wo(), b"hello").unwrap();
+    assert_eq!(db.get(b"hello").unwrap(), None);
+}
+
+#[test]
+fn overwrite_returns_latest() {
+    let db = Db::open(Options::for_test(), "db").unwrap();
+    for i in 0..10 {
+        db.put(&wo(), b"k", format!("v{i}").as_bytes()).unwrap();
+    }
+    assert_eq!(db.get(b"k").unwrap().unwrap(), b"v9");
+}
+
+#[test]
+fn write_batch_is_atomic_and_ordered() {
+    let db = Db::open(Options::for_test(), "db").unwrap();
+    let mut b = WriteBatch::new();
+    b.put(b"a", b"1");
+    b.put(b"b", b"2");
+    b.delete(b"a");
+    db.write(&wo(), b).unwrap();
+    assert_eq!(db.get(b"a").unwrap(), None);
+    assert_eq!(db.get(b"b").unwrap().unwrap(), b"2");
+}
+
+#[test]
+fn empty_batch_is_noop() {
+    let db = Db::open(Options::for_test(), "db").unwrap();
+    db.write(&wo(), WriteBatch::new()).unwrap();
+    assert_eq!(db.visible_sequence(), 0);
+}
+
+#[test]
+fn data_survives_memtable_flush() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Db::open(small_opts(env), "db").unwrap();
+    let n = 2000;
+    for i in 0..n {
+        db.put(&wo(), format!("key{i:06}").as_bytes(), format!("value{i}").as_bytes())
+            .unwrap();
+    }
+    db.flush().unwrap();
+    assert!(db.num_files_at_level(0) > 0 || db.level_sizes()[1..].iter().any(|&s| s > 0));
+    for i in (0..n).step_by(37) {
+        assert_eq!(
+            db.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+            format!("value{i}").as_bytes(),
+            "key{i:06} after flush"
+        );
+    }
+}
+
+#[test]
+fn compaction_keeps_data_readable() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Db::open(small_opts(env), "db").unwrap();
+    let n = 8000;
+    // Overwrite in several passes to force multi-level compaction.
+    for pass in 0..3 {
+        for i in 0..n {
+            db.put(
+                &wo(),
+                format!("key{i:06}").as_bytes(),
+                format!("pass{pass}-{i}").as_bytes(),
+            )
+            .unwrap();
+        }
+    }
+    db.flush().unwrap();
+    db.wait_idle().unwrap();
+    let stats = db.stats();
+    assert!(
+        stats.compactions.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "workload must trigger compactions"
+    );
+    for i in (0..n).step_by(61) {
+        assert_eq!(
+            db.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+            format!("pass2-{i}").as_bytes()
+        );
+    }
+    // Deeper levels must be populated.
+    let sizes = db.level_sizes();
+    assert!(sizes[1..].iter().any(|&s| s > 0), "levels: {sizes:?}");
+}
+
+#[test]
+fn deletes_survive_flush_and_compaction() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Db::open(small_opts(env), "db").unwrap();
+    for i in 0..3000 {
+        db.put(&wo(), format!("k{i:06}").as_bytes(), b"v").unwrap();
+    }
+    for i in (0..3000).step_by(2) {
+        db.delete(&wo(), format!("k{i:06}").as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_idle().unwrap();
+    for i in 0..3000 {
+        let got = db.get(format!("k{i:06}").as_bytes()).unwrap();
+        if i % 2 == 0 {
+            assert_eq!(got, None, "k{i:06} should be deleted");
+        } else {
+            assert_eq!(got.unwrap(), b"v");
+        }
+    }
+}
+
+#[test]
+fn recovery_replays_wal() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    {
+        let db = Db::open(Options::rocksdb_like(env.clone()), "db").unwrap();
+        for i in 0..500 {
+            db.put(&wo(), format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        // Drop without flush: data only in WAL + memtable.
+    }
+    let db = Db::open(Options::rocksdb_like(env), "db").unwrap();
+    for i in (0..500).step_by(17) {
+        assert_eq!(
+            db.get(format!("k{i}").as_bytes()).unwrap().unwrap(),
+            format!("v{i}").as_bytes()
+        );
+    }
+    assert!(db.visible_sequence() >= 500);
+}
+
+#[test]
+fn recovery_after_power_failure_keeps_synced_prefix() {
+    let env = Arc::new(MemEnv::new());
+    let env_ref: EnvRef = env.clone();
+    {
+        let mut opts = Options::rocksdb_like(env_ref.clone());
+        opts.sync = SyncPolicy::Always;
+        let db = Db::open(opts, "db").unwrap();
+        for i in 0..50 {
+            db.put(&wo(), format!("s{i}").as_bytes(), b"synced").unwrap();
+        }
+        // Unsynced writes follow.
+        let mut opts2 = WriteOptions::default();
+        opts2.sync = false;
+        db.crash(); // Simulate a crash: no final sync.
+    }
+    env.fs().power_failure();
+    let db = Db::open(Options::rocksdb_like(env_ref), "db").unwrap();
+    for i in 0..50 {
+        assert_eq!(
+            db.get(format!("s{i}").as_bytes()).unwrap().unwrap(),
+            b"synced",
+            "synced write s{i} lost"
+        );
+    }
+}
+
+#[test]
+fn recovery_filter_skips_tagged_batches() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    {
+        let db = Db::open(Options::rocksdb_like(env.clone()), "db").unwrap();
+        let mut committed = WriteBatch::new();
+        committed.put(b"committed", b"yes");
+        committed.set_gsn(5);
+        db.write(&wo(), committed).unwrap();
+        let mut uncommitted = WriteBatch::new();
+        uncommitted.put(b"uncommitted", b"no");
+        uncommitted.set_gsn(9);
+        db.write(&wo(), uncommitted).unwrap();
+        db.crash();
+    }
+    // Roll back everything with GSN > 5 (p2KVS transaction recovery).
+    let filter: lsmkv::db::RecoveryFilter = Arc::new(|gsn| gsn <= 5);
+    let db = Db::open_with_recovery_filter(Options::rocksdb_like(env), "db", Some(filter)).unwrap();
+    assert_eq!(db.get(b"committed").unwrap().unwrap(), b"yes");
+    assert_eq!(db.get(b"uncommitted").unwrap(), None);
+    assert_eq!(db.max_recovered_gsn(), 9);
+}
+
+#[test]
+fn concurrent_writers_all_land() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Arc::new(Db::open(small_opts(env), "db").unwrap());
+    const THREADS: usize = 8;
+    const PER: usize = 500;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER {
+                    db.put(
+                        &wo(),
+                        format!("t{t}-k{i:05}").as_bytes(),
+                        format!("t{t}-v{i}").as_bytes(),
+                    )
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(db.visible_sequence(), (THREADS * PER) as u64);
+    for t in 0..THREADS {
+        for i in (0..PER).step_by(53) {
+            assert_eq!(
+                db.get(format!("t{t}-k{i:05}").as_bytes()).unwrap().unwrap(),
+                format!("t{t}-v{i}").as_bytes()
+            );
+        }
+    }
+    // Group commit must actually have grouped some writes.
+    let stats = db.stats();
+    let groups = stats.write_groups.load(std::sync::atomic::Ordering::Relaxed);
+    let writes = stats.writes.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(writes, (THREADS * PER) as u64);
+    assert!(groups <= writes);
+}
+
+#[test]
+fn concurrent_writers_without_rocksdb_optimizations() {
+    // LevelDB mode: no concurrent memtable, no pipelining.
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Arc::new(Db::open(Options::leveldb_like(env), "db").unwrap());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for i in 0..300 {
+                    db.put(&wo(), format!("t{t}-{i}").as_bytes(), b"v").unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..4 {
+        assert_eq!(db.get(format!("t{t}-0").as_bytes()).unwrap().unwrap(), b"v");
+        assert_eq!(db.get(format!("t{t}-299").as_bytes()).unwrap().unwrap(), b"v");
+    }
+}
+
+#[test]
+fn readers_race_writers_without_torn_reads() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Arc::new(Db::open(small_opts(env), "db").unwrap());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let db = db.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                // Writes are two entries that must be observed together.
+                let mut b = WriteBatch::new();
+                b.put(b"pair-x", format!("{i}").as_bytes());
+                b.put(b"pair-y", format!("{i}").as_bytes());
+                db.write(&WriteOptions::default(), b).unwrap();
+                i += 1;
+            }
+        })
+    };
+    for _ in 0..300 {
+        let snap = db.snapshot();
+        let ropts = ReadOptions {
+            snapshot: Some(snap.sequence()),
+            ..ReadOptions::default()
+        };
+        let x = db.get_with(&ropts, b"pair-x").unwrap();
+        let y = db.get_with(&ropts, b"pair-y").unwrap();
+        assert_eq!(x, y, "snapshot must never observe a torn batch");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+#[test]
+fn snapshot_pins_old_values() {
+    let db = Db::open(Options::for_test(), "db").unwrap();
+    db.put(&wo(), b"k", b"old").unwrap();
+    let snap = db.snapshot();
+    db.put(&wo(), b"k", b"new").unwrap();
+    db.delete(&wo(), b"k2").unwrap();
+    let ropts = ReadOptions {
+        snapshot: Some(snap.sequence()),
+        ..ReadOptions::default()
+    };
+    assert_eq!(db.get_with(&ropts, b"k").unwrap().unwrap(), b"old");
+    assert_eq!(db.get(b"k").unwrap().unwrap(), b"new");
+}
+
+#[test]
+fn snapshot_survives_flush_and_compaction() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Db::open(small_opts(env), "db").unwrap();
+    db.put(&wo(), b"pinned", b"v1").unwrap();
+    let snap = db.snapshot();
+    // Bury the old version under lots of newer data.
+    for i in 0..5000 {
+        db.put(&wo(), format!("fill{i:06}").as_bytes(), &[0u8; 64]).unwrap();
+    }
+    db.put(&wo(), b"pinned", b"v2").unwrap();
+    db.flush().unwrap();
+    db.wait_idle().unwrap();
+    let ropts = ReadOptions {
+        snapshot: Some(snap.sequence()),
+        ..ReadOptions::default()
+    };
+    assert_eq!(db.get_with(&ropts, b"pinned").unwrap().unwrap(), b"v1");
+    assert_eq!(db.get(b"pinned").unwrap().unwrap(), b"v2");
+}
+
+#[test]
+fn multiget_matches_get() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Db::open(small_opts(env), "db").unwrap();
+    for i in 0..4000 {
+        db.put(&wo(), format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    db.flush().unwrap();
+    let keys: Vec<Vec<u8>> = (0..4000)
+        .step_by(7)
+        .map(|i| format!("k{i:05}").into_bytes())
+        .chain(std::iter::once(b"absent".to_vec()))
+        .collect();
+    let batch_results = db.multiget(&keys).unwrap();
+    assert_eq!(batch_results.len(), keys.len());
+    for (key, got) in keys.iter().zip(&batch_results) {
+        assert_eq!(*got, db.get(key).unwrap(), "mismatch for {key:?}");
+    }
+}
+
+#[test]
+fn iterator_scans_in_order_across_all_components() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Db::open(small_opts(env), "db").unwrap();
+    // Data spread across SSTs (flushed) and the live memtable.
+    for i in (0..1000).filter(|i| i % 2 == 0) {
+        db.put(&wo(), format!("k{i:05}").as_bytes(), b"disk").unwrap();
+    }
+    db.flush().unwrap();
+    for i in (0..1000).filter(|i| i % 2 == 1) {
+        db.put(&wo(), format!("k{i:05}").as_bytes(), b"mem").unwrap();
+    }
+    let mut it = db.iter().unwrap();
+    it.seek_to_first();
+    let mut count = 0;
+    let mut last = Vec::new();
+    while it.valid() {
+        assert!(it.key() > &last[..], "out of order at {count}");
+        last = it.key().to_vec();
+        count += 1;
+        it.next();
+    }
+    assert_eq!(count, 1000);
+}
+
+#[test]
+fn scan_and_range_semantics() {
+    let db = Db::open(Options::for_test(), "db").unwrap();
+    for i in 0..100 {
+        db.put(&wo(), format!("k{i:03}").as_bytes(), format!("{i}").as_bytes())
+            .unwrap();
+    }
+    let scan = db.scan(b"k010", 5).unwrap();
+    assert_eq!(scan.len(), 5);
+    assert_eq!(scan[0].0, b"k010");
+    assert_eq!(scan[4].0, b"k014");
+    let range = db.range(b"k095", b"k099").unwrap();
+    assert_eq!(range.len(), 4, "end is exclusive");
+    assert_eq!(range.last().unwrap().0, b"k098");
+    assert!(db.range(b"x", b"z").unwrap().is_empty());
+}
+
+#[test]
+fn pebblesdb_mode_compacts_with_lower_write_amp() {
+    let env_leveled: EnvRef = Arc::new(MemEnv::new());
+    let env_frag: EnvRef = Arc::new(MemEnv::new());
+    let run = |env: EnvRef, style: CompactionStyle| -> (u64, u64) {
+        let mut opts = small_opts(env.clone());
+        opts.compaction_style = style;
+        opts.read_pool_threads = 0;
+        let db = Db::open(opts, "db").unwrap();
+        for pass in 0..4 {
+            for i in 0..4000u64 {
+                db.put(
+                    &wo(),
+                    format!("key{:06}", (i * 2654435761) % 4000).as_bytes(),
+                    format!("p{pass}-{i}").as_bytes(),
+                )
+                .unwrap();
+            }
+        }
+        db.flush().unwrap();
+        db.wait_idle().unwrap();
+        // Verify reads still work in fragmented mode.
+        assert!(db.get(b"key000000").unwrap().is_some());
+        let user = db
+            .stats()
+            .user_bytes_written
+            .load(std::sync::atomic::Ordering::Relaxed);
+        drop(db);
+        (env.io_stats().bytes_written, user)
+    };
+    let (leveled_io, leveled_user) = run(env_leveled, CompactionStyle::Leveled);
+    let (frag_io, frag_user) = run(env_frag, CompactionStyle::Fragmented);
+    let leveled_wa = leveled_io as f64 / leveled_user as f64;
+    let frag_wa = frag_io as f64 / frag_user as f64;
+    assert!(
+        frag_wa < leveled_wa,
+        "fragmented WA {frag_wa:.2} should beat leveled {leveled_wa:.2}"
+    );
+}
+
+#[test]
+fn disable_wal_writes_skip_log() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let db = Db::open(Options::rocksdb_like(env.clone()), "db").unwrap();
+    let before = env.io_stats().wal_bytes;
+    let mut opts = WriteOptions::default();
+    opts.disable_wal = true;
+    for i in 0..100 {
+        db.put(&opts, format!("k{i}").as_bytes(), b"v").unwrap();
+    }
+    db.sync_wal().unwrap();
+    assert_eq!(env.io_stats().wal_bytes, before, "disable_wal must not touch the log");
+    assert_eq!(db.get(b"k7").unwrap().unwrap(), b"v");
+}
+
+#[test]
+fn stats_track_write_breakdown() {
+    let db = Db::open(Options::for_test(), "db").unwrap();
+    for i in 0..200 {
+        db.put(&wo(), format!("k{i}").as_bytes(), b"v").unwrap();
+    }
+    let snap = db.stats().breakdown.snapshot();
+    assert!(snap.total_us() > 0.0);
+    let p = snap.percentages();
+    assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+}
+
+#[test]
+fn memory_usage_reports_sane_values() {
+    let db = Db::open(Options::for_test(), "db").unwrap();
+    let before = db.approximate_memory_usage();
+    for i in 0..500 {
+        db.put(&wo(), format!("k{i:04}").as_bytes(), &[1u8; 128]).unwrap();
+    }
+    assert!(db.approximate_memory_usage() > before);
+}
+
+#[test]
+fn reopen_after_clean_close_keeps_everything() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    {
+        let db = Db::open(small_opts(env.clone()), "db").unwrap();
+        for i in 0..3000 {
+            db.put(&wo(), format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+        for i in 3000..3500 {
+            db.put(&wo(), format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        // Drop = clean close (syncs WAL).
+    }
+    let db = Db::open(small_opts(env), "db").unwrap();
+    for i in (0..3500).step_by(101) {
+        assert_eq!(
+            db.get(format!("k{i:05}").as_bytes()).unwrap().unwrap(),
+            format!("v{i}").as_bytes()
+        );
+    }
+}
+
+#[test]
+fn many_reopens_accumulate_correctly() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    for round in 0..5 {
+        let db = Db::open(small_opts(env.clone()), "db").unwrap();
+        for i in 0..200 {
+            db.put(
+                &wo(),
+                format!("r{round}-k{i}").as_bytes(),
+                format!("{round}").as_bytes(),
+            )
+            .unwrap();
+        }
+        // Every previous round must still be intact.
+        for r in 0..=round {
+            assert_eq!(
+                db.get(format!("r{r}-k0").as_bytes()).unwrap().unwrap(),
+                format!("{r}").as_bytes()
+            );
+        }
+    }
+}

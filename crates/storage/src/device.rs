@@ -1,0 +1,453 @@
+//! Simulated block-device timing model.
+//!
+//! The model is deliberately simple — the goal is to reproduce the *shape*
+//! of the paper's device hierarchy, not cycle accuracy:
+//!
+//! * every IO pays a per-operation base latency (software + device command
+//!   overhead),
+//! * plus `bytes / bandwidth` transfer time,
+//! * plus a seek penalty on HDDs whenever the access is not sequential with
+//!   respect to the previous IO,
+//! * while the device services at most `channels` IOs worth of work
+//!   concurrently (internal parallelism: 1 for HDD, 2 for SATA, 8 for the
+//!   Optane NVMe),
+//! * and `sync` pays an additional durability-barrier latency.
+//!
+//! # Waiting without spinning
+//!
+//! Service time is enforced with a **virtual device timeline** plus
+//! **debt-batched sleeping**: each IO reserves capacity on an atomic
+//! "device free at" clock (aggregate capacity = `channels`), and the
+//! caller's wait is accumulated in a thread-local debt that is slept off in
+//! OS-timer-sized chunks. This keeps average throughput faithful to the
+//! model while (a) never busy-spinning — essential on small CI machines
+//! where spinning starves every other thread — and (b) letting concurrent
+//! waits from different threads overlap in wall time.
+//!
+//! Profiles are calibrated to the paper's testbed (§5.1): HDD ≈ 0.2 GB/s
+//! and ~8 ms seeks; SATA SSD ≈ 0.5 GB/s; Optane 905p ≈ 2.2 GB/s write /
+//! 2.6 GB/s read with ~10 µs access latency.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Static description of a device's performance characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name used in benchmark output.
+    pub name: &'static str,
+    /// Sequential read bandwidth, bytes/second.
+    pub read_bw: u64,
+    /// Sequential write bandwidth, bytes/second.
+    pub write_bw: u64,
+    /// Per-IO base latency for reads.
+    pub read_latency: Duration,
+    /// Per-IO base latency for writes.
+    pub write_latency: Duration,
+    /// Additional latency of a durability barrier (fsync).
+    pub sync_latency: Duration,
+    /// Seek penalty charged on non-sequential access (0 for SSDs).
+    pub seek_latency: Duration,
+    /// Number of IOs the device services concurrently.
+    pub channels: usize,
+    /// Buffered bytes after which an appending file issues a writeback IO.
+    pub writeback_threshold: usize,
+}
+
+impl DeviceProfile {
+    /// 10 TB 7200 rpm SATA HDD (WDC WD100EFAX class).
+    pub fn hdd() -> Self {
+        DeviceProfile {
+            name: "hdd",
+            read_bw: 200 * 1024 * 1024,
+            write_bw: 180 * 1024 * 1024,
+            read_latency: Duration::from_micros(60),
+            write_latency: Duration::from_micros(60),
+            sync_latency: Duration::from_millis(4),
+            seek_latency: Duration::from_millis(8),
+            channels: 1,
+            writeback_threshold: 512 * 1024,
+        }
+    }
+
+    /// SATA SSD (Samsung 860 PRO class).
+    pub fn sata_ssd() -> Self {
+        DeviceProfile {
+            name: "sata-ssd",
+            read_bw: 550 * 1024 * 1024,
+            write_bw: 500 * 1024 * 1024,
+            read_latency: Duration::from_micros(70),
+            write_latency: Duration::from_micros(25),
+            sync_latency: Duration::from_micros(400),
+            seek_latency: Duration::ZERO,
+            channels: 2,
+            writeback_threshold: 256 * 1024,
+        }
+    }
+
+    /// NVMe Optane SSD (Intel Optane 905p class).
+    pub fn nvme_optane() -> Self {
+        DeviceProfile {
+            name: "nvme-optane",
+            read_bw: 2600 * 1024 * 1024,
+            write_bw: 2200 * 1024 * 1024,
+            read_latency: Duration::from_micros(8),
+            write_latency: Duration::from_micros(6),
+            sync_latency: Duration::from_micros(12),
+            seek_latency: Duration::ZERO,
+            channels: 8,
+            writeback_threshold: 64 * 1024,
+        }
+    }
+
+    /// A zero-cost device for correctness tests.
+    pub fn instant() -> Self {
+        DeviceProfile {
+            name: "instant",
+            read_bw: u64::MAX,
+            write_bw: u64::MAX,
+            read_latency: Duration::ZERO,
+            write_latency: Duration::ZERO,
+            sync_latency: Duration::ZERO,
+            seek_latency: Duration::ZERO,
+            channels: usize::MAX,
+            writeback_threshold: 64 * 1024,
+        }
+    }
+
+    /// Transfer time of `bytes` at `bw` bytes/second.
+    fn transfer(bytes: u64, bw: u64) -> Duration {
+        if bw == u64::MAX || bw == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / bw)
+        }
+    }
+}
+
+/// Identifies the position of the previous IO so HDD seeks can be modeled.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+struct HeadPos {
+    file: u64,
+    offset: u64,
+}
+
+thread_local! {
+    /// Signed per-thread sleep debt in nanoseconds. Positive = owed wait;
+    /// negative = credit from oversleeping (OS timers overshoot).
+    static SLEEP_DEBT: Cell<i64> = const { Cell::new(0) };
+}
+
+/// Debt is slept off once it exceeds this (≈ 3–4 OS timer grains).
+const DEBT_SLEEP_NS: i64 = 200_000;
+/// Credit is capped so one long oversleep cannot hide a burst of IO.
+const DEBT_CREDIT_CAP_NS: i64 = -2_000_000;
+
+/// The runtime timing engine for one simulated device.
+pub struct DeviceModel {
+    profile: DeviceProfile,
+    scale: f64,
+    /// Virtual "device free at" clock, ns since `epoch`.
+    free_at: AtomicU64,
+    epoch: Instant,
+    head: Mutex<HeadPos>,
+}
+
+impl DeviceModel {
+    /// Builds a model from a profile. The `P2KVS_SIM_TIME_SCALE` environment
+    /// variable (a float, default 1.0) scales every charged latency, letting
+    /// the benchmark harness trade fidelity for wall-clock time.
+    pub fn from_profile(profile: DeviceProfile) -> Self {
+        let scale = std::env::var("P2KVS_SIM_TIME_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(1.0)
+            .clamp(0.0, 100.0);
+        DeviceModel {
+            profile,
+            scale,
+            free_at: AtomicU64::new(0),
+            epoch: Instant::now(),
+            head: Mutex::new(HeadPos::default()),
+        }
+    }
+
+    /// The profile this model was built from.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    fn scaled(&self, d: Duration) -> Duration {
+        if self.scale == 1.0 {
+            d
+        } else {
+            d.mul_f64(self.scale)
+        }
+    }
+
+    /// Reserves `service` worth of device work and charges the caller the
+    /// resulting wait. Returns the model service time (for busy
+    /// accounting).
+    fn occupy(&self, service: Duration) -> Duration {
+        let svc = self.scaled(service);
+        if svc.is_zero() {
+            return service;
+        }
+        // Capacity consumed on the aggregate timeline: the device works on
+        // up to `channels` IOs at once.
+        let channels = self.profile.channels.min(64).max(1) as u32;
+        let occupancy_ns = (svc.as_nanos() as u64 / u64::from(channels)).max(1);
+        let now_ns = self.epoch.elapsed().as_nanos() as u64;
+        // start = max(now, free_at); free_at' = start + occupancy.
+        let mut start;
+        let mut cur = self.free_at.load(Ordering::Relaxed);
+        loop {
+            start = cur.max(now_ns);
+            match self.free_at.compare_exchange_weak(
+                cur,
+                start + occupancy_ns,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        // The IO completes at start + svc; the caller owes the difference.
+        let completes = start + svc.as_nanos() as u64;
+        let wait_ns = completes.saturating_sub(now_ns) as i64;
+        Self::charge_wait(wait_ns);
+        service
+    }
+
+    /// Adds `wait_ns` to the caller's sleep debt, sleeping it off in
+    /// OS-timer-sized chunks with oversleep compensation.
+    fn charge_wait(wait_ns: i64) {
+        SLEEP_DEBT.with(|debt| {
+            let mut d = debt.get() + wait_ns;
+            if d >= DEBT_SLEEP_NS {
+                let t0 = Instant::now();
+                std::thread::sleep(Duration::from_nanos(d as u64));
+                d -= t0.elapsed().as_nanos() as i64;
+                if d < DEBT_CREDIT_CAP_NS {
+                    d = DEBT_CREDIT_CAP_NS;
+                }
+            }
+            debt.set(d);
+        });
+    }
+
+    /// Test hook: the calling thread's current sleep debt in nanoseconds.
+    pub fn thread_debt_ns() -> i64 {
+        SLEEP_DEBT.with(|d| d.get())
+    }
+
+    /// Seek penalty for accessing (`file`, `offset`), updating the head to
+    /// the end of the access.
+    fn seek_cost(&self, file: u64, offset: u64, len: u64) -> Duration {
+        if self.profile.seek_latency.is_zero() {
+            return Duration::ZERO;
+        }
+        let mut head = self.head.lock();
+        let sequential = head.file == file && head.offset == offset;
+        *head = HeadPos {
+            file,
+            offset: offset + len,
+        };
+        if sequential {
+            Duration::ZERO
+        } else {
+            self.profile.seek_latency
+        }
+    }
+
+    /// Charges a write of `bytes` at (`file`, `offset`); returns model time.
+    pub fn write(&self, file: u64, offset: u64, bytes: u64) -> Duration {
+        let svc = self.profile.write_latency
+            + DeviceProfile::transfer(bytes, self.profile.write_bw)
+            + self.seek_cost(file, offset, bytes);
+        self.occupy(svc)
+    }
+
+    /// Charges a read of `bytes` at (`file`, `offset`); returns model time.
+    pub fn read(&self, file: u64, offset: u64, bytes: u64) -> Duration {
+        let svc = self.profile.read_latency
+            + DeviceProfile::transfer(bytes, self.profile.read_bw)
+            + self.seek_cost(file, offset, bytes);
+        self.occupy(svc)
+    }
+
+    /// Charges a durability barrier; returns model time.
+    pub fn sync(&self) -> Duration {
+        self.occupy(self.profile.sync_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_scale(profile: DeviceProfile) -> DeviceModel {
+        let mut m = DeviceModel::from_profile(profile);
+        m.scale = 1.0;
+        m
+    }
+
+    /// Runs `f` on a fresh thread so per-thread debt starts at zero and is
+    /// fully settled (slept) before measuring.
+    fn on_fresh_thread<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+        std::thread::spawn(move || {
+            let out = f();
+            // Settle remaining debt so wall-time assertions see it.
+            DeviceModel::charge_wait(DEBT_SLEEP_NS);
+            out
+        })
+        .join()
+        .unwrap()
+    }
+
+    #[test]
+    fn transfer_time_math() {
+        let d = DeviceProfile::transfer(1024 * 1024, 1024 * 1024 * 1024);
+        // 1 MiB over 1 GiB/s ≈ 1 ms.
+        assert!(d >= Duration::from_micros(900) && d <= Duration::from_micros(1100));
+        assert_eq!(DeviceProfile::transfer(123, u64::MAX), Duration::ZERO);
+    }
+
+    #[test]
+    fn instant_device_is_free() {
+        let m = no_scale(DeviceProfile::instant());
+        let start = Instant::now();
+        for i in 0..10_000 {
+            m.write(1, i * 100, 100);
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn hdd_charges_seeks_on_random_access() {
+        let (seq, rnd) = on_fresh_thread(|| {
+            let m = no_scale(DeviceProfile::hdd());
+            let t0 = Instant::now();
+            for i in 0..4 {
+                m.write(7, i * 128, 128);
+            }
+            DeviceModel::charge_wait(DEBT_SLEEP_NS); // settle
+            let seq = t0.elapsed();
+            let t0 = Instant::now();
+            for i in 0..4u64 {
+                m.write(i % 2, i * 99_991, 128);
+            }
+            DeviceModel::charge_wait(DEBT_SLEEP_NS);
+            (seq, t0.elapsed())
+        });
+        assert!(rnd > seq, "random {rnd:?} should exceed sequential {seq:?}");
+        assert!(rnd >= Duration::from_millis(25), "4 seeks ≈ 32ms, got {rnd:?}");
+    }
+
+    #[test]
+    fn nvme_small_reads_are_cheap() {
+        let wall = on_fresh_thread(|| {
+            let m = no_scale(DeviceProfile::nvme_optane());
+            let t0 = Instant::now();
+            for i in 0..100u64 {
+                m.read(3, i * 4096, 4096);
+            }
+            DeviceModel::charge_wait(DEBT_SLEEP_NS);
+            t0.elapsed()
+        });
+        // 100 × ~9.5µs of device time, debt-batched: ~1ms total.
+        assert!(wall >= Duration::from_micros(600), "{wall:?}");
+        assert!(wall < Duration::from_millis(50), "{wall:?}");
+    }
+
+    #[test]
+    fn single_channel_serializes_concurrent_ios() {
+        // One channel: 8 concurrent 5ms IOs take ≈ 40ms wall time.
+        let mut profile = DeviceProfile::hdd();
+        profile.write_latency = Duration::from_millis(5);
+        profile.write_bw = u64::MAX;
+        profile.seek_latency = Duration::ZERO;
+        let m = std::sync::Arc::new(no_scale(profile));
+        let start = Instant::now();
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    m.write(i, 0, 64);
+                    DeviceModel::charge_wait(DEBT_SLEEP_NS);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(35), "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn multiple_channels_overlap() {
+        let mut profile = DeviceProfile::nvme_optane();
+        profile.write_latency = Duration::from_millis(5);
+        profile.write_bw = u64::MAX;
+        let m = std::sync::Arc::new(no_scale(profile));
+        let start = Instant::now();
+        let hs: Vec<_> = (0..8)
+            .map(|i| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    m.write(i, 0, 64);
+                    DeviceModel::charge_wait(DEBT_SLEEP_NS);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        // 8 IOs over 8 channels ≈ 5–10 ms, far less than serialized 40 ms.
+        assert!(start.elapsed() < Duration::from_millis(30), "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn bandwidth_caps_throughput() {
+        // 100 MiB at 1 GiB/s aggregate must take ≥ ~90ms of wall time.
+        let wall = on_fresh_thread(|| {
+            let mut profile = DeviceProfile::nvme_optane();
+            profile.write_bw = 1024 * 1024 * 1024;
+            profile.write_latency = Duration::ZERO;
+            profile.channels = 1;
+            let m = no_scale(profile);
+            let t0 = Instant::now();
+            for i in 0..100u64 {
+                m.write(1, i << 20, 1 << 20);
+            }
+            DeviceModel::charge_wait(DEBT_SLEEP_NS);
+            t0.elapsed()
+        });
+        assert!(wall >= Duration::from_millis(85), "{wall:?}");
+    }
+
+    #[test]
+    fn debt_is_compensated_not_accumulated() {
+        // Many small charges must not each pay the OS timer floor.
+        let wall = on_fresh_thread(|| {
+            let mut profile = DeviceProfile::nvme_optane();
+            profile.write_latency = Duration::from_micros(5);
+            profile.write_bw = u64::MAX;
+            profile.channels = 1;
+            let m = no_scale(profile);
+            let t0 = Instant::now();
+            for i in 0..1000u64 {
+                m.write(1, i * 64, 64);
+            }
+            DeviceModel::charge_wait(DEBT_SLEEP_NS);
+            t0.elapsed()
+        });
+        // Model time = 5ms; naive per-IO sleeping would cost ≥ 60ms.
+        assert!(wall >= Duration::from_millis(4), "{wall:?}");
+        assert!(wall < Duration::from_millis(40), "{wall:?}");
+    }
+}

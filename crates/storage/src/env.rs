@@ -1,0 +1,135 @@
+//! The `Env` trait: the filesystem surface every engine is written against.
+//!
+//! Modeled on LevelDB's `Env`, trimmed to what LSM/B-tree engines actually
+//! need: append-only writable files (WAL, SSTs, manifests), positional
+//! random-access reads (SST blocks, slab pages), sequential reads
+//! (recovery), and a handful of namespace operations.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::stats::IoStatsSnapshot;
+
+/// An append-only file handle (WAL segment, SST under construction, ...).
+pub trait WritableFile: Send {
+    /// Appends `data` to the end of the file (buffered; not yet durable).
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Pushes buffered data to the device without a durability barrier.
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// Makes all appended data durable (fsync semantics).
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Current file length in bytes, including buffered data.
+    fn len(&self) -> u64;
+
+    /// Whether the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A positional, shareable read handle.
+pub trait RandomAccessFile: Send + Sync {
+    /// Reads exactly `buf.len()` bytes at `offset`, or fails with
+    /// `UnexpectedEof` if the file is shorter.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// File length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A forward-only read handle used for recovery scans.
+pub trait SequentialFile: Send {
+    /// Reads up to `buf.len()` bytes, returning the number read (0 at EOF).
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+}
+
+/// A read-write handle supporting in-place positional writes (KVell-style
+/// slab slot updates). Writes past the end extend the file.
+pub trait RandomRwFile: Send {
+    /// Reads exactly `buf.len()` bytes at `offset`.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Writes `data` at `offset`, extending the file if needed. The write
+    /// is durable once the call returns (single-slot commit semantics).
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Current file length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The filesystem abstraction.
+///
+/// Implementations must be safe to share across threads; all engines hold an
+/// `Arc<dyn Env>`.
+pub trait Env: Send + Sync {
+    /// Creates (truncating) a writable file at `path`.
+    fn new_writable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>>;
+
+    /// Opens an existing writable file for append, creating it if absent.
+    fn new_appendable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>>;
+
+    /// Opens `path` for positional reads.
+    fn new_random_access(&self, path: &Path) -> io::Result<Box<dyn RandomAccessFile>>;
+
+    /// Opens `path` for sequential reads.
+    fn new_sequential(&self, path: &Path) -> io::Result<Box<dyn SequentialFile>>;
+
+    /// Opens (creating if absent) `path` for in-place positional writes.
+    fn new_random_rw(&self, path: &Path) -> io::Result<Box<dyn RandomRwFile>>;
+
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Lists the direct children of directory `path` (file names only).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`, replacing any existing `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Creates `path` and all missing parents as directories.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes directory `path` and everything under it.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Size of the file at `path` in bytes.
+    fn file_size(&self, path: &Path) -> io::Result<u64>;
+
+    /// Point-in-time IO statistics for this environment.
+    fn io_stats(&self) -> IoStatsSnapshot;
+}
+
+/// Reads the entire file at `path` into a `Vec<u8>`.
+pub fn read_all(env: &dyn Env, path: &Path) -> io::Result<Vec<u8>> {
+    let size = env.file_size(path)? as usize;
+    let file = env.new_random_access(path)?;
+    let mut buf = vec![0u8; size];
+    if size > 0 {
+        file.read_at(0, &mut buf)?;
+    }
+    Ok(buf)
+}
+
+/// Writes `data` as the full contents of `path` and syncs it.
+pub fn write_all(env: &dyn Env, path: &Path, data: &[u8]) -> io::Result<()> {
+    let mut f = env.new_writable(path)?;
+    f.append(data)?;
+    f.sync()?;
+    Ok(())
+}

@@ -1,0 +1,314 @@
+//! Real-filesystem `Env` implementation.
+//!
+//! Used when running the stack against an actual disk (the paper's
+//! deployment mode). IO statistics are still collected so the harness can
+//! report amplification on real hardware too.
+
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::env::{Env, RandomAccessFile, SequentialFile, WritableFile};
+use crate::stats::{IoClass, IoStats, IoStatsSnapshot};
+
+/// `Env` backed by `std::fs`.
+pub struct StdEnv {
+    stats: Arc<IoStats>,
+}
+
+impl Default for StdEnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StdEnv {
+    /// Creates a real-filesystem environment.
+    pub fn new() -> Self {
+        StdEnv {
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+}
+
+struct StdWritable {
+    file: fs::File,
+    len: u64,
+    stats: Arc<IoStats>,
+    class: IoClass,
+}
+
+impl WritableFile for StdWritable {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.file.write_all(data)?;
+        self.len += data.len() as u64;
+        self.stats.record_write(data.len() as u64, self.class);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.stats.record_sync();
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+struct StdRandomAccess {
+    file: fs::File,
+    len: u64,
+    stats: Arc<IoStats>,
+}
+
+impl RandomAccessFile for StdRandomAccess {
+    #[cfg(unix)]
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)?;
+        self.stats.record_read(buf.len() as u64);
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, _offset: u64, _buf: &mut [u8]) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "positional reads unsupported on this platform",
+        ))
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+struct StdSequential {
+    file: fs::File,
+    stats: Arc<IoStats>,
+}
+
+impl SequentialFile for StdSequential {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.file.read(buf)?;
+        if n > 0 {
+            self.stats.record_read(n as u64);
+        }
+        Ok(n)
+    }
+}
+
+struct StdRandomRw {
+    file: fs::File,
+    len: u64,
+    stats: Arc<IoStats>,
+}
+
+impl crate::env::RandomRwFile for StdRandomRw {
+    #[cfg(unix)]
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)?;
+        self.stats.record_read(buf.len() as u64);
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, _offset: u64, _buf: &mut [u8]) -> io::Result<()> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "unsupported"))
+    }
+
+    #[cfg(unix)]
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(data, offset)?;
+        self.file.sync_data()?;
+        self.len = self.len.max(offset + data.len() as u64);
+        self.stats.record_write(data.len() as u64, IoClass::Misc);
+        self.stats.record_sync();
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn write_at(&mut self, _offset: u64, _data: &[u8]) -> io::Result<()> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "unsupported"))
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+fn class_of(path: &Path) -> IoClass {
+    IoClass::of_file_name(
+        &path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+    )
+}
+
+impl Env for StdEnv {
+    fn new_writable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(StdWritable {
+            file,
+            len: 0,
+            stats: self.stats.clone(),
+            class: class_of(path),
+        }))
+    }
+
+    fn new_appendable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>> {
+        let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        Ok(Box::new(StdWritable {
+            file,
+            len,
+            stats: self.stats.clone(),
+            class: class_of(path),
+        }))
+    }
+
+    fn new_random_access(&self, path: &Path) -> io::Result<Box<dyn RandomAccessFile>> {
+        let file = fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Box::new(StdRandomAccess {
+            file,
+            len,
+            stats: self.stats.clone(),
+        }))
+    }
+
+    fn new_sequential(&self, path: &Path) -> io::Result<Box<dyn SequentialFile>> {
+        let file = fs::File::open(path)?;
+        Ok(Box::new(StdSequential {
+            file,
+            stats: self.stats.clone(),
+        }))
+    }
+
+    fn new_random_rw(&self, path: &Path) -> io::Result<Box<dyn crate::env::RandomRwFile>> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Box::new(StdRandomRw {
+            file,
+            len,
+            stats: self.stats.clone(),
+        }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(path)? {
+            out.push(PathBuf::from(entry?.file_name()));
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::remove_dir_all(path)
+    }
+
+    fn file_size(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn io_stats(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{read_all, write_all};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("p2kvs-stdenv-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_on_real_fs() {
+        let dir = tmpdir("roundtrip");
+        let env = StdEnv::new();
+        let path = dir.join("000001.log");
+        write_all(&env, &path, b"persisted").unwrap();
+        assert_eq!(read_all(&env, &path).unwrap(), b"persisted");
+        assert_eq!(env.file_size(&path).unwrap(), 9);
+        let listing = env.list_dir(&dir).unwrap();
+        assert_eq!(listing, vec![PathBuf::from("000001.log")]);
+        let stats = env.io_stats();
+        assert!(stats.bytes_written >= 9);
+        assert!(stats.wal_bytes >= 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appendable_and_rename() {
+        let dir = tmpdir("append");
+        let env = StdEnv::new();
+        let a = dir.join("a.wal");
+        let b = dir.join("b.wal");
+        write_all(&env, &a, b"one").unwrap();
+        let mut w = env.new_appendable(&a).unwrap();
+        w.append(b"two").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        env.rename(&a, &b).unwrap();
+        assert!(!env.exists(&a));
+        assert_eq!(read_all(&env, &b).unwrap(), b"onetwo");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequential_read_on_real_fs() {
+        let dir = tmpdir("seq");
+        let env = StdEnv::new();
+        let path = dir.join("s.bin");
+        write_all(&env, &path, &[9u8; 100]).unwrap();
+        let mut s = env.new_sequential(&path).unwrap();
+        let mut buf = [0u8; 64];
+        assert_eq!(s.read(&mut buf).unwrap(), 64);
+        assert_eq!(s.read(&mut buf).unwrap(), 36);
+        assert_eq!(s.read(&mut buf).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

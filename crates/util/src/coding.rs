@@ -1,0 +1,160 @@
+//! Integer coding shared by the on-disk formats.
+//!
+//! All persistent formats in this workspace (WAL records, SST blocks,
+//! manifests, slab headers) use little-endian fixed-width integers and
+//! LEB128-style varints, mirroring the LevelDB/RocksDB wire formats.
+
+/// Appends a little-endian `u32` to `dst`.
+#[inline]
+pub fn put_fixed32(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64` to `dst`.
+#[inline]
+pub fn put_fixed64(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u32` from the first 4 bytes of `src`.
+///
+/// # Panics
+///
+/// Panics if `src` is shorter than 4 bytes.
+#[inline]
+pub fn get_fixed32(src: &[u8]) -> u32 {
+    u32::from_le_bytes(src[..4].try_into().expect("short fixed32"))
+}
+
+/// Reads a little-endian `u64` from the first 8 bytes of `src`.
+///
+/// # Panics
+///
+/// Panics if `src` is shorter than 8 bytes.
+#[inline]
+pub fn get_fixed64(src: &[u8]) -> u64 {
+    u64::from_le_bytes(src[..8].try_into().expect("short fixed64"))
+}
+
+/// Appends `v` as a varint (LEB128) to `dst`.
+pub fn put_varint32(dst: &mut Vec<u8>, v: u32) {
+    put_varint64(dst, u64::from(v));
+}
+
+/// Appends `v` as a varint (LEB128) to `dst`.
+pub fn put_varint64(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Decodes a varint from the front of `src`, returning the value and the
+/// number of bytes consumed, or `None` if `src` is truncated or the varint
+/// overflows 64 bits.
+pub fn get_varint64(src: &[u8]) -> Option<(u64, usize)> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &b) in src.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        result |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some((result, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Decodes a 32-bit varint from the front of `src`.
+pub fn get_varint32(src: &[u8]) -> Option<(u32, usize)> {
+    let (v, n) = get_varint64(src)?;
+    u32::try_from(v).ok().map(|v| (v, n))
+}
+
+/// Appends a length-prefixed (varint) byte slice to `dst`.
+pub fn put_length_prefixed(dst: &mut Vec<u8>, slice: &[u8]) {
+    put_varint32(dst, slice.len() as u32);
+    dst.extend_from_slice(slice);
+}
+
+/// Decodes a length-prefixed slice from the front of `src`, returning the
+/// slice and the total bytes consumed.
+pub fn get_length_prefixed(src: &[u8]) -> Option<(&[u8], usize)> {
+    let (len, n) = get_varint32(src)?;
+    let end = n.checked_add(len as usize)?;
+    if end > src.len() {
+        return None;
+    }
+    Some((&src[n..end], end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_fixed32(&mut buf, 0xdead_beef);
+        put_fixed64(&mut buf, 0x0123_4567_89ab_cdef);
+        assert_eq!(get_fixed32(&buf), 0xdead_beef);
+        assert_eq!(get_fixed64(&buf[4..]), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            let (decoded, used) = get_varint64(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_is_none() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::MAX);
+        assert!(get_varint64(&buf[..buf.len() - 1]).is_none());
+        assert!(get_varint64(&[]).is_none());
+    }
+
+    #[test]
+    fn varint_overlong_is_none() {
+        // 11 continuation bytes overflow a u64.
+        let buf = [0xffu8; 11];
+        assert!(get_varint64(&buf).is_none());
+    }
+
+    #[test]
+    fn length_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"key");
+        put_length_prefixed(&mut buf, b"");
+        put_length_prefixed(&mut buf, b"value-bytes");
+        let (a, n1) = get_length_prefixed(&buf).unwrap();
+        let (b, n2) = get_length_prefixed(&buf[n1..]).unwrap();
+        let (c, n3) = get_length_prefixed(&buf[n1 + n2..]).unwrap();
+        assert_eq!((a, b, c), (&b"key"[..], &b""[..], &b"value-bytes"[..]));
+        assert_eq!(n1 + n2 + n3, buf.len());
+    }
+
+    #[test]
+    fn length_prefixed_truncated_is_none() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"0123456789");
+        assert!(get_length_prefixed(&buf[..5]).is_none());
+    }
+
+    #[test]
+    fn varint32_rejects_64bit_values() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::from(u32::MAX) + 1);
+        assert!(get_varint32(&buf).is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Non-cryptographic hash functions.
+//!
+//! Two hashes are provided:
+//!
+//! * [`fnv1a64`] — the classic FNV-1a used by the p2KVS accessing layer to
+//!   partition the key space across workers (§4.2 of the paper uses
+//!   `Hash(key) % N`); FNV gives a good spread even for the dense,
+//!   zero-padded keys YCSB generates.
+//! * [`mix64`] / [`bloom_hash`] — cheap avalanche mixes used to derive the
+//!   probe sequence of the SST bloom filters (double hashing).
+
+/// FNV-1a offset basis for 64-bit hashes.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime for 64-bit hashes.
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// Hashes `data` with 64-bit FNV-1a.
+///
+/// # Examples
+///
+/// ```
+/// let h = p2kvs_util::hash::fnv1a64(b"user4832");
+/// assert_ne!(h, p2kvs_util::hash::fnv1a64(b"user4833"));
+/// ```
+#[inline]
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Finalization mix from SplitMix64; turns a weak integer into a
+/// well-distributed 64-bit value.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// 32-bit hash used for bloom-filter probes, compatible with the
+/// LevelDB-style `BloomHash` (a Murmur-inspired block hash).
+#[inline]
+pub fn bloom_hash(data: &[u8]) -> u32 {
+    hash32(data, 0xbc9f_1d34)
+}
+
+/// 32-bit seeded hash over `data` (LevelDB `Hash` algorithm).
+pub fn hash32(data: &[u8], seed: u32) -> u32 {
+    const M: u32 = 0xc6a4_a793;
+    const R: u32 = 24;
+    let n = data.len();
+    let mut h = seed ^ (M.wrapping_mul(n as u32));
+    let mut chunks = data.chunks_exact(4);
+    for w in &mut chunks {
+        let v = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        h = h.wrapping_add(v);
+        h = h.wrapping_mul(M);
+        h ^= h >> 16;
+    }
+    let rest = chunks.remainder();
+    // Tail bytes are folded in high-to-low, matching the reference algorithm.
+    if rest.len() >= 3 {
+        h = h.wrapping_add(u32::from(rest[2]) << 16);
+    }
+    if rest.len() >= 2 {
+        h = h.wrapping_add(u32::from(rest[1]) << 8);
+    }
+    if !rest.is_empty() {
+        h = h.wrapping_add(u32::from(rest[0]));
+        h = h.wrapping_mul(M);
+        h ^= h >> R;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_neighbours() {
+        let a = fnv1a64(b"key00000001");
+        let b = fnv1a64(b"key00000002");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fnv_empty_is_offset_basis() {
+        assert_eq!(fnv1a64(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // A mix must not collapse close inputs.
+        let outs: std::collections::HashSet<u64> = (0..10_000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn partitioning_is_balanced() {
+        // The paper relies on Hash(key) % N spreading dense keys evenly.
+        const N: usize = 8;
+        let mut counts = [0usize; N];
+        for i in 0..80_000u64 {
+            let key = format!("user{i:016}");
+            counts[(fnv1a64(key.as_bytes()) % N as u64) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // Within 10% of each other.
+        assert!(*max < min + min / 10, "imbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn hash32_tail_handling() {
+        // Exercise 1-, 2-, 3-byte tails explicitly.
+        let h0 = hash32(b"", 7);
+        let h1 = hash32(b"a", 7);
+        let h2 = hash32(b"ab", 7);
+        let h3 = hash32(b"abc", 7);
+        let h4 = hash32(b"abcd", 7);
+        let all = [h0, h1, h2, h3, h4];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j], "collision between lengths {i} and {j}");
+            }
+        }
+    }
+}

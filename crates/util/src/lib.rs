@@ -1,0 +1,30 @@
+//! Shared utilities for the p2KVS reproduction.
+//!
+//! This crate collects the small, dependency-free building blocks that every
+//! other crate in the workspace needs:
+//!
+//! * [`hash`] — FNV-1a and a 64-bit mix hash used for key partitioning and
+//!   bloom filters.
+//! * [`crc32c`] — the Castagnoli CRC used to protect WAL records and SST
+//!   blocks.
+//! * [`coding`] — varint and fixed-width little-endian integer coding shared
+//!   by the on-disk formats.
+//! * [`histogram`] — a log-bucketed latency histogram (HdrHistogram-style)
+//!   used by every benchmark harness.
+//! * [`lru`] — a byte-capacity LRU used as the item/page cache of the
+//!   non-LSM engines.
+//! * [`timing`] — precise spin-sleep and busy-time accounting used by the
+//!   simulated storage devices and the worker threads.
+//! * [`affinity`] — thread-to-core pinning (`sched_setaffinity`), one of the
+//!   paper's explicit design points (§4.1).
+//! * [`rate`] — token-bucket rate limiting and windowed throughput meters
+//!   used by the latency-vs-intensity experiment (Fig 13).
+
+pub mod affinity;
+pub mod coding;
+pub mod crc32c;
+pub mod hash;
+pub mod histogram;
+pub mod lru;
+pub mod rate;
+pub mod timing;

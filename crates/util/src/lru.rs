@@ -1,0 +1,155 @@
+//! Byte-capacity LRU cache of owned byte strings.
+//!
+//! Used as the item/page cache of the non-LSM engines (KVell slabs,
+//! WiredTiger pages). Recency is tracked with a generation queue and lazy
+//! eviction; the structure is not internally synchronized — wrap it in a
+//! mutex or give each worker its own.
+
+use std::collections::{HashMap, VecDeque};
+
+/// An LRU keyed by byte strings, bounded by total (key + value) bytes.
+pub struct ByteLru {
+    map: HashMap<Vec<u8>, (Vec<u8>, u64)>,
+    queue: VecDeque<(Vec<u8>, u64)>,
+    usage: usize,
+    capacity: usize,
+    gen: u64,
+}
+
+impl ByteLru {
+    /// Creates a cache holding at most `capacity` bytes (0 disables it).
+    pub fn new(capacity: usize) -> ByteLru {
+        ByteLru {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            usage: 0,
+            capacity,
+            gen: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.gen += 1;
+        let gen = self.gen;
+        let (value, g) = self.map.get_mut(key)?;
+        *g = gen;
+        let v = value.clone();
+        self.queue.push_back((key.to_vec(), gen));
+        self.compact();
+        Some(v)
+    }
+
+    /// Inserts `key -> value`, evicting least-recently-used entries as
+    /// needed.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.gen += 1;
+        let gen = self.gen;
+        if let Some((old, _)) = self.map.insert(key.to_vec(), (value.to_vec(), gen)) {
+            self.usage -= key.len() + old.len();
+        }
+        self.usage += key.len() + value.len();
+        self.queue.push_back((key.to_vec(), gen));
+        while self.usage > self.capacity {
+            let Some((k, g)) = self.queue.pop_front() else {
+                break;
+            };
+            let stale = self.map.get(&k).map(|(_, cur)| *cur != g).unwrap_or(true);
+            if stale {
+                continue;
+            }
+            if let Some((v, _)) = self.map.remove(&k) {
+                self.usage -= k.len() + v.len();
+            }
+        }
+    }
+
+    /// Removes `key` if present.
+    pub fn remove(&mut self, key: &[u8]) {
+        if let Some((v, _)) = self.map.remove(key) {
+            self.usage -= key.len() + v.len();
+        }
+    }
+
+    /// Current resident bytes.
+    pub fn usage(&self) -> usize {
+        self.usage
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bounds queue growth from repeated touches.
+    fn compact(&mut self) {
+        if self.queue.len() > self.map.len() * 4 + 16 {
+            let map = &self.map;
+            self.queue
+                .retain(|(k, g)| map.get(k).map(|(_, cur)| cur == g).unwrap_or(false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_usage() {
+        let mut c = ByteLru::new(1024);
+        assert!(c.get(b"a").is_none());
+        c.insert(b"a", b"1111");
+        assert_eq!(c.get(b"a").unwrap(), b"1111");
+        assert_eq!(c.usage(), 5);
+        c.remove(b"a");
+        assert!(c.get(b"a").is_none());
+        assert_eq!(c.usage(), 0);
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let mut c = ByteLru::new(100);
+        for i in 0..50u32 {
+            c.insert(format!("key{i:02}").as_bytes(), &[0u8; 10]);
+        }
+        assert!(c.usage() <= 100);
+        assert!(c.len() <= 7);
+    }
+
+    #[test]
+    fn recently_used_survive() {
+        let mut c = ByteLru::new(60);
+        c.insert(b"hot", &[1u8; 10]);
+        for i in 0..100u32 {
+            let _ = c.get(b"hot");
+            c.insert(format!("x{i:03}").as_bytes(), &[0u8; 10]);
+        }
+        assert!(c.get(b"hot").is_some(), "hot entry evicted");
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_usage() {
+        let mut c = ByteLru::new(1024);
+        c.insert(b"k", &[0u8; 100]);
+        c.insert(b"k", &[1u8; 10]);
+        assert_eq!(c.get(b"k").unwrap(), vec![1u8; 10]);
+        assert_eq!(c.usage(), 11);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ByteLru::new(0);
+        c.insert(b"k", b"v");
+        assert!(c.get(b"k").is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! `wtiger`: a B-tree keyed store with WAL and checkpoints (WiredTiger
+//! stand-in).
+//!
+//! The p2KVS paper uses WiredTiger (§4.6, Fig 23) as its non-LSM
+//! portability target. What matters for that experiment is WiredTiger's
+//! *architecture*, which this crate reproduces:
+//!
+//! * a **shared B-tree index** protected by a global latch — writers
+//!   serialize on it, so a single instance scales poorly with threads;
+//! * a **write-ahead journal**: every update is appended (and optionally
+//!   fsynced) to a log before it is acknowledged, behind a global log
+//!   latch;
+//! * **checkpoints**: the index is periodically dumped so recovery only
+//!   replays the journal tail;
+//! * a bounded **page/value cache** — values are read back from disk when
+//!   not cached;
+//! * **no batch-write API** — the p2KVS OBM therefore cannot merge writes
+//!   on this engine (it still batches reads by issuing them back to back).
+//!
+//! Storage layout: one append-only `journal.wal` file doubles as the value
+//! log (records are `len | crc | type | key | value`), an in-memory
+//! `BTreeMap` maps keys to value locations in that file, and `checkpoint`
+//! persists the map. This value-log arrangement is a simplification of
+//! WiredTiger's on-disk B-tree pages; DESIGN.md records the substitution —
+//! the lock structure, journal write path and cache behaviour (the things
+//! Fig 23 measures) are preserved.
+
+pub mod journal;
+pub mod store;
+
+pub use store::{WtDb, WtOptions};

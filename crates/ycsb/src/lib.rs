@@ -1,0 +1,19 @@
+//! YCSB-style workload generation and a multi-threaded runner.
+//!
+//! Reimplements the parts of the Yahoo! Cloud Serving Benchmark the paper
+//! evaluates with (Table 1): request distributions (uniform,
+//! scrambled-zipfian with θ = 0.99, latest), the core workloads LOAD and
+//! A–F, plus the `db_bench`-style micro workloads (fillseq, fillrandom,
+//! overwrite, readseq, readrandom) used by Figs 1 and 12–15.
+//!
+//! The runner drives anything implementing [`KvClient`], so the same
+//! workload bytes hit RocksDB-mode `lsmkv`, `p2kvs`, KVell and WiredTiger.
+
+pub mod generator;
+pub mod micro;
+pub mod runner;
+pub mod workload;
+
+pub use generator::{KeySpace, Latest, ScrambledZipfian, Uniform, Zipfian};
+pub use runner::{KvClient, RunConfig, RunResult};
+pub use workload::{OpKind, Workload, WorkloadKind};

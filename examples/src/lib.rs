@@ -1,0 +1,1 @@
+//! Runnable examples; see the [[bin]] targets.

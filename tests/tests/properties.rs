@@ -1,0 +1,164 @@
+//! Property-based tests: random histories against reference models.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use p2kvs::engine::LsmFactory;
+use p2kvs::{P2Kvs, P2KvsOptions, WriteOp};
+
+/// One step of a random history.
+#[derive(Debug, Clone)]
+enum Step {
+    Put(u8, u8),
+    Delete(u8),
+    Batch(Vec<(u8, u8)>),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Step::Put(k, v)),
+        any::<u8>().prop_map(Step::Delete),
+        proptest::collection::vec((any::<u8>(), any::<u8>()), 1..8).prop_map(Step::Batch),
+    ]
+}
+
+fn key(k: u8) -> Vec<u8> {
+    format!("key{k:03}").into_bytes()
+}
+
+fn value(v: u8) -> Vec<u8> {
+    vec![v; 16]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any history of puts/deletes/transactional batches leaves the p2KVS
+    /// store exactly equal to a BTreeMap model — including after a reopen.
+    #[test]
+    fn p2kvs_matches_model(steps in proptest::collection::vec(step_strategy(), 1..120)) {
+        let env: p2kvs_storage::EnvRef = Arc::new(p2kvs_storage::MemEnv::new());
+        let factory = || LsmFactory::new(lsmkv::Options::rocksdb_like(env.clone()));
+        let opts = || {
+            let mut o = P2KvsOptions::with_workers(3);
+            o.pin_workers = false;
+            o
+        };
+        let mut model = std::collections::BTreeMap::new();
+        {
+            let store = P2Kvs::open(factory(), "prop", opts()).unwrap();
+            for step in &steps {
+                match step {
+                    Step::Put(k, v) => {
+                        store.put(&key(*k), &value(*v)).unwrap();
+                        model.insert(key(*k), value(*v));
+                    }
+                    Step::Delete(k) => {
+                        store.delete(&key(*k)).unwrap();
+                        model.remove(&key(*k));
+                    }
+                    Step::Batch(kvs) => {
+                        store
+                            .write_batch(
+                                kvs.iter()
+                                    .map(|(k, v)| WriteOp::Put { key: key(*k), value: value(*v) })
+                                    .collect(),
+                            )
+                            .unwrap();
+                        for (k, v) in kvs {
+                            model.insert(key(*k), value(*v));
+                        }
+                    }
+                }
+            }
+            // Point reads match.
+            for k in 0..=255u8 {
+                prop_assert_eq!(store.get(&key(k)).unwrap(), model.get(&key(k)).cloned());
+            }
+            // Full scan matches the model exactly (order + content).
+            let scanned = store.scan(b"", usize::MAX / 4).unwrap();
+            let expect: Vec<(Vec<u8>, Vec<u8>)> =
+                model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(&scanned, &expect);
+            store.close();
+        }
+        // Reopen: recovery must restore the same state.
+        let store = P2Kvs::open(factory(), "prop", opts()).unwrap();
+        for k in 0..=255u8 {
+            prop_assert_eq!(store.get(&key(k)).unwrap(), model.get(&key(k)).cloned());
+        }
+    }
+
+    /// Range queries over random histories equal the model's range view.
+    #[test]
+    fn ranges_match_model(
+        steps in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..150),
+        lo in any::<u8>(),
+        width in 1u8..80,
+    ) {
+        let env: p2kvs_storage::EnvRef = Arc::new(p2kvs_storage::MemEnv::new());
+        let factory = LsmFactory::new(lsmkv::Options::rocksdb_like(env));
+        let mut opts = P2KvsOptions::with_workers(4);
+        opts.pin_workers = false;
+        let store = P2Kvs::open(factory, "prop-range", opts).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (k, v) in &steps {
+            store.put(&key(*k), &value(*v)).unwrap();
+            model.insert(key(*k), value(*v));
+        }
+        let hi = lo.saturating_add(width);
+        let got = store.range(&key(lo), &key(hi)).unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+            .range(key(lo)..key(hi))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The KVell engine also matches the model, including after recovery
+    /// (index rebuilt by slab scan).
+    #[test]
+    fn kvell_matches_model(steps in proptest::collection::vec(step_strategy(), 1..100)) {
+        let env: p2kvs_storage::EnvRef = Arc::new(p2kvs_storage::MemEnv::new());
+        let mut model = std::collections::BTreeMap::new();
+        {
+            let mut o = kvell::KvellOptions::new(env.clone());
+            o.workers = 2;
+            let db = kvell::KvellDb::open(o, "prop-kv").unwrap();
+            for step in &steps {
+                match step {
+                    Step::Put(k, v) => {
+                        db.put(&key(*k), &value(*v)).unwrap();
+                        model.insert(key(*k), value(*v));
+                    }
+                    Step::Delete(k) => {
+                        db.delete(&key(*k)).unwrap();
+                        model.remove(&key(*k));
+                    }
+                    Step::Batch(kvs) => {
+                        // KVell has no batch API: apply individually.
+                        for (k, v) in kvs {
+                            db.put(&key(*k), &value(*v)).unwrap();
+                            model.insert(key(*k), value(*v));
+                        }
+                    }
+                }
+            }
+            for k in 0..=255u8 {
+                prop_assert_eq!(db.get(&key(k)).unwrap(), model.get(&key(k)).cloned());
+            }
+        }
+        let mut o = kvell::KvellOptions::new(env);
+        o.workers = 2;
+        let db = kvell::KvellDb::open(o, "prop-kv").unwrap();
+        prop_assert_eq!(db.len().unwrap(), model.len());
+        for k in 0..=255u8 {
+            prop_assert_eq!(db.get(&key(k)).unwrap(), model.get(&key(k)).cloned());
+        }
+    }
+}
