@@ -1,0 +1,67 @@
+//! Per-run metrics JSON artifacts.
+//!
+//! When `P2KVS_METRICS_DIR` is set, every p2KVS store the harness closes
+//! writes its final [`MetricsSnapshot`] there as
+//! `<experiment>-<seq>.metrics.json` (the `repro` binary defaults the
+//! directory to `repro_metrics/`). The artifact is the JSON render of the
+//! snapshot: framework counters, queue-wait/service histograms, queue
+//! depths, and per-instance `engine_*` metrics — enough to audit any
+//! throughput or latency number the run printed.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use p2kvs_obs::MetricsSnapshot;
+
+/// Environment variable naming the artifact directory; unset (or empty)
+/// disables artifact writing.
+pub const METRICS_DIR_ENV: &str = "P2KVS_METRICS_DIR";
+
+static EXPERIMENT: Mutex<Option<String>> = Mutex::new(None);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Labels subsequent artifacts with `id` (the experiment currently
+/// running, e.g. `fig13`).
+pub fn set_experiment(id: &str) {
+    *EXPERIMENT.lock().expect("experiment label poisoned") = Some(id.to_string());
+}
+
+/// Writes `snapshot` as a JSON artifact if `P2KVS_METRICS_DIR` is set;
+/// returns the path written, `None` when disabled or on IO failure
+/// (artifacts are best-effort — a full disk must not fail a benchmark).
+pub fn maybe_write(snapshot: &MetricsSnapshot) -> Option<PathBuf> {
+    let dir = std::env::var(METRICS_DIR_ENV).ok().filter(|d| !d.is_empty())?;
+    let label = EXPERIMENT
+        .lock()
+        .expect("experiment label poisoned")
+        .clone()
+        .unwrap_or_else(|| "run".to_string());
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{label}-{seq:03}.metrics.json"));
+    std::fs::write(&path, snapshot.render_json()).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_labeled_artifact_when_enabled() {
+        let dir = std::env::temp_dir().join("p2kvs-artifact-test");
+        std::env::set_var(METRICS_DIR_ENV, &dir);
+        set_experiment("figX");
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.push(("ops_total".into(), 7));
+        let path = maybe_write(&snap).expect("artifact written");
+        assert!(path.file_name().unwrap().to_string_lossy().starts_with("figX-"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"ops_total\": 7"));
+        std::env::remove_var(METRICS_DIR_ENV);
+        assert!(maybe_write(&snap).is_none(), "unset env disables artifacts");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -10,10 +10,13 @@
 //! Scale op counts with `P2KVS_SCALE` (e.g. `P2KVS_SCALE=0.2` for a quick
 //! pass).
 
-use p2kvs_bench::figures;
+use p2kvs_bench::{artifact, figures};
 
 fn run(id: &str) -> bool {
     let t0 = std::time::Instant::now();
+    // Stores closed during this experiment write their final metrics
+    // snapshot as `<id>-<seq>.metrics.json` under P2KVS_METRICS_DIR.
+    artifact::set_experiment(id);
     match id {
         "fig1" => figures::analysis::fig1(),
         "fig4" => figures::analysis::fig4(),
@@ -50,6 +53,11 @@ const ALL: &[&str] = &[
 ];
 
 fn main() {
+    // Metrics artifacts default on for repro runs; export
+    // P2KVS_METRICS_DIR="" to disable or point it elsewhere.
+    if std::env::var_os(p2kvs_bench::artifact::METRICS_DIR_ENV).is_none() {
+        std::env::set_var(p2kvs_bench::artifact::METRICS_DIR_ENV, "repro_metrics");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: repro <id>... | all   (ids: {})", ALL.join(" "));

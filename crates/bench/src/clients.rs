@@ -74,6 +74,14 @@ pub struct P2Client<E: KvsEngine> {
     pub store: P2Kvs<E>,
 }
 
+impl<E: KvsEngine> Drop for P2Client<E> {
+    fn drop(&mut self) {
+        // Best-effort per-run observability artifact (no-op unless
+        // P2KVS_METRICS_DIR is set; see `crate::artifact`).
+        crate::artifact::maybe_write(&self.store.metrics_snapshot());
+    }
+}
+
 impl<E: KvsEngine> KvClient for P2Client<E> {
     fn insert(&self, key: &[u8], value: &[u8]) -> Result<(), String> {
         self.store.put(key, value).map_err(|e| e.to_string())

@@ -8,6 +8,7 @@
 //! otherwise, with op counts scaled by the `P2KVS_SCALE` environment
 //! variable (default 1.0 ≈ tens of seconds per figure).
 
+pub mod artifact;
 pub mod clients;
 pub mod figures;
 pub mod setups;

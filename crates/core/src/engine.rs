@@ -61,6 +61,16 @@ pub trait KvsEngine: Send + Sync + 'static {
 
     /// Approximate resident memory in bytes.
     fn mem_usage(&self) -> usize;
+
+    /// Engine-internal metrics, as `(name, value)` pairs using
+    /// `engine_`-prefixed Prometheus-style names. The framework samples
+    /// these into its metrics registry (labeled per instance) at snapshot
+    /// time, so engine internals — e.g. lsmkv's WAL/MemTable/lock write
+    /// breakdown — surface through the same exposition as framework
+    /// metrics. The default is no metrics.
+    fn engine_metrics(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
 }
 
 /// Opens engine instances, one per worker.
@@ -172,6 +182,10 @@ impl KvsEngine for lsmkv::Db {
 
     fn mem_usage(&self) -> usize {
         self.approximate_memory_usage()
+    }
+
+    fn engine_metrics(&self) -> Vec<(String, f64)> {
+        self.stats().metrics()
     }
 }
 

@@ -25,6 +25,12 @@
 //!   (RocksDB/LevelDB/PebblesDB modes) and `wtiger` engines are provided,
 //!   and OBM degrades gracefully when an engine lacks batch-write or
 //!   multiget (§4.6).
+//! * **Observability** — every worker records queue-wait and service
+//!   latency histograms per request class into a `p2kvs-obs` metrics
+//!   registry, slow requests land in a bounded trace ring, and
+//!   [`P2Kvs::metrics_snapshot`](store::P2Kvs::metrics_snapshot) samples
+//!   queue depths and engine internals (`engine_*`) into one
+//!   Prometheus/JSON-renderable snapshot.
 //!
 //! # Quickstart
 //!
@@ -54,3 +60,8 @@ pub use error::{Error, Result};
 pub use router::{HashPartitioner, Partitioner, RangePartitioner};
 pub use store::{P2Kvs, P2KvsOptions, ScanStrategy};
 pub use types::{Op, Response, WriteOp};
+
+// The observability layer (re-exported so store users can consume
+// snapshots and traces without depending on `p2kvs-obs` directly).
+pub use p2kvs_obs as obs;
+pub use p2kvs_obs::{MetricsRegistry, MetricsSnapshot, TraceEvent};

@@ -2,7 +2,12 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use p2kvs_obs::{
+    labeled, MetricsRegistry, MetricsSnapshot, PeriodicTask, TraceEvent, TraceRing,
+    WorkerLifecycle,
+};
 
 use crate::engine::{EngineFactory, GsnFilter, KvsEngine};
 use crate::error::{Error, Result};
@@ -10,7 +15,7 @@ use crate::router::{HashPartitioner, Partitioner};
 use crate::stats::{StoreSnapshot, WorkerSnapshot};
 use crate::txn::TxnManager;
 use crate::types::{Op, Request, Response, WriteOp};
-use crate::worker::WorkerHandle;
+use crate::worker::{WorkerHandle, WorkerStats};
 
 /// How SCAN distributes work across instances (§4.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +43,18 @@ pub struct P2KvsOptions {
     pub pin_workers: bool,
     /// SCAN strategy.
     pub scan_strategy: ScanStrategy,
+    /// Record per-request queue-wait/service latencies into the metrics
+    /// registry (the registry itself always exists; this gates the
+    /// per-request recording).
+    pub metrics: bool,
+    /// Requests slower end-to-end than this leave a trace event in the
+    /// slow-request ring.
+    pub slow_request_threshold: Duration,
+    /// Capacity of the slow-request ring buffer.
+    pub trace_capacity: usize,
+    /// When set, a background reporter thread logs a one-line metrics
+    /// summary to stderr at this interval.
+    pub report_interval: Option<Duration>,
 }
 
 impl Default for P2KvsOptions {
@@ -48,6 +65,10 @@ impl Default for P2KvsOptions {
             obm: true,
             pin_workers: true,
             scan_strategy: ScanStrategy::ParallelFull,
+            metrics: true,
+            slow_request_threshold: Duration::from_millis(1),
+            trace_capacity: 256,
+            report_interval: None,
         }
     }
 }
@@ -62,8 +83,85 @@ impl P2KvsOptions {
     }
 }
 
+/// Everything the metrics exposition needs, shared with the optional
+/// reporter thread.
+struct ObsShared<E: KvsEngine> {
+    registry: Arc<MetricsRegistry>,
+    trace: Arc<TraceRing>,
+    engines: Vec<Arc<E>>,
+    worker_stats: Vec<Arc<WorkerStats>>,
+    queues: Vec<Arc<crate::queue::RequestQueue>>,
+    opened: Instant,
+}
+
+impl<E: KvsEngine> ObsShared<E> {
+    /// Samples everything that is not recorded inline — worker counters,
+    /// queue depths, store gauges, engine-internal metrics — into the
+    /// registry, then snapshots it.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let reg = &self.registry;
+        for (i, (stats, queue)) in self.worker_stats.iter().zip(&self.queues).enumerate() {
+            let w = i.to_string();
+            let l = |base: &str| labeled(base, &[("worker", &w)]);
+            let ordering = std::sync::atomic::Ordering::Relaxed;
+            reg.counter(&l("p2kvs_worker_ops_total")).store(stats.ops.load(ordering));
+            reg.counter(&l("p2kvs_worker_batches_total"))
+                .store(stats.batches.load(ordering));
+            reg.counter(&l("p2kvs_worker_merged_ops_total"))
+                .store(stats.merged_ops.load(ordering));
+            reg.set_gauge(&l("p2kvs_worker_busy_seconds"), stats.busy.busy().as_secs_f64());
+            // The live queue depth gauge: sampled, not event-counted, so
+            // it is exact at snapshot time.
+            reg.set_gauge(&l("p2kvs_queue_depth"), queue.len() as f64);
+        }
+        for (i, engine) in self.engines.iter().enumerate() {
+            let inst = i.to_string();
+            for (name, value) in engine.engine_metrics() {
+                reg.set_gauge(&labeled(&name, &[("instance", &inst)]), value);
+            }
+        }
+        reg.set_gauge("p2kvs_workers", self.worker_stats.len() as f64);
+        reg.set_gauge("p2kvs_uptime_seconds", self.opened.elapsed().as_secs_f64());
+        reg.set_gauge(
+            "p2kvs_mem_usage_bytes",
+            self.engines.iter().map(|e| e.mem_usage()).sum::<usize>() as f64,
+        );
+        reg.counter("p2kvs_slow_requests_total").store(self.trace.total_recorded());
+        reg.snapshot()
+    }
+
+    /// One-line summary for the periodic reporter.
+    fn summary_line(&self, snapshot: &MetricsSnapshot) -> String {
+        let ops: u64 = self
+            .worker_stats
+            .iter()
+            .map(|s| s.ops.load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        let depth: usize = self.queues.iter().map(|q| q.len()).sum();
+        let write_p99 = snapshot
+            .histograms_of("p2kvs_service_ns")
+            .iter()
+            .filter(|(n, _)| n.contains("class=\"write\""))
+            .map(|(_, h)| h.p99)
+            .max()
+            .unwrap_or(0);
+        format!(
+            "[p2kvs-obs] uptime={:.1}s ops={} queue_depth={} slow_events={} worst_write_service_p99={:.1}us",
+            self.opened.elapsed().as_secs_f64(),
+            ops,
+            depth,
+            self.trace.total_recorded(),
+            write_p99 as f64 / 1e3,
+        )
+    }
+}
+
 /// A p2KVS store over engine type `E`.
 pub struct P2Kvs<E: KvsEngine> {
+    // Declared before `workers` so the reporter thread stops before the
+    // workers are joined on drop.
+    reporter: Option<PeriodicTask>,
+    obs: Arc<ObsShared<E>>,
     engines: Vec<Arc<E>>,
     workers: Vec<WorkerHandle>,
     partitioner: Box<dyn Partitioner>,
@@ -93,27 +191,52 @@ impl<E: KvsEngine> P2Kvs<E> {
             Arc::new(move |gsn| recovered.should_replay(gsn))
         };
         let n = opts.workers.max(1);
+        let registry = Arc::new(MetricsRegistry::new());
+        let trace = Arc::new(TraceRing::new(opts.trace_capacity));
+        let slow_ns = opts.slow_request_threshold.as_nanos().min(u128::from(u64::MAX)) as u64;
         let mut engines = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
             let instance_dir = dir.join(format!("instance-{i}"));
             let engine = Arc::new(factory.open(&instance_dir, Some(filter.clone()))?);
             let batch_max = if opts.obm { opts.batch_max } else { 1 };
+            let lifecycle = opts
+                .metrics
+                .then(|| WorkerLifecycle::new(&registry, i, slow_ns, trace.clone()));
             workers.push(WorkerHandle::spawn(
                 i,
                 engine.clone(),
                 batch_max,
                 opts.pin_workers,
+                lifecycle,
             ));
             engines.push(engine);
         }
+        let opened = Instant::now();
+        let obs = Arc::new(ObsShared {
+            registry,
+            trace,
+            engines: engines.clone(),
+            worker_stats: workers.iter().map(|w| w.stats.clone()).collect(),
+            queues: workers.iter().map(|w| w.queue.clone()).collect(),
+            opened,
+        });
+        let reporter = opts.report_interval.map(|interval| {
+            let obs = obs.clone();
+            PeriodicTask::spawn("p2kvs-reporter", interval, move || {
+                let snapshot = obs.snapshot();
+                eprintln!("{}", obs.summary_line(&snapshot));
+            })
+        });
         Ok(P2Kvs {
+            reporter,
+            obs,
             engines,
             workers,
             partitioner: Box::new(HashPartitioner::new(n)),
             txn,
             opts,
-            opened: Instant::now(),
+            opened,
         })
     }
 
@@ -396,13 +519,34 @@ impl<E: KvsEngine> P2Kvs<E> {
         }
     }
 
+    /// The metrics registry: counters, gauges, and the queue-wait /
+    /// service latency histograms recorded by the workers.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.obs.registry
+    }
+
+    /// Full metrics snapshot: framework counters and histograms, live
+    /// queue-depth gauges, and per-instance engine metrics (`engine_*`),
+    /// ready for [`MetricsSnapshot::render_prometheus`] /
+    /// [`MetricsSnapshot::render_json`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// The most recent `n` slow-request trace events, oldest first.
+    pub fn recent_slow_requests(&self, n: usize) -> Vec<TraceEvent> {
+        self.obs.trace.recent(n)
+    }
+
     /// Framework options in effect.
     pub fn options(&self) -> &P2KvsOptions {
         &self.opts
     }
 
-    /// Closes the store: drains queues, joins workers, drops engines.
+    /// Closes the store: stops the reporter, drains queues, joins
+    /// workers, drops engines.
     pub fn close(mut self) {
+        self.reporter.take();
         for w in &mut self.workers {
             w.shutdown();
         }

@@ -61,6 +61,26 @@ pub enum OpClass {
     Solo,
 }
 
+impl OpClass {
+    /// Stable integer id (index into `p2kvs_obs::CLASS_LABELS`).
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Write => 0,
+            OpClass::Read => 1,
+            OpClass::Solo => 2,
+        }
+    }
+
+    /// Metric label for this class.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Write => "write",
+            OpClass::Read => "read",
+            OpClass::Solo => "solo",
+        }
+    }
+}
+
 impl Op {
     /// The request's OBM class.
     pub fn class(&self) -> OpClass {
@@ -174,6 +194,13 @@ impl Request {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_index_matches_obs_labels() {
+        for class in [OpClass::Write, OpClass::Read, OpClass::Solo] {
+            assert_eq!(p2kvs_obs::CLASS_LABELS[class.index()], class.label());
+        }
+    }
 
     #[test]
     fn op_classes() {

@@ -9,7 +9,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use p2kvs_obs::WorkerLifecycle;
 use p2kvs_util::timing::BusyClock;
 
 use crate::engine::KvsEngine;
@@ -54,12 +56,16 @@ impl WorkerHandle {
     /// Spawns worker `id` over `engine`.
     ///
     /// `batch_max` bounds OBM batches (1 disables merging); `pin` binds
-    /// the thread to core `id`.
+    /// the thread to core `id`. When `lifecycle` is present the worker
+    /// stamps every batch at dequeue and completion, publishing
+    /// queue-wait and service latency histograms plus slow-request trace
+    /// events.
     pub fn spawn<E: KvsEngine>(
         id: usize,
         engine: Arc<E>,
         batch_max: usize,
         pin: bool,
+        lifecycle: Option<WorkerLifecycle>,
     ) -> WorkerHandle {
         let queue = Arc::new(RequestQueue::new());
         let stats = Arc::new(WorkerStats::default());
@@ -73,7 +79,26 @@ impl WorkerHandle {
                 }
                 let max = batch_max.max(1);
                 while let Some(batch) = q.pop_batch(max) {
+                    // Lifecycle stamps: queue wait ends at dequeue, service
+                    // covers dequeue -> completion (requests in one OBM
+                    // batch complete together).
+                    let dequeued = Instant::now();
+                    let staged = lifecycle.as_ref().map(|_| {
+                        (
+                            batch[0].op.class().index(),
+                            batch
+                                .iter()
+                                .map(|r| {
+                                    dequeued.saturating_duration_since(r.enqueued).as_nanos()
+                                        as u64
+                                })
+                                .collect::<Vec<u64>>(),
+                        )
+                    });
                     s.busy.time(|| execute_batch(&*engine, batch, &s));
+                    if let (Some(lc), Some((class, waits))) = (&lifecycle, staged) {
+                        lc.observe(class, &waits, dequeued.elapsed().as_nanos() as u64);
+                    }
                 }
             })
             .expect("spawn p2kvs worker");
@@ -104,12 +129,14 @@ fn execute_batch<E: KvsEngine>(engine: &E, batch: Vec<Request>, stats: &WorkerSt
     let n = batch.len() as u64;
     stats.ops.fetch_add(n, Ordering::Relaxed);
     stats.batches.fetch_add(1, Ordering::Relaxed);
-    if n > 1 {
-        stats.merged_ops.fetch_add(n, Ordering::Relaxed);
-    }
     let caps = engine.capabilities();
     match batch[0].op.class() {
         OpClass::Write if batch.len() > 1 && caps.batch_write => {
+            // Only requests that actually ride a merged engine call count
+            // as merged; engines without the fast path fall through to
+            // per-request execution below and must not inflate the OBM
+            // merge ratio.
+            stats.merged_ops.fetch_add(n, Ordering::Relaxed);
             // Merge the run into one WriteBatch (Fig 10a).
             let ops: Vec<WriteOp> = batch
                 .iter()
@@ -136,6 +163,7 @@ fn execute_batch<E: KvsEngine>(engine: &E, batch: Vec<Request>, stats: &WorkerSt
             }
         }
         OpClass::Read if batch.len() > 1 && caps.multiget => {
+            stats.merged_ops.fetch_add(n, Ordering::Relaxed);
             // Merge the run into one multiget (Fig 10b).
             let keys: Vec<Vec<u8>> = batch
                 .iter()
@@ -192,7 +220,174 @@ mod tests {
     fn worker() -> (WorkerHandle, Arc<lsmkv::Db>) {
         let factory = LsmFactory::new(lsmkv::Options::for_test());
         let engine = Arc::new(factory.open(Path::new("w0"), None).unwrap());
-        (WorkerHandle::spawn(0, engine.clone(), 32, false), engine)
+        (WorkerHandle::spawn(0, engine.clone(), 32, false, None), engine)
+    }
+
+    /// A minimal engine with neither `batch_write` nor `multiget`: OBM
+    /// must fall back to per-request execution and count no merges.
+    struct NoCapsEngine {
+        map: std::sync::Mutex<std::collections::BTreeMap<Vec<u8>, Vec<u8>>>,
+    }
+
+    impl NoCapsEngine {
+        fn new() -> NoCapsEngine {
+            NoCapsEngine {
+                map: std::sync::Mutex::new(std::collections::BTreeMap::new()),
+            }
+        }
+    }
+
+    impl KvsEngine for NoCapsEngine {
+        fn put(&self, key: &[u8], value: &[u8]) -> crate::error::Result<()> {
+            self.map.lock().unwrap().insert(key.to_vec(), value.to_vec());
+            Ok(())
+        }
+
+        fn delete(&self, key: &[u8]) -> crate::error::Result<()> {
+            self.map.lock().unwrap().remove(key);
+            Ok(())
+        }
+
+        fn write_batch(&self, ops: &[WriteOp], _gsn: u64) -> crate::error::Result<()> {
+            for op in ops {
+                match op {
+                    WriteOp::Put { key, value } => self.put(key, value)?,
+                    WriteOp::Delete { key } => self.delete(key)?,
+                }
+            }
+            Ok(())
+        }
+
+        fn get(&self, key: &[u8]) -> crate::error::Result<Option<Vec<u8>>> {
+            Ok(self.map.lock().unwrap().get(key).cloned())
+        }
+
+        fn scan(&self, start: &[u8], count: usize) -> crate::error::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+            Ok(self
+                .map
+                .lock()
+                .unwrap()
+                .range(start.to_vec()..)
+                .take(count)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect())
+        }
+
+        fn range(&self, begin: &[u8], end: &[u8]) -> crate::error::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+            Ok(self
+                .map
+                .lock()
+                .unwrap()
+                .range(begin.to_vec()..end.to_vec())
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect())
+        }
+
+        fn capabilities(&self) -> crate::engine::Capabilities {
+            crate::engine::Capabilities {
+                batch_write: false,
+                multiget: false,
+            }
+        }
+
+        fn sync(&self) -> crate::error::Result<()> {
+            Ok(())
+        }
+
+        fn mem_usage(&self) -> usize {
+            0
+        }
+    }
+
+    fn put_batch(n: usize) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::sync(Op::Put {
+                    key: format!("k{i}").into_bytes(),
+                    value: b"v".to_vec(),
+                })
+                .0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merged_ops_not_counted_without_batch_capability() {
+        // Regression: merged_ops used to be bumped before the capability
+        // check, so engines without batch_write/multiget still reported
+        // merged requests.
+        let engine = NoCapsEngine::new();
+        let stats = WorkerStats::default();
+        execute_batch(&engine, put_batch(8), &stats);
+        assert_eq!(stats.ops.load(Ordering::Relaxed), 8);
+        assert_eq!(stats.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            stats.merged_ops.load(Ordering::Relaxed),
+            0,
+            "no-caps engine executes per request; nothing merged"
+        );
+        let reads: Vec<Request> = (0..4)
+            .map(|i| Request::sync(Op::Get { key: format!("k{i}").into_bytes() }).0)
+            .collect();
+        execute_batch(&engine, reads, &stats);
+        assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn merged_ops_counted_with_batch_capability() {
+        let factory = LsmFactory::new(lsmkv::Options::for_test());
+        let engine = factory.open(Path::new("w-merged"), None).unwrap();
+        let stats = WorkerStats::default();
+        execute_batch(&engine, put_batch(5), &stats);
+        assert_eq!(stats.ops.load(Ordering::Relaxed), 5);
+        assert_eq!(
+            stats.merged_ops.load(Ordering::Relaxed),
+            5,
+            "batch-write engine merges the whole run"
+        );
+        // A single-request batch is never a merge.
+        execute_batch(&engine, put_batch(1), &stats);
+        assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn lifecycle_histograms_fill_and_trace_slow_requests() {
+        let registry = p2kvs_obs::MetricsRegistry::new();
+        let ring = Arc::new(p2kvs_obs::TraceRing::new(16));
+        // Threshold 0: every request is "slow", so the ring must fill.
+        let lc = WorkerLifecycle::new(&registry, 0, 0, ring.clone());
+        let factory = LsmFactory::new(lsmkv::Options::for_test());
+        let engine = Arc::new(factory.open(Path::new("w-obs"), None).unwrap());
+        let worker = WorkerHandle::spawn(0, engine, 32, false, Some(lc));
+        let mut completions = Vec::new();
+        for i in 0..40 {
+            let (req, c) = Request::sync(Op::Put {
+                key: format!("k{i:02}").into_bytes(),
+                value: b"v".to_vec(),
+            });
+            worker.queue.push(req).ok().unwrap();
+            completions.push(c);
+        }
+        let (req, c) = Request::sync(Op::Get { key: b"k00".to_vec() });
+        worker.queue.push(req).ok().unwrap();
+        completions.push(c);
+        for c in completions {
+            c.wait().unwrap();
+        }
+        let snap = registry.snapshot();
+        let writes = snap
+            .histogram("p2kvs_queue_wait_ns{worker=\"0\",class=\"write\"}")
+            .unwrap();
+        assert_eq!(writes.count, 40);
+        let services = snap
+            .histogram("p2kvs_service_ns{worker=\"0\",class=\"write\"}")
+            .unwrap();
+        assert_eq!(services.count, 40);
+        let reads = snap
+            .histogram("p2kvs_queue_wait_ns{worker=\"0\",class=\"read\"}")
+            .unwrap();
+        assert_eq!(reads.count, 1);
+        assert!(ring.total_recorded() > 0, "threshold 0 traces every batch");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use p2kvs::engine::{LsmFactory, WtFactory};
-use p2kvs::{P2Kvs, P2KvsOptions, ScanStrategy, WriteOp};
+use p2kvs::{MetricsSnapshot, P2Kvs, P2KvsOptions, ScanStrategy, WriteOp};
 use p2kvs_storage::{EnvRef, MemEnv};
 
 fn lsm_factory() -> LsmFactory {
@@ -398,4 +398,135 @@ fn snapshot_reports_worker_activity() {
 fn empty_batch_is_noop() {
     let store = open_lsm(2);
     store.write_batch(vec![]).unwrap();
+}
+
+#[test]
+fn metrics_snapshot_covers_lifecycle_engines_and_renders() {
+    // The acceptance scenario of the observability layer: a mixed
+    // PUT/GET workload over a store with metrics enabled must yield
+    // per-class queue-wait and service histograms, live queue-depth
+    // gauges, engine_* metrics from lsmkv's write breakdown, and
+    // Prometheus/JSON renders that agree.
+    let mut opts = P2KvsOptions::with_workers(4);
+    opts.pin_workers = false;
+    // Trace everything so the slow-request ring provably fills.
+    opts.slow_request_threshold = std::time::Duration::ZERO;
+    let store = P2Kvs::open(lsm_factory(), "p2-obs", opts).unwrap();
+    for i in 0..300 {
+        store
+            .put(format!("key{i:04}").as_bytes(), b"value")
+            .unwrap();
+    }
+    for i in 0..200 {
+        store.get(format!("key{i:04}").as_bytes()).unwrap();
+    }
+
+    let snap = store.metrics_snapshot();
+
+    // Per-class lifecycle histograms: non-zero counts, ordered tails.
+    for base in ["p2kvs_queue_wait_ns", "p2kvs_service_ns"] {
+        for class in ["write", "read"] {
+            let series = snap.histograms_of(base);
+            let total: u64 = series
+                .iter()
+                .filter(|(n, _)| n.contains(&format!("class=\"{class}\"")))
+                .map(|(_, h)| h.count)
+                .sum();
+            let expected = if class == "write" { 300 } else { 200 };
+            assert_eq!(total, expected, "{base}/{class} must count every request");
+            for (name, h) in series {
+                assert!(
+                    h.p50 <= h.p99 && h.p99 <= h.p999 && h.p999 <= h.max,
+                    "percentiles must be ordered in {name}"
+                );
+            }
+        }
+    }
+
+    // Worker counters and queue-depth gauges exist for every worker.
+    for w in 0..4 {
+        let ops = snap
+            .counter(&format!("p2kvs_worker_ops_total{{worker=\"{w}\"}}"))
+            .unwrap();
+        assert!(ops > 0, "worker {w} processed requests");
+        assert!(snap
+            .gauge(&format!("p2kvs_queue_depth{{worker=\"{w}\"}}"))
+            .is_some());
+    }
+    assert_eq!(
+        (0..4)
+            .map(|w| snap
+                .counter(&format!("p2kvs_worker_ops_total{{worker=\"{w}\"}}"))
+                .unwrap())
+            .sum::<u64>(),
+        500
+    );
+
+    // lsmkv's write breakdown surfaces under engine_* names.
+    let wal: f64 = (0..4)
+        .map(|i| snap.gauge(&format!("engine_wal_us{{instance=\"{i}\"}}")).unwrap())
+        .sum();
+    assert!(wal > 0.0, "WAL component of the write breakdown must be non-zero");
+    assert!(snap.gauge("engine_writes_total{instance=\"0\"}").is_some());
+
+    // With a zero threshold, slow-request tracing captured events.
+    assert!(snap.counter("p2kvs_slow_requests_total").unwrap() > 0);
+    let events = store.recent_slow_requests(8);
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.batch_size >= 1));
+
+    // The two renders agree on every value they share.
+    let prom = MetricsSnapshot::parse_prometheus(&snap.render_prometheus());
+    let json = snap.render_json();
+    for (name, v) in &snap.counters {
+        assert_eq!(
+            prom.iter().find(|(n, _)| n == name).map(|(_, p)| *p as u64),
+            Some(*v),
+            "{name} must round-trip through the Prometheus render"
+        );
+        assert!(json.contains(&format!("\"{}\"", name.replace('"', "\\\""))));
+    }
+    for (name, h) in &snap.histograms {
+        let brace = name.find('{').expect("lifecycle histograms are labeled");
+        let count_series =
+            format!("{}_count{{{}}}", &name[..brace], &name[brace + 1..name.len() - 1]);
+        assert_eq!(
+            prom.iter()
+                .find(|(n, _)| n == &count_series)
+                .map(|(_, p)| *p as u64),
+            Some(h.count),
+            "{name} count must round-trip"
+        );
+        assert!(json.contains(&format!("\"count\": {}", h.count)));
+    }
+    store.close();
+}
+
+#[test]
+fn metrics_disabled_store_still_snapshots() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.metrics = false;
+    let store = P2Kvs::open(lsm_factory(), "p2-noobs", opts).unwrap();
+    store.put(b"k", b"v").unwrap();
+    assert_eq!(store.get(b"k").unwrap().unwrap(), b"v");
+    let snap = store.metrics_snapshot();
+    // No lifecycle histograms, but sampled counters/gauges still work.
+    assert!(snap.histograms_of("p2kvs_queue_wait_ns").is_empty());
+    assert!(snap.counter("p2kvs_worker_ops_total{worker=\"0\"}").is_some());
+    assert!(store.recent_slow_requests(4).is_empty());
+}
+
+#[test]
+fn reporter_thread_runs_and_stops() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.report_interval = Some(std::time::Duration::from_millis(40));
+    let store = P2Kvs::open(lsm_factory(), "p2-reporter", opts).unwrap();
+    for i in 0..50 {
+        store.put(format!("r{i}").as_bytes(), b"v").unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    // Closing must stop the reporter thread promptly (no hang, no panic).
+    store.close();
 }

@@ -147,6 +147,50 @@ impl DbStats {
         DbStats::default()
     }
 
+    /// Every counter and breakdown component as `(name, value)` pairs
+    /// with `engine_`-prefixed Prometheus-style names — the shape the
+    /// p2KVS observability registry samples per instance. Breakdown
+    /// components are per-write averages in microseconds (the Fig 6
+    /// split); `*_total` entries are cumulative counts.
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        let b = self.breakdown.snapshot();
+        let c = |counter: &AtomicU64| counter.load(Ordering::Relaxed) as f64;
+        vec![
+            ("engine_wal_us".to_string(), b.wal_us),
+            ("engine_memtable_us".to_string(), b.memtable_us),
+            ("engine_wal_lock_us".to_string(), b.wal_lock_us),
+            ("engine_memtable_lock_us".to_string(), b.memtable_lock_us),
+            ("engine_other_us".to_string(), b.other_us),
+            ("engine_write_us".to_string(), b.total_us()),
+            ("engine_writes_total".to_string(), c(&self.writes)),
+            ("engine_write_groups_total".to_string(), c(&self.write_groups)),
+            ("engine_keys_written_total".to_string(), c(&self.keys_written)),
+            (
+                "engine_user_bytes_written_total".to_string(),
+                c(&self.user_bytes_written),
+            ),
+            ("engine_gets_total".to_string(), c(&self.gets)),
+            ("engine_multigets_total".to_string(), c(&self.multigets)),
+            ("engine_memtable_hits_total".to_string(), c(&self.memtable_hits)),
+            ("engine_bloom_skips_total".to_string(), c(&self.bloom_skips)),
+            ("engine_flushes_total".to_string(), c(&self.flushes)),
+            ("engine_compactions_total".to_string(), c(&self.compactions)),
+            (
+                "engine_compaction_bytes_read_total".to_string(),
+                c(&self.compaction_bytes_read),
+            ),
+            (
+                "engine_compaction_bytes_written_total".to_string(),
+                c(&self.compaction_bytes_written),
+            ),
+            ("engine_stall_ns_total".to_string(), c(&self.stall_ns)),
+            (
+                "engine_bg_busy_ns_total".to_string(),
+                self.bg_busy.sum_ns() as f64,
+            ),
+        ]
+    }
+
     /// Adds `d` to the stall-time counter.
     pub fn add_stall(&self, d: Duration) {
         self.stall_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
@@ -192,6 +236,31 @@ mod tests {
     fn empty_breakdown_is_zero() {
         let b = WriteBreakdown::default();
         assert_eq!(b.snapshot().percentages(), [0.0; 5]);
+    }
+
+    #[test]
+    fn metrics_expose_breakdown_and_counters() {
+        let s = DbStats::new();
+        s.breakdown.wal.record(2_000);
+        s.breakdown.memtable.record(1_000);
+        DbStats::bump(&s.writes, 3);
+        DbStats::bump(&s.flushes, 1);
+        let metrics = s.metrics();
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+                .1
+        };
+        assert!((get("engine_wal_us") - 2.0).abs() < 1e-9);
+        assert!((get("engine_memtable_us") - 1.0).abs() < 1e-9);
+        assert_eq!(get("engine_writes_total"), 3.0);
+        assert_eq!(get("engine_flushes_total"), 1.0);
+        assert!(
+            metrics.iter().all(|(n, _)| n.starts_with("engine_")),
+            "all engine metrics share the engine_ prefix"
+        );
     }
 
     #[test]

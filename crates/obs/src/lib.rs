@@ -1,0 +1,36 @@
+//! `p2kvs-obs`: the observability layer of the p2KVS reproduction.
+//!
+//! The paper's entire argument is *measured* — the Fig 6 write-latency
+//! breakdown, Fig 13 tail latencies, the OBM batch-size dynamics — so
+//! the framework carries first-class metrics rather than ad-hoc
+//! counters:
+//!
+//! * [`metrics`] — lock-free [`Counter`]s and [`Gauge`]s, plus
+//!   [`ConcurrentHistogram`], a sharded wrapper around
+//!   [`p2kvs_util::Histogram`] that workers record into without
+//!   contention.
+//! * [`registry`] — [`MetricsRegistry`], get-or-create named metrics;
+//!   handles are resolved once and recorded through afterwards, so the
+//!   registry lock never sits on a hot path.
+//! * [`trace`] — request-lifecycle tracing: [`WorkerLifecycle`] splits
+//!   every request into *queue-wait* and *service* latency per
+//!   `(worker, class)`, and [`TraceRing`] keeps a bounded ring of recent
+//!   slow-request [`TraceEvent`]s for post-hoc inspection.
+//! * [`snapshot`] — [`MetricsSnapshot`] with Prometheus-text and JSON
+//!   renderers (the JSON form is the `repro` per-run artifact).
+//! * [`reporter`] — [`PeriodicTask`], the optional stats-reporter thread.
+//!
+//! The crate is dependency-free (std + `p2kvs-util`) and knows nothing
+//! about engines or the store; `p2kvs` threads it through the stack.
+
+pub mod metrics;
+pub mod registry;
+pub mod reporter;
+pub mod snapshot;
+pub mod trace;
+
+pub use metrics::{ConcurrentHistogram, Counter, Gauge};
+pub use registry::{labeled, MetricsRegistry};
+pub use reporter::PeriodicTask;
+pub use snapshot::{HistogramStats, MetricsSnapshot};
+pub use trace::{TraceEvent, TraceRing, WorkerLifecycle, CLASS_LABELS};

@@ -1,0 +1,100 @@
+//! A small periodic background task, used for the optional stats
+//! reporter thread on `P2Kvs`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A background thread running a closure every `interval` until dropped.
+///
+/// The thread wakes every few tens of milliseconds to check the stop
+/// flag, so dropping the task never blocks for a full interval.
+pub struct PeriodicTask {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Poll granularity for the stop flag.
+const POLL: Duration = Duration::from_millis(25);
+
+impl PeriodicTask {
+    /// Spawns the task; `tick` runs once per `interval` (first run after
+    /// one full interval).
+    pub fn spawn(
+        name: &str,
+        interval: Duration,
+        mut tick: impl FnMut() + Send + 'static,
+    ) -> PeriodicTask {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                let mut next = Instant::now() + interval;
+                loop {
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if now >= next {
+                        tick();
+                        next = now + interval;
+                    }
+                    std::thread::sleep(POLL.min(next.saturating_duration_since(now)).max(
+                        Duration::from_millis(1),
+                    ));
+                }
+            })
+            .expect("spawn periodic task");
+        PeriodicTask {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops and joins the thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PeriodicTask {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ticks_and_stops() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let mut task = PeriodicTask::spawn("test-reporter", Duration::from_millis(30), move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        task.stop();
+        let after_stop = hits.load(Ordering::Relaxed);
+        assert!(after_stop >= 2, "expected a few ticks, got {after_stop}");
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(hits.load(Ordering::Relaxed), after_stop, "no ticks after stop");
+    }
+
+    #[test]
+    fn drop_joins_quickly() {
+        let start = Instant::now();
+        {
+            let _task = PeriodicTask::spawn("t", Duration::from_secs(3600), || {});
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(start.elapsed() < Duration::from_secs(2), "drop must not wait an interval");
+    }
+}

@@ -1,0 +1,233 @@
+//! Request-lifecycle tracing: per-request latency split and a bounded
+//! ring of recent slow-request events.
+//!
+//! Every completed request yields two numbers — *queue wait* (enqueue →
+//! dequeue) and *service* (dequeue → completion). [`WorkerLifecycle`]
+//! records both into per-`(worker, class)` histograms, and requests whose
+//! end-to-end latency crosses a threshold leave a [`TraceEvent`] in a
+//! shared ring buffer so a slow tail can be inspected post hoc (which op
+//! class, which worker, how big the OBM batch was, where the time went).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::ConcurrentHistogram;
+use crate::registry::{labeled, MetricsRegistry};
+
+/// Human-readable labels for the three OBM request classes, indexable by
+/// the class' integer id (write = 0, read = 1, solo = 2).
+pub const CLASS_LABELS: [&str; 3] = ["write", "read", "solo"];
+
+/// One slow request, as seen by the worker that executed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Executing worker.
+    pub worker: usize,
+    /// Request class id (index into [`CLASS_LABELS`]).
+    pub class: usize,
+    /// Nanoseconds spent waiting in the worker queue.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds from dequeue to completion.
+    pub service_ns: u64,
+    /// Number of requests in the OBM batch this request rode in.
+    pub batch_size: usize,
+}
+
+impl TraceEvent {
+    /// End-to-end latency.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_wait_ns.saturating_add(self.service_ns)
+    }
+
+    /// The class label.
+    pub fn class_label(&self) -> &'static str {
+        CLASS_LABELS.get(self.class).copied().unwrap_or("unknown")
+    }
+}
+
+/// Bounded ring of recent [`TraceEvent`]s; the oldest event is evicted
+/// when full.
+pub struct TraceRing {
+    cap: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    recorded: AtomicU64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `cap` events (min 1).
+    pub fn new(cap: usize) -> TraceRing {
+        let cap = cap.max(1);
+        TraceRing {
+            cap,
+            events: Mutex::new(VecDeque::with_capacity(cap)),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `event`, evicting the oldest if the ring is full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut events = self.events.lock().expect("trace ring poisoned");
+        if events.len() == self.cap {
+            events.pop_front();
+        }
+        events.push_back(event);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
+        let events = self.events.lock().expect("trace ring poisoned");
+        let skip = events.len().saturating_sub(n);
+        events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace ring poisoned").len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-worker lifecycle recorder: queue-wait and service histograms per
+/// request class, plus the shared slow-request ring.
+pub struct WorkerLifecycle {
+    worker: usize,
+    queue_wait: [Arc<ConcurrentHistogram>; 3],
+    service: [Arc<ConcurrentHistogram>; 3],
+    trace: Arc<TraceRing>,
+    slow_ns: u64,
+}
+
+impl WorkerLifecycle {
+    /// Creates the recorder for `worker`, registering its histograms as
+    /// `p2kvs_queue_wait_ns{worker,class}` / `p2kvs_service_ns{worker,
+    /// class}`. Requests slower end-to-end than `slow_ns` are pushed into
+    /// `trace`.
+    pub fn new(
+        registry: &MetricsRegistry,
+        worker: usize,
+        slow_ns: u64,
+        trace: Arc<TraceRing>,
+    ) -> WorkerLifecycle {
+        let w = worker.to_string();
+        let hist = |base: &str, class: &str| {
+            registry.histogram(&labeled(base, &[("worker", &w), ("class", class)]))
+        };
+        let per_class = |base: &str| {
+            [
+                hist(base, CLASS_LABELS[0]),
+                hist(base, CLASS_LABELS[1]),
+                hist(base, CLASS_LABELS[2]),
+            ]
+        };
+        WorkerLifecycle {
+            worker,
+            queue_wait: per_class("p2kvs_queue_wait_ns"),
+            service: per_class("p2kvs_service_ns"),
+            trace,
+            slow_ns,
+        }
+    }
+
+    /// Records one executed OBM batch: each request in it waited
+    /// `queue_waits_ns[i]` and the whole batch took `service_ns` from
+    /// dequeue to completion (all requests in a batch complete together).
+    pub fn observe(&self, class: usize, queue_waits_ns: &[u64], service_ns: u64) {
+        if queue_waits_ns.is_empty() {
+            return;
+        }
+        let class = class.min(CLASS_LABELS.len() - 1);
+        let qh = &self.queue_wait[class];
+        let sh = &self.service[class];
+        let mut slowest = 0u64;
+        for &wait in queue_waits_ns {
+            qh.record(wait);
+            sh.record(service_ns);
+            slowest = slowest.max(wait);
+        }
+        if slowest.saturating_add(service_ns) >= self.slow_ns {
+            self.trace.push(TraceEvent {
+                worker: self.worker,
+                class,
+                queue_wait_ns: slowest,
+                service_ns,
+                batch_size: queue_waits_ns.len(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push(TraceEvent {
+                worker: 0,
+                class: 0,
+                queue_wait_ns: i,
+                service_ns: 0,
+                batch_size: 1,
+            });
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_recorded(), 5);
+        let recent = ring.recent(10);
+        assert_eq!(
+            recent.iter().map(|e| e.queue_wait_ns).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(ring.recent(2).len(), 2);
+    }
+
+    #[test]
+    fn lifecycle_records_per_class_and_traces_slow() {
+        let registry = MetricsRegistry::new();
+        let ring = Arc::new(TraceRing::new(8));
+        let lc = WorkerLifecycle::new(&registry, 2, 1_000, ring.clone());
+        // Fast batch of 3 writes: histograms fill, no trace event.
+        lc.observe(0, &[10, 20, 30], 100);
+        assert!(ring.is_empty());
+        // Slow solo read crosses the 1µs threshold.
+        lc.observe(1, &[900], 500);
+        assert_eq!(ring.len(), 1);
+        let ev = &ring.recent(1)[0];
+        assert_eq!(ev.worker, 2);
+        assert_eq!(ev.class_label(), "read");
+        assert_eq!(ev.total_ns(), 1_400);
+        assert_eq!(ev.batch_size, 1);
+
+        let snap = registry.snapshot();
+        let writes = snap
+            .histogram("p2kvs_queue_wait_ns{worker=\"2\",class=\"write\"}")
+            .unwrap();
+        assert_eq!(writes.count, 3);
+        assert_eq!(writes.max, 30);
+        let service = snap
+            .histogram("p2kvs_service_ns{worker=\"2\",class=\"write\"}")
+            .unwrap();
+        assert_eq!(service.count, 3, "service recorded once per request");
+    }
+
+    #[test]
+    fn empty_batch_records_nothing() {
+        let registry = MetricsRegistry::new();
+        let ring = Arc::new(TraceRing::new(2));
+        let lc = WorkerLifecycle::new(&registry, 0, 0, ring.clone());
+        lc.observe(0, &[], 50);
+        assert!(ring.is_empty(), "no requests, no trace event");
+    }
+}

@@ -91,6 +91,12 @@ impl Histogram {
         self.total
     }
 
+    /// Exact sum of all recorded observations (sums are tracked outside
+    /// the buckets, so this carries no quantization error).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of recorded observations, or 0 when empty.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -232,6 +238,84 @@ mod tests {
         assert_eq!(a.min(), both.min());
         for p in [10.0, 50.0, 99.0] {
             assert_eq!(a.percentile(p), both.percentile(p));
+        }
+    }
+
+    #[test]
+    fn sum_is_exact() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(1_000_003);
+        assert_eq!(h.sum(), 1_000_006);
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum(), 1_000_006 + u128::from(u64::MAX));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        for v in [5u64, 500, 50_000] {
+            a.record(v);
+        }
+        let before = (a.count(), a.sum(), a.min(), a.max(), a.percentile(50.0));
+        a.merge(&Histogram::new());
+        assert_eq!(
+            (a.count(), a.sum(), a.min(), a.max(), a.percentile(50.0)),
+            before
+        );
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), a.count());
+        assert_eq!(empty.min(), a.min());
+        assert_eq!(empty.max(), a.max());
+    }
+
+    #[test]
+    fn tail_percentiles_are_ordered() {
+        // p50 ≤ p99 ≤ p99.9 ≤ max on a heavy-tailed distribution.
+        let mut h = Histogram::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..50_000 {
+            // xorshift64
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Mostly small values with a 1/1000 huge tail.
+            let v = if x % 1000 == 0 { x % 1_000_000_000 } else { x % 10_000 };
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        let p999 = h.percentile(99.9);
+        assert!(p50 <= p99, "p50={p50} p99={p99}");
+        assert!(p99 <= p999, "p99={p99} p999={p999}");
+        assert!(p999 <= h.max(), "p999={p999} max={}", h.max());
+        assert!(p999 > p50, "the tail must be visible in p99.9");
+    }
+
+    #[test]
+    fn relative_error_bounded_at_bucket_boundaries() {
+        // Power-of-two boundaries are where log-bucketing error peaks:
+        // check v-1, v, v+1 around each boundary stay within the bound
+        // promised by 64 sub-buckets (1/64 ≈ 1.6%).
+        for shift in [7u32, 10, 16, 24, 32, 47] {
+            let boundary = 1u64 << shift;
+            for v in [boundary - 1, boundary, boundary + 1] {
+                let mut h = Histogram::new();
+                h.record(v);
+                // A far larger second value keeps the max clamp away from
+                // v's bucket, so the p50 we read is the raw bucket bound.
+                h.record(v * 8);
+                let q = h.quantile(0.5);
+                let err = (q as f64 - v as f64).abs() / v as f64;
+                assert!(
+                    err <= 1.0 / 64.0 + 1e-9,
+                    "value {v} (2^{shift} boundary) quantized to {q}, err {err}"
+                );
+                assert!(q >= v, "bucket upper bound must not under-report: {q} < {v}");
+            }
         }
     }
 

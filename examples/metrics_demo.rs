@@ -1,0 +1,83 @@
+//! Observability demo: open a 4-worker store, run a mixed workload, and
+//! inspect it through the metrics layer — queue-wait/service histograms
+//! per request class, live queue depths, engine-internal breakdowns, the
+//! slow-request trace ring, and both text expositions.
+//!
+//! ```text
+//! cargo run -p p2kvs-examples --bin metrics_demo
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lsmkv::Options;
+use p2kvs::engine::LsmFactory;
+use p2kvs::{P2Kvs, P2KvsOptions};
+use p2kvs_storage::MemEnv;
+
+fn main() {
+    let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+    let factory = LsmFactory::new(Options::rocksdb_like(env));
+    let mut opts = P2KvsOptions::with_workers(4);
+    opts.pin_workers = false; // Demo-friendly on small machines.
+    // Print a one-line stats summary to stderr twice a second while the
+    // workload runs (the optional reporter thread).
+    opts.report_interval = Some(Duration::from_millis(500));
+    // Trace anything slower than 200µs end-to-end into the ring buffer.
+    opts.slow_request_threshold = Duration::from_micros(200);
+    let store = P2Kvs::open(factory, "metrics-demo-db", opts).expect("open store");
+
+    // --- Mixed workload: puts, gets, deletes, a scan ---------------------
+    for i in 0..5_000u32 {
+        let key = format!("user:{:05}", i % 2_000);
+        match i % 10 {
+            0..=5 => store.put(key.as_bytes(), format!("v{i}").as_bytes()).unwrap(),
+            6..=8 => {
+                store.get(key.as_bytes()).unwrap();
+            }
+            _ => store.delete(key.as_bytes()).unwrap(),
+        }
+    }
+    let _ = store.scan(b"user:", 100).unwrap();
+
+    // --- The snapshot, both renders --------------------------------------
+    let snapshot = store.metrics_snapshot();
+    println!("===== Prometheus text exposition =====");
+    print!("{}", snapshot.render_prometheus());
+    println!("\n===== JSON exposition (the repro artifact format) =====");
+    print!("{}", snapshot.render_json());
+
+    // --- Queue-wait vs. service split, per class -------------------------
+    println!("\n===== Queue-wait vs. service (p50/p99, µs) =====");
+    for base in ["p2kvs_queue_wait_ns", "p2kvs_service_ns"] {
+        for (name, h) in snapshot.histograms_of(base) {
+            if h.count == 0 {
+                continue;
+            }
+            println!(
+                "{name}: n={} p50={:.1}us p99={:.1}us p99.9={:.1}us max={:.1}us",
+                h.count,
+                h.p50 as f64 / 1e3,
+                h.p99 as f64 / 1e3,
+                h.p999 as f64 / 1e3,
+                h.max as f64 / 1e3,
+            );
+        }
+    }
+
+    // --- Recent slow requests --------------------------------------------
+    let slow = store.recent_slow_requests(5);
+    println!("\n===== {} most recent slow requests =====", slow.len());
+    for ev in slow {
+        println!(
+            "worker={} class={} queue_wait={:.1}us service={:.1}us batch={}",
+            ev.worker,
+            ev.class_label(),
+            ev.queue_wait_ns as f64 / 1e3,
+            ev.service_ns as f64 / 1e3,
+            ev.batch_size,
+        );
+    }
+
+    store.close();
+}
