@@ -15,14 +15,24 @@ fn bench_skiplist(c: &mut Criterion) {
         let mem = MemTable::new();
         let mut i = 0u64;
         b.iter(|| {
-            mem.add(i + 1, ValueType::Value, format!("key{i:012}").as_bytes(), &[7u8; 128]);
+            mem.add(
+                i + 1,
+                ValueType::Value,
+                format!("key{i:012}").as_bytes(),
+                &[7u8; 128],
+            );
             i += 1;
         });
     });
     g.bench_function("get-hit", |b| {
         let mem = MemTable::new();
         for i in 0..10_000u64 {
-            mem.add(i + 1, ValueType::Value, format!("key{i:08}").as_bytes(), &[7u8; 128]);
+            mem.add(
+                i + 1,
+                ValueType::Value,
+                format!("key{i:08}").as_bytes(),
+                &[7u8; 128],
+            );
         }
         let mut i = 0u64;
         b.iter(|| {
@@ -69,8 +79,13 @@ fn bench_sst(c: &mut Criterion) {
     }
     let summary = builder.finish().unwrap();
     let reader = Arc::new(
-        TableReader::open(env.new_random_access(path).unwrap(), summary.file_size, 1, None)
-            .unwrap(),
+        TableReader::open(
+            env.new_random_access(path).unwrap(),
+            summary.file_size,
+            1,
+            None,
+        )
+        .unwrap(),
     );
     g.throughput(Throughput::Elements(1));
     g.bench_function("get-present", |b| {
@@ -153,9 +168,103 @@ fn bench_obm_queue(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_accessing(c: &mut Criterion) {
+    use p2kvs::queue::{MutexQueue, RequestQueue};
+    use p2kvs::types::{Op, Request, Response};
+    use p2kvs_bench::accessing::{fan_in, QueueImpl};
+    use std::thread;
+
+    // Single-thread enqueue → completion round trip against a dedicated
+    // echo worker: the floor the accessing layer adds to every sync op.
+    let mut g = c.benchmark_group("accessing");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("round-trip/ring", |b| {
+        let q = Arc::new(RequestQueue::new());
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut batch = Vec::with_capacity(32);
+                while q.pop_batch_into(32, &mut batch) {
+                    for req in batch.drain(..) {
+                        req.finish(Ok(Response::Done));
+                    }
+                }
+            })
+        };
+        b.iter(|| {
+            let (req, waiter) = Request::sync(Op::Get { key: b"k".to_vec() });
+            q.push(req).ok().unwrap();
+            std::hint::black_box(waiter.wait().unwrap());
+        });
+        q.close();
+        consumer.join().unwrap();
+    });
+
+    g.bench_function("round-trip/mutex", |b| {
+        let q = Arc::new(MutexQueue::new());
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut batch = Vec::with_capacity(32);
+                while q.pop_batch_into(32, &mut batch) {
+                    for req in batch.drain(..) {
+                        req.finish(Ok(Response::Done));
+                    }
+                }
+            })
+        };
+        b.iter(|| {
+            let (req, waiter) = Request::sync(Op::Get { key: b"k".to_vec() });
+            q.push(req).ok().unwrap();
+            std::hint::black_box(waiter.wait().unwrap());
+        });
+        q.close();
+        consumer.join().unwrap();
+    });
+
+    // Fan-in: N synchronous user threads sharing one worker queue — the
+    // contended shape the lock-free ring exists for. One criterion
+    // "element" is one completed round trip across all threads.
+    const OPS_PER_THREAD: usize = 1_000;
+    for threads in [1usize, 2, 4, 8, 16] {
+        for imp in [QueueImpl::Mutex, QueueImpl::Ring] {
+            g.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+            g.bench_function(format!("fan-in/{}x{threads}", imp.label()), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let r = fan_in(imp, threads, OPS_PER_THREAD, 32);
+                        total += std::time::Duration::from_secs_f64(r.elapsed_secs);
+                    }
+                    total
+                });
+            });
+        }
+    }
+
+    // Pipelined fan-in: each user thread keeps a window of async requests
+    // outstanding, so the handoff itself (not the per-op context switch)
+    // is the measured cost.
+    for imp in [QueueImpl::Mutex, QueueImpl::Ring] {
+        g.throughput(Throughput::Elements((8 * OPS_PER_THREAD) as u64));
+        g.bench_function(format!("pipelined/{}x8", imp.label()), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let r = p2kvs_bench::accessing::pipelined(imp, 8, OPS_PER_THREAD, 32, 64);
+                    total += std::time::Duration::from_secs_f64(r.elapsed_secs);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_skiplist, bench_wal, bench_sst, bench_hash_crc, bench_zipfian, bench_obm_queue
+    targets = bench_skiplist, bench_wal, bench_sst, bench_hash_crc, bench_zipfian, bench_obm_queue, bench_accessing
 );
 criterion_main!(benches);

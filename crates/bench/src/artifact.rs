@@ -31,7 +31,9 @@ pub fn set_experiment(id: &str) {
 /// returns the path written, `None` when disabled or on IO failure
 /// (artifacts are best-effort — a full disk must not fail a benchmark).
 pub fn maybe_write(snapshot: &MetricsSnapshot) -> Option<PathBuf> {
-    let dir = std::env::var(METRICS_DIR_ENV).ok().filter(|d| !d.is_empty())?;
+    let dir = std::env::var(METRICS_DIR_ENV)
+        .ok()
+        .filter(|d| !d.is_empty())?;
     let label = EXPERIMENT
         .lock()
         .expect("experiment label poisoned")
@@ -57,7 +59,11 @@ mod tests {
         let mut snap = MetricsSnapshot::default();
         snap.counters.push(("ops_total".into(), 7));
         let path = maybe_write(&snap).expect("artifact written");
-        assert!(path.file_name().unwrap().to_string_lossy().starts_with("figX-"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("figX-"));
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"ops_total\": 7"));
         std::env::remove_var(METRICS_DIR_ENV);

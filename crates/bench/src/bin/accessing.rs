@@ -1,0 +1,53 @@
+//! Standalone accessing-layer benchmark: fan-in sweep over 1/2/4/8/16
+//! user threads for both queue implementations (lock-free ring vs the
+//! Mutex + Condvar baseline), writing `BENCH_accessing.json`.
+//!
+//! ```text
+//! cargo run -p p2kvs-bench --release --bin accessing
+//! ```
+//!
+//! The artifact lands in `$P2KVS_METRICS_DIR` when set, the working
+//! directory otherwise; op counts scale with `P2KVS_SCALE`.
+
+use p2kvs_bench::accessing;
+
+fn main() -> std::io::Result<()> {
+    let path = accessing::artifact_path();
+    let results = accessing::run_default_sweep(&path)?;
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.queue.to_string(),
+                r.mode.to_string(),
+                r.window.to_string(),
+                r.threads.to_string(),
+                p2kvs_bench::kqps(r.ops_per_sec),
+                format!("{:.2}", r.avg_batch),
+                format!("{:.1}", r.p50_rt_ns as f64 / 1e3),
+                format!("{:.1}", r.p99_rt_ns as f64 / 1e3),
+            ]
+        })
+        .collect();
+    p2kvs_bench::print_table(
+        "accessing-layer fan-in (one worker queue)",
+        &[
+            "queue",
+            "mode",
+            "window",
+            "threads",
+            "kops/s",
+            "avg_batch",
+            "p50_us",
+            "p99_us",
+        ],
+        &rows,
+    );
+    println!(
+        "\nring vs mutex at 8 threads: {:.2}x",
+        accessing::speedup_at(&results, 8)
+    );
+    println!("wrote {}", path.display());
+    Ok(())
+}

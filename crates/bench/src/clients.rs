@@ -26,7 +26,10 @@ impl KvClient for LsmClient {
     }
 
     fn scan(&self, key: &[u8], len: usize) -> Result<usize, String> {
-        self.db.scan(key, len).map(|v| v.len()).map_err(|e| e.to_string())
+        self.db
+            .scan(key, len)
+            .map(|v| v.len())
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -92,7 +95,10 @@ impl<E: KvsEngine> KvClient for P2Client<E> {
     }
 
     fn scan(&self, key: &[u8], len: usize) -> Result<usize, String> {
-        self.store.scan(key, len).map(|v| v.len()).map_err(|e| e.to_string())
+        self.store
+            .scan(key, len)
+            .map(|v| v.len())
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -112,7 +118,10 @@ impl KvClient for KvellClient {
     }
 
     fn scan(&self, key: &[u8], len: usize) -> Result<usize, String> {
-        self.db.scan(key, len).map(|v| v.len()).map_err(|e| e.to_string())
+        self.db
+            .scan(key, len)
+            .map(|v| v.len())
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -132,7 +141,10 @@ impl KvClient for WtClient {
     }
 
     fn scan(&self, key: &[u8], len: usize) -> Result<usize, String> {
-        self.db.scan(key, len).map(|v| v.len()).map_err(|e| e.to_string())
+        self.db
+            .scan(key, len)
+            .map(|v| v.len())
+            .map_err(|e| e.to_string())
     }
 }
 

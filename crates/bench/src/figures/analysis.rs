@@ -35,7 +35,11 @@ pub fn fig1() {
             };
             let mut qps = Vec::new();
             // Write workloads on fresh DBs.
-            for kind in [MicroKind::FillSeq, MicroKind::FillRandom, MicroKind::Overwrite] {
+            for kind in [
+                MicroKind::FillSeq,
+                MicroKind::FillRandom,
+                MicroKind::Overwrite,
+            ] {
                 let env = setups::device_env(profile);
                 let client = setups::rocksdb_single(env, &format!("f1-{}-w", profile.name));
                 if kind.needs_load() {
@@ -94,8 +98,18 @@ pub fn fig1() {
             ]);
         }
         print_table(
-            &format!("Fig 1{}: KQPS with {threads} user thread(s)", if threads == 1 { "a" } else { "b" }),
-            &["device", "fillseq", "fillrandom", "overwrite", "readseq", "readrandom"],
+            &format!(
+                "Fig 1{}: KQPS with {threads} user thread(s)",
+                if threads == 1 { "a" } else { "b" }
+            ),
+            &[
+                "device",
+                "fillseq",
+                "fillrandom",
+                "overwrite",
+                "readseq",
+                "readrandom",
+            ],
             &rows,
         );
     }
@@ -109,8 +123,10 @@ pub fn fig1() {
 pub fn fig4() {
     println!("fig4: single-writer bandwidth/CPU timelines on NVMe");
     for (size, label) in [(128usize, "128B"), (1024, "1KB")] {
-        for (kind, kname) in [(MicroKind::FillRandom, "random"), (MicroKind::FillSeq, "sequential")]
-        {
+        for (kind, kname) in [
+            (MicroKind::FillRandom, "random"),
+            (MicroKind::FillSeq, "sequential"),
+        ] {
             let env = setups::nvme_env();
             let client = setups::rocksdb_single(env.clone(), &format!("f4-{label}-{kname}"));
             let ops = scaled(if size == 128 { 120_000 } else { 40_000 });
@@ -161,8 +177,8 @@ pub fn fig4() {
                 &rows,
             );
             let io = env.io_stats();
-            let bw_frac = io.bytes_written as f64
-                / (env.profile().write_bw as f64 * r.elapsed.as_secs_f64());
+            let bw_frac =
+                io.bytes_written as f64 / (env.profile().write_bw as f64 * r.elapsed.as_secs_f64());
             println!(
                 "   {} ops at {} KQPS; device write-bandwidth utilization {:.1}%; fg util {:.0}%",
                 r.ops,
@@ -190,9 +206,17 @@ pub fn fig5() {
         // Single instance, unpinned and pinned user threads.
         let run_single = |pin: bool| {
             let env = setups::nvme_env();
-            let client =
-                setups::rocksdb_single(env.clone(), &format!("f5-s{threads}-{pin}"));
-            let r = drive_micro(&client, MicroKind::FillRandom, ops, ops, 128, threads, pin, 0);
+            let client = setups::rocksdb_single(env.clone(), &format!("f5-s{threads}-{pin}"));
+            let r = drive_micro(
+                &client,
+                MicroKind::FillRandom,
+                ops,
+                ops,
+                128,
+                threads,
+                pin,
+                0,
+            );
             (r, env, client)
         };
         let (r_unpin, _, _) = run_single(false);
@@ -200,8 +224,16 @@ pub fn fig5() {
         // Multi-instance: one instance per thread.
         let env_m = setups::nvme_env();
         let multi = setups::rocksdb_multi(env_m, &format!("f5-m{threads}"), threads);
-        let r_multi =
-            drive_micro(&multi, MicroKind::FillRandom, ops, ops, 128, threads, true, 0);
+        let r_multi = drive_micro(
+            &multi,
+            MicroKind::FillRandom,
+            ops,
+            ops,
+            128,
+            threads,
+            true,
+            0,
+        );
         rows_a.push(vec![
             threads.to_string(),
             kqps(r_unpin.qps()),
@@ -238,7 +270,13 @@ pub fn fig5() {
     );
     print_table(
         "Fig 5b: single-instance IO bandwidth",
-        &["threads", "wal MB/s", "flush MB/s", "compact MB/s", "of device"],
+        &[
+            "threads",
+            "wal MB/s",
+            "flush MB/s",
+            "compact MB/s",
+            "of device",
+        ],
         &rows_b,
     );
     print_table(
@@ -259,7 +297,16 @@ pub fn fig6() {
     for threads in [1usize, 2, 4, 8, 16, 32] {
         let env = setups::nvme_env();
         let client = setups::rocksdb_single(env, &format!("f6-{threads}"));
-        let _ = drive_micro(&client, MicroKind::FillRandom, ops, ops, 128, threads, true, 0);
+        let _ = drive_micro(
+            &client,
+            MicroKind::FillRandom,
+            ops,
+            ops,
+            128,
+            threads,
+            true,
+            0,
+        );
         let snap = client.db.stats().breakdown.snapshot();
         let p = snap.percentages();
         rows.push(vec![
@@ -274,7 +321,15 @@ pub fn fig6() {
     }
     print_table(
         "Fig 6: average per-write µs (share of total)",
-        &["threads", "total", "WAL", "MemTable", "WAL lock", "MemTable lock", "Others"],
+        &[
+            "threads",
+            "total",
+            "WAL",
+            "MemTable",
+            "WAL lock",
+            "MemTable lock",
+            "Others",
+        ],
         &rows,
     );
 }
@@ -313,14 +368,23 @@ pub fn fig7() {
         rows.push(vec![
             format!("{batch_bytes}"),
             format!("{per_batch}"),
-            format!("{:.1}", io.wal_bytes as f64 / elapsed.as_secs_f64() / (1 << 20) as f64),
+            format!(
+                "{:.1}",
+                io.wal_bytes as f64 / elapsed.as_secs_f64() / (1 << 20) as f64
+            ),
             kqps(i as f64 / elapsed.as_secs_f64()),
             format!("{:.2}", busy.as_secs_f64() / (i as f64 / 1e6)),
         ]);
     }
     print_table(
         "Fig 7: batched WAL appends",
-        &["batch bytes", "KVs/batch", "wal MB/s", "KQPS", "cpu s per 1M KVs"],
+        &[
+            "batch bytes",
+            "KVs/batch",
+            "wal MB/s",
+            "KQPS",
+            "cpu s per 1M KVs",
+        ],
         &rows,
     );
 }
@@ -339,7 +403,10 @@ impl KvClient for ModeClient {
         self.db.get(key).map_err(|e| e.to_string())
     }
     fn scan(&self, key: &[u8], len: usize) -> Result<usize, String> {
-        self.db.scan(key, len).map(|v| v.len()).map_err(|e| e.to_string())
+        self.db
+            .scan(key, len)
+            .map(|v| v.len())
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -352,7 +419,9 @@ struct MultiModeClient {
 impl KvClient for MultiModeClient {
     fn insert(&self, key: &[u8], value: &[u8]) -> Result<(), String> {
         let i = (p2kvs_util::hash::fnv1a64(key) % self.dbs.len() as u64) as usize;
-        self.dbs[i].put(&self.wo, key, value).map_err(|e| e.to_string())
+        self.dbs[i]
+            .put(&self.wo, key, value)
+            .map_err(|e| e.to_string())
     }
     fn read(&self, key: &[u8]) -> Result<Option<Vec<u8>>, String> {
         let i = (p2kvs_util::hash::fnv1a64(key) % self.dbs.len() as u64) as usize;
@@ -374,9 +443,10 @@ pub fn fig8() {
     println!("fig8: WAL-only and MemTable-only scaling (128B)");
     let ops = scaled(40_000);
     let threads_list = [1usize, 2, 4, 8, 16, 32];
-    for (stage, skip_memtable, disable_wal) in
-        [("logging (WAL only)", true, false), ("MemTable only", false, true)]
-    {
+    for (stage, skip_memtable, disable_wal) in [
+        ("logging (WAL only)", true, false),
+        ("MemTable only", false, true),
+    ] {
         let mut rows = Vec::new();
         for &threads in &threads_list {
             let mk_opts = |env| {
@@ -395,22 +465,41 @@ pub fn fig8() {
                 db: Arc::new(Db::open(mk_opts(env_s), format!("f8-s-{stage}-{threads}")).unwrap()),
                 wo,
             };
-            let r_single =
-                drive_micro(&single, MicroKind::FillRandom, ops, ops, 128, threads, true, 0);
+            let r_single = drive_micro(
+                &single,
+                MicroKind::FillRandom,
+                ops,
+                ops,
+                128,
+                threads,
+                true,
+                0,
+            );
             let env_m = setups::nvme_env();
             let multi = MultiModeClient {
                 dbs: (0..threads)
                     .map(|i| {
                         Arc::new(
-                            Db::open(mk_opts(env_m.clone()), format!("f8-m-{stage}-{threads}-{i}"))
-                                .unwrap(),
+                            Db::open(
+                                mk_opts(env_m.clone()),
+                                format!("f8-m-{stage}-{threads}-{i}"),
+                            )
+                            .unwrap(),
                         )
                     })
                     .collect(),
                 wo,
             };
-            let r_multi =
-                drive_micro(&multi, MicroKind::FillRandom, ops, ops, 128, threads, true, 0);
+            let r_multi = drive_micro(
+                &multi,
+                MicroKind::FillRandom,
+                ops,
+                ops,
+                128,
+                threads,
+                true,
+                0,
+            );
             rows.push(vec![
                 threads.to_string(),
                 kqps(r_single.qps()),

@@ -43,7 +43,15 @@ pub fn fig20() {
             if kind != WorkloadKind::Load {
                 load_table(&kv, &s, 8).expect("kvell load");
             }
-            let kv_qps = run_workload(&kv, &s, &RunConfig { threads, rate_limit: 0 }).qps();
+            let kv_qps = run_workload(
+                &kv,
+                &s,
+                &RunConfig {
+                    threads,
+                    rate_limit: 0,
+                },
+            )
+            .qps();
             let p2 = setups::p2kvs(
                 setups::nvme_env(),
                 &format!("f20-p{workers}-{}", kind.name()),
@@ -53,7 +61,15 @@ pub fn fig20() {
             if kind != WorkloadKind::Load {
                 load_table(&p2, &s, 8).expect("p2 load");
             }
-            let p2_qps = run_workload(&p2, &s, &RunConfig { threads, rate_limit: 0 }).qps();
+            let p2_qps = run_workload(
+                &p2,
+                &s,
+                &RunConfig {
+                    threads,
+                    rate_limit: 0,
+                },
+            )
+            .qps();
             cells.push(kqps(kv_qps));
             cells.push(format!("{} ({:.1}x)", kqps(p2_qps), p2_qps / kv_qps));
         }
@@ -91,7 +107,16 @@ pub fn fig21() {
             db_mem
         };
         let t0 = Instant::now();
-        let r = drive_micro(&client, MicroKind::FillRandom, ops, ops, 128, threads, false, 0);
+        let r = drive_micro(
+            &client,
+            MicroKind::FillRandom,
+            ops,
+            ops,
+            128,
+            threads,
+            false,
+            0,
+        );
         let elapsed = t0.elapsed();
         stop.store(true, Ordering::Relaxed);
         let io = env.io_stats();
@@ -105,7 +130,10 @@ pub fn fig21() {
         rows.push(vec![
             "KVell-8".into(),
             kqps(r.qps()),
-            format!("{:.1}", io.total_bytes() as f64 / elapsed.as_secs_f64() / (1 << 20) as f64),
+            format!(
+                "{:.1}",
+                io.total_bytes() as f64 / elapsed.as_secs_f64() / (1 << 20) as f64
+            ),
             format!("{:.1} MiB", mem_max() as f64 / (1 << 20) as f64),
             format!("{:.0}%", busy.as_secs_f64() / elapsed.as_secs_f64() * 100.0),
             format!("{:.0}%", per_core * 100.0),
@@ -116,7 +144,16 @@ pub fn fig21() {
         let env = setups::nvme_env();
         let client = setups::p2kvs(env.clone(), "f21-p2", 8, true);
         let t0 = Instant::now();
-        let r = drive_micro(&client, MicroKind::FillRandom, ops, ops, 128, threads, false, 0);
+        let r = drive_micro(
+            &client,
+            MicroKind::FillRandom,
+            ops,
+            ops,
+            128,
+            threads,
+            false,
+            0,
+        );
         let elapsed = t0.elapsed();
         let io = env.io_stats();
         let snap = client.store.snapshot();
@@ -128,14 +165,14 @@ pub fn fig21() {
             .sum();
         let worker_busy: Duration = snap.workers.iter().map(|w| w.busy).sum();
         let total = worker_busy.as_secs_f64() + bg as f64 / 1e9;
-        let per_core = snap
-            .worker_utilization()
-            .into_iter()
-            .fold(0.0f64, f64::max);
+        let per_core = snap.worker_utilization().into_iter().fold(0.0f64, f64::max);
         rows.push(vec![
             "p2KVS-8".into(),
             kqps(r.qps()),
-            format!("{:.1}", io.total_bytes() as f64 / elapsed.as_secs_f64() / (1 << 20) as f64),
+            format!(
+                "{:.1}",
+                io.total_bytes() as f64 / elapsed.as_secs_f64() / (1 << 20) as f64
+            ),
             format!("{:.1} MiB", snap.mem_usage as f64 / (1 << 20) as f64),
             format!("{:.0}%", total / elapsed.as_secs_f64() * 100.0),
             format!("{:.0}%", per_core * 100.0),
@@ -143,7 +180,14 @@ pub fn fig21() {
     }
     print_table(
         "Fig 21: utilization (CPU normalized to one core; per-core = busiest worker)",
-        &["system", "KQPS", "IO MB/s", "memory", "total cpu", "per-core cpu"],
+        &[
+            "system",
+            "KQPS",
+            "IO MB/s",
+            "memory",
+            "total cpu",
+            "per-core cpu",
+        ],
         &rows,
     );
 }

@@ -4,8 +4,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ycsb::generator::KeySpace;
 use p2kvs_storage::Env as _;
+use ycsb::generator::KeySpace;
 use ycsb::micro::MicroKind;
 use ycsb::KvClient;
 
@@ -84,7 +84,11 @@ fn run_system(
         io_written: io.bytes_written,
         user_bytes,
         bw_util: io.bytes_written as f64 / (env.profile().write_bw as f64 * secs),
-        mem_avg: if mems.is_empty() { 0 } else { mems.iter().sum::<usize>() / mems.len() },
+        mem_avg: if mems.is_empty() {
+            0
+        } else {
+            mems.iter().sum::<usize>() / mems.len()
+        },
         mem_max: mems.iter().copied().max().unwrap_or(0),
         cpu_avg_pct: total_busy / secs * 100.0,
         cpu_us_per_op: cpu_used.as_micros() as f64 / result.ops.max(1) as f64,
@@ -125,7 +129,9 @@ impl SampledClient for crate::clients::LsmClient {
         self
     }
     fn sample_handle(&self) -> Box<dyn MemCpuProbe> {
-        Box::new(LsmProbe { db: self.db.clone() })
+        Box::new(LsmProbe {
+            db: self.db.clone(),
+        })
     }
     fn engine_side_only(&self) -> bool {
         false
@@ -139,11 +145,18 @@ struct P2Probe {
 
 impl MemCpuProbe for P2Probe {
     fn mem_usage(&self) -> usize {
-        self.engines.iter().map(|e| e.approximate_memory_usage()).sum()
+        self.engines
+            .iter()
+            .map(|e| e.approximate_memory_usage())
+            .sum()
     }
     fn busy(&self) -> Duration {
         let w: Duration = self.workers_busy.iter().map(|s| s.busy.busy()).sum();
-        let bg: u64 = self.engines.iter().map(|e| e.stats().bg_busy.sum_ns()).sum();
+        let bg: u64 = self
+            .engines
+            .iter()
+            .map(|e| e.stats().bg_busy.sum_ns())
+            .sum();
         w + Duration::from_nanos(bg)
     }
 }
@@ -234,12 +247,34 @@ pub fn fig13() {
     for rate in [50_000u64, 100_000, 200_000, 400_000, 800_000] {
         let mut cells = vec![format!("{}", rate / 1000)];
         let clients: Vec<Box<dyn KvClient>> = vec![
-            Box::new(setups::rocksdb_single(setups::nvme_env(), &format!("f13-r-{rate}"))),
-            Box::new(setups::p2kvs(setups::nvme_env(), &format!("f13-o-{rate}"), 1, true)),
-            Box::new(setups::p2kvs(setups::nvme_env(), &format!("f13-p-{rate}"), 8, true)),
+            Box::new(setups::rocksdb_single(
+                setups::nvme_env(),
+                &format!("f13-r-{rate}"),
+            )),
+            Box::new(setups::p2kvs(
+                setups::nvme_env(),
+                &format!("f13-o-{rate}"),
+                1,
+                true,
+            )),
+            Box::new(setups::p2kvs(
+                setups::nvme_env(),
+                &format!("f13-p-{rate}"),
+                8,
+                true,
+            )),
         ];
         for client in &clients {
-            let r = drive_micro(&**client, MicroKind::FillRandom, ops, ops, 128, 16, false, rate);
+            let r = drive_micro(
+                &**client,
+                MicroKind::FillRandom,
+                ops,
+                ops,
+                128,
+                16,
+                false,
+                rate,
+            );
             cells.push(format!(
                 "{:.0}/{:.0}",
                 r.avg_latency.as_micros(),
@@ -280,20 +315,43 @@ pub fn fig14() {
         preload(&client, load, 128);
         client.db.flush().unwrap();
         client.db.wait_idle().unwrap();
-        drive_micro(&client, MicroKind::ReadRandom, load, reads, 128, 32, false, 0).qps()
+        drive_micro(
+            &client,
+            MicroKind::ReadRandom,
+            load,
+            reads,
+            128,
+            32,
+            false,
+            0,
+        )
+        .qps()
     };
     rows.push(vec!["RocksDB".into(), kqps(base), "1.00x".into()]);
     for workers in [1usize, 2, 4, 8] {
         for obm in [false, true] {
             let env = setups::nvme_env();
-            let client =
-                setups::p2kvs_with(small_cache(env), &format!("f14-{workers}-{obm}"), workers, obm);
+            let client = setups::p2kvs_with(
+                small_cache(env),
+                &format!("f14-{workers}-{obm}"),
+                workers,
+                obm,
+            );
             preload(&client, load, 128);
             for e in client.store.engines() {
                 e.flush().unwrap();
                 e.wait_idle().unwrap();
             }
-            let r = drive_micro(&client, MicroKind::ReadRandom, load, reads, 128, 32, false, 0);
+            let r = drive_micro(
+                &client,
+                MicroKind::ReadRandom,
+                load,
+                reads,
+                128,
+                32,
+                false,
+                0,
+            );
             rows.push(vec![
                 format!("p2KVS-{workers}{}", if obm { "+OBM" } else { "" }),
                 kqps(r.qps()),
@@ -301,7 +359,11 @@ pub fn fig14() {
             ]);
         }
     }
-    print_table("Fig 14: point-query KQPS", &["system", "KQPS", "vs RocksDB"], &rows);
+    print_table(
+        "Fig 14: point-query KQPS",
+        &["system", "KQPS", "vs RocksDB"],
+        &rows,
+    );
 
     // Mechanism check: the same experiment in an IO-bound regime (device
     // 20x slower). When waits dominate software cost — as they do relative
@@ -319,19 +381,42 @@ pub fn fig14() {
         preload(&client, load_slow, 128);
         client.db.flush().unwrap();
         client.db.wait_idle().unwrap();
-        drive_micro(&client, MicroKind::ReadRandom, load_slow, reads_slow, 128, 32, false, 0).qps()
+        drive_micro(
+            &client,
+            MicroKind::ReadRandom,
+            load_slow,
+            reads_slow,
+            128,
+            32,
+            false,
+            0,
+        )
+        .qps()
     };
     rows.push(vec!["RocksDB".into(), kqps(base), "1.00x".into()]);
     for (workers, obm) in [(1usize, true), (4, true), (8, false), (8, true)] {
         let env = setups::nvme_env();
-        let client =
-            setups::p2kvs_with(small_cache(env), &format!("f14s-{workers}-{obm}"), workers, obm);
+        let client = setups::p2kvs_with(
+            small_cache(env),
+            &format!("f14s-{workers}-{obm}"),
+            workers,
+            obm,
+        );
         preload(&client, load_slow, 128);
         for e in client.store.engines() {
             e.flush().unwrap();
             e.wait_idle().unwrap();
         }
-        let r = drive_micro(&client, MicroKind::ReadRandom, load_slow, reads_slow, 128, 32, false, 0);
+        let r = drive_micro(
+            &client,
+            MicroKind::ReadRandom,
+            load_slow,
+            reads_slow,
+            128,
+            32,
+            false,
+            0,
+        );
         rows.push(vec![
             format!("p2KVS-{workers}{}", if obm { "+OBM" } else { "" }),
             kqps(r.qps()),
@@ -428,7 +513,15 @@ pub fn fig15() {
     }
     print_table(
         "Fig 15: ops/s by scan size",
-        &["size", "RANGE rocks", "RANGE p2", "speedup", "SCAN rocks", "SCAN p2", "speedup"],
+        &[
+            "size",
+            "RANGE rocks",
+            "RANGE p2",
+            "speedup",
+            "SCAN rocks",
+            "SCAN p2",
+            "speedup",
+        ],
         &rows,
     );
 }

@@ -35,7 +35,14 @@ fn run_one(
     if kind != WorkloadKind::Load {
         load_table(&*client, &spec, 8).expect("load phase");
     }
-    let r = run_workload(&*client, &spec, &RunConfig { threads, rate_limit: 0 });
+    let r = run_workload(
+        &*client,
+        &spec,
+        &RunConfig {
+            threads,
+            rate_limit: 0,
+        },
+    );
     r.qps()
 }
 
@@ -61,7 +68,11 @@ pub fn tab1() {
             ]
         })
         .collect();
-    print_table("Table 1: YCSB workloads", &["workload", "mix", "distribution"], &rows);
+    print_table(
+        "Table 1: YCSB workloads",
+        &["workload", "mix", "distribution"],
+        &rows,
+    );
 }
 
 /// Fig 16: YCSB throughput, RocksDB vs p2KVS-4 vs p2KVS-8 at 8 and 32
@@ -119,7 +130,12 @@ pub fn fig16() {
 pub fn fig17() {
     println!("fig17: workers × OBM sensitivity (32 user threads)");
     let threads = 32;
-    for kind in [WorkloadKind::Load, WorkloadKind::A, WorkloadKind::B, WorkloadKind::C] {
+    for kind in [
+        WorkloadKind::Load,
+        WorkloadKind::A,
+        WorkloadKind::B,
+        WorkloadKind::C,
+    ] {
         let mut base = 0.0f64;
         let mut rows = Vec::new();
         for workers in [1usize, 2, 4, 8] {
@@ -140,7 +156,10 @@ pub fn fig17() {
             rows.push(cells);
         }
         print_table(
-            &format!("Fig 17 workload {}: KQPS (vs 1 worker, no OBM)", kind.name()),
+            &format!(
+                "Fig 17 workload {}: KQPS (vs 1 worker, no OBM)",
+                kind.name()
+            ),
             &["workers", "OBM off", "OBM on"],
             &rows,
         );
@@ -187,7 +206,10 @@ pub fn fig18() {
             ]);
         }
         print_table(
-            &format!("Fig 18 workload {}: p2KVS-8 speedup vs RocksDB", kind.name()),
+            &format!(
+                "Fig 18 workload {}: p2KVS-8 speedup vs RocksDB",
+                kind.name()
+            ),
             &["KV size", "RocksDB KQPS", "no OBM", "with OBM"],
             &rows,
         );

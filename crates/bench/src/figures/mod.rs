@@ -91,7 +91,10 @@ pub fn drive_micro<C: KvClient + ?Sized>(
                 (hist, done)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("driver thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread"))
+            .collect()
     });
     let elapsed = start.elapsed();
     let mut hist = p2kvs_util::histogram::Histogram::new();

@@ -25,10 +25,20 @@ pub fn fig22() {
         preload(&ldb, load, 128);
         ldb.db.flush().unwrap();
         ldb.db.wait_idle().unwrap();
-        let r_l =
-            drive_micro(&ldb, MicroKind::ReadRandom, load, ops, 128, threads, true, 0).qps();
+        let r_l = drive_micro(
+            &ldb,
+            MicroKind::ReadRandom,
+            load,
+            ops,
+            128,
+            threads,
+            true,
+            0,
+        )
+        .qps();
         // p2KVS over LevelDB-mode instances.
-        let p2 = setups::p2kvs_over_leveldb(setups::nvme_env(), &format!("f22-p-{threads}"), threads);
+        let p2 =
+            setups::p2kvs_over_leveldb(setups::nvme_env(), &format!("f22-p-{threads}"), threads);
         let w_p = drive_micro(&p2, MicroKind::FillRandom, ops, ops, 128, threads, true, 0).qps();
         preload(&p2, load, 128);
         for e in p2.store.engines() {
@@ -46,7 +56,13 @@ pub fn fig22() {
     }
     print_table(
         "Fig 22: LevelDB random write / read KQPS",
-        &["threads", "LevelDB write", "p2KVS write", "LevelDB read", "p2KVS read"],
+        &[
+            "threads",
+            "LevelDB write",
+            "p2KVS write",
+            "LevelDB read",
+            "p2KVS read",
+        ],
         &rows,
     );
 }
@@ -65,8 +81,7 @@ pub fn fig23() {
         let wt = setups::wiredtiger_single(setups::nvme_env(), &format!("f23-w-{threads}"));
         let w_s = drive_micro(&wt, MicroKind::FillRandom, ops, ops, 128, threads, true, 0).qps();
         preload(&wt, load, 128);
-        let r_s =
-            drive_micro(&wt, MicroKind::ReadRandom, load, ops, 128, threads, true, 0).qps();
+        let r_s = drive_micro(&wt, MicroKind::ReadRandom, load, ops, 128, threads, true, 0).qps();
         let p2 = setups::p2kvs_over_wt(setups::nvme_env(), &format!("f23-p-{threads}"), threads);
         let w_p = drive_micro(&p2, MicroKind::FillRandom, ops, ops, 128, threads, true, 0).qps();
         preload(&p2, load, 128);
@@ -81,7 +96,13 @@ pub fn fig23() {
     }
     print_table(
         "Fig 23: WiredTiger random write / read KQPS",
-        &["threads", "WT write", "p2KVS write", "WT read", "p2KVS read"],
+        &[
+            "threads",
+            "WT write",
+            "p2KVS write",
+            "WT read",
+            "p2KVS read",
+        ],
         &rows,
     );
 }
@@ -147,7 +168,11 @@ pub fn ablate() {
                 format!("{:.0}", ops as f64 / t0.elapsed().as_secs_f64()),
             ]);
         }
-        print_table("Ablation: SCAN strategy (size 100)", &["strategy", "scans/s"], &rows);
+        print_table(
+            "Ablation: SCAN strategy (size 100)",
+            &["strategy", "scans/s"],
+            &rows,
+        );
     }
     // (3) Partitioning: hash vs skew (zipfian hot keys across workers).
     {
@@ -164,10 +189,7 @@ pub fn ablate() {
         }
         let min = *counts.iter().min().unwrap() as f64;
         let max = *counts.iter().max().unwrap() as f64;
-        let rows = vec![vec![
-            format!("{counts:?}"),
-            format!("{:.2}", max / min),
-        ]];
+        let rows = vec![vec![format!("{counts:?}"), format!("{:.2}", max / min)]];
         print_table(
             "Ablation: hash partitioning under zipfian skew (200k requests, 8 workers)",
             &["per-worker request counts", "max/min"],

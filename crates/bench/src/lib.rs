@@ -8,6 +8,7 @@
 //! otherwise, with op counts scaled by the `P2KVS_SCALE` environment
 //! variable (default 1.0 ≈ tens of seconds per figure).
 
+pub mod accessing;
 pub mod artifact;
 pub mod clients;
 pub mod figures;
@@ -37,7 +38,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     let line = |cells: Vec<String>| {
         let mut out = String::new();
         for (i, c) in cells.iter().enumerate() {
-            out.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            out.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", out.trim_end());
     };

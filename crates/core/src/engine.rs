@@ -128,11 +128,20 @@ impl EngineFactory for LsmFactory {
 
 impl KvsEngine for lsmkv::Db {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        Ok(lsmkv::Db::put(self, &lsmkv::WriteOptions::default(), key, value)?)
+        Ok(lsmkv::Db::put(
+            self,
+            &lsmkv::WriteOptions::default(),
+            key,
+            value,
+        )?)
     }
 
     fn delete(&self, key: &[u8]) -> Result<()> {
-        Ok(lsmkv::Db::delete(self, &lsmkv::WriteOptions::default(), key)?)
+        Ok(lsmkv::Db::delete(
+            self,
+            &lsmkv::WriteOptions::default(),
+            key,
+        )?)
     }
 
     fn write_batch(&self, ops: &[WriteOp], gsn: u64) -> Result<()> {
@@ -231,7 +240,9 @@ impl KvsEngine for wtiger::WtDb {
 
     fn write_batch(&self, ops: &[WriteOp], gsn: u64) -> Result<()> {
         if gsn != 0 {
-            return Err(Error::Unsupported("transactions on an engine without batch-write"));
+            return Err(Error::Unsupported(
+                "transactions on an engine without batch-write",
+            ));
         }
         // No batch API: apply writes one by one (OBM-write disabled, §4.6).
         for op in ops {
@@ -288,7 +299,10 @@ mod tests {
         assert_eq!(KvsEngine::get(&db, b"k").unwrap().unwrap(), b"v");
         db.write_batch(
             &[
-                WriteOp::Put { key: b"a".to_vec(), value: b"1".to_vec() },
+                WriteOp::Put {
+                    key: b"a".to_vec(),
+                    value: b"1".to_vec(),
+                },
                 WriteOp::Delete { key: b"k".to_vec() },
             ],
             0,
@@ -320,8 +334,14 @@ mod tests {
         KvsEngine::put(&db, b"b", b"2").unwrap();
         KvsEngine::put(&db, b"a", b"1").unwrap();
         // Batch falls back to sequential writes.
-        db.write_batch(&[WriteOp::Put { key: b"c".to_vec(), value: b"3".to_vec() }], 0)
-            .unwrap();
+        db.write_batch(
+            &[WriteOp::Put {
+                key: b"c".to_vec(),
+                value: b"3".to_vec(),
+            }],
+            0,
+        )
+        .unwrap();
         assert!(db.write_batch(&[], 7).is_err(), "GSN batches unsupported");
         assert_eq!(
             KvsEngine::range(&db, b"a", b"c").unwrap(),
@@ -339,10 +359,22 @@ mod tests {
         {
             let factory = LsmFactory::new(opts.clone());
             let db = factory.open(Path::new("e4"), None).unwrap();
-            db.write_batch(&[WriteOp::Put { key: b"x".to_vec(), value: b"1".to_vec() }], 3)
-                .unwrap();
-            db.write_batch(&[WriteOp::Put { key: b"y".to_vec(), value: b"2".to_vec() }], 9)
-                .unwrap();
+            db.write_batch(
+                &[WriteOp::Put {
+                    key: b"x".to_vec(),
+                    value: b"1".to_vec(),
+                }],
+                3,
+            )
+            .unwrap();
+            db.write_batch(
+                &[WriteOp::Put {
+                    key: b"y".to_vec(),
+                    value: b"2".to_vec(),
+                }],
+                9,
+            )
+            .unwrap();
             db.crash();
         }
         let factory = LsmFactory::new(opts);

@@ -9,7 +9,9 @@
 //!   one worker thread pinned to a core. Per-instance WAL/MemTable/LSM-tree
 //!   removes all contention on shared engine structures (§4.1–4.2).
 //! * **Vertical (intra-instance) dimension** — an accessing layer separates
-//!   user threads from workers: user threads enqueue requests and sleep;
+//!   user threads from workers: user threads enqueue requests onto a
+//!   bounded **lock-free MPSC ring** (pooled completion slots, spin-then-
+//!   park wakeups on both sides — see [`queue`] and [`types`]) and sleep;
 //!   each worker drains its queue with the **opportunistic batching
 //!   mechanism** (OBM, Algorithm 1): consecutive same-type requests (bound
 //!   `M`, default 32) merge into one engine `WriteBatch` or one `multiget`

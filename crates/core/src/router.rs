@@ -95,7 +95,9 @@ mod tests {
         // Even when requests are highly skewed toward a few keys, distinct
         // hot keys spread across partitions (§4.2's claim).
         let p = HashPartitioner::new(4);
-        let hot: Vec<usize> = (0..64).map(|i| p.worker_of(format!("hot{i}").as_bytes())).collect();
+        let hot: Vec<usize> = (0..64)
+            .map(|i| p.worker_of(format!("hot{i}").as_bytes()))
+            .collect();
         for w in 0..4 {
             assert!(hot.contains(&w), "worker {w} got no hot keys");
         }

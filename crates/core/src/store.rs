@@ -5,8 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use p2kvs_obs::{
-    labeled, MetricsRegistry, MetricsSnapshot, PeriodicTask, TraceEvent, TraceRing,
-    WorkerLifecycle,
+    labeled, MetricsRegistry, MetricsSnapshot, PeriodicTask, TraceEvent, TraceRing, WorkerLifecycle,
 };
 
 use crate::engine::{EngineFactory, GsnFilter, KvsEngine};
@@ -37,6 +36,12 @@ pub struct P2KvsOptions {
     pub workers: usize,
     /// OBM batch bound `M` (32 in the paper); 1 disables merging.
     pub batch_max: usize,
+    /// Capacity of each worker's request ring, rounded up to a power of
+    /// two (default 1024). A full ring **blocks the pushing user thread**
+    /// (spin → yield → short naps) until the worker frees a slot —
+    /// bounded-memory backpressure rather than unbounded queueing; see
+    /// `crate::queue` for the full policy.
+    pub queue_capacity: usize,
     /// Whether OBM is enabled at all (ablation switch).
     pub obm: bool,
     /// Pin worker threads to cores.
@@ -62,6 +67,7 @@ impl Default for P2KvsOptions {
         P2KvsOptions {
             workers: 8,
             batch_max: 32,
+            queue_capacity: crate::queue::DEFAULT_QUEUE_CAPACITY,
             obm: true,
             pin_workers: true,
             scan_strategy: ScanStrategy::ParallelFull,
@@ -104,14 +110,19 @@ impl<E: KvsEngine> ObsShared<E> {
             let w = i.to_string();
             let l = |base: &str| labeled(base, &[("worker", &w)]);
             let ordering = std::sync::atomic::Ordering::Relaxed;
-            reg.counter(&l("p2kvs_worker_ops_total")).store(stats.ops.load(ordering));
+            reg.counter(&l("p2kvs_worker_ops_total"))
+                .store(stats.ops.load(ordering));
             reg.counter(&l("p2kvs_worker_batches_total"))
                 .store(stats.batches.load(ordering));
             reg.counter(&l("p2kvs_worker_merged_ops_total"))
                 .store(stats.merged_ops.load(ordering));
-            reg.set_gauge(&l("p2kvs_worker_busy_seconds"), stats.busy.busy().as_secs_f64());
-            // The live queue depth gauge: sampled, not event-counted, so
-            // it is exact at snapshot time.
+            reg.set_gauge(
+                &l("p2kvs_worker_busy_seconds"),
+                stats.busy.busy().as_secs_f64(),
+            );
+            // The live queue depth gauge reads the ring's relaxed atomic
+            // counter — sampling never locks or contends with the data
+            // path.
             reg.set_gauge(&l("p2kvs_queue_depth"), queue.len() as f64);
         }
         for (i, engine) in self.engines.iter().enumerate() {
@@ -126,7 +137,8 @@ impl<E: KvsEngine> ObsShared<E> {
             "p2kvs_mem_usage_bytes",
             self.engines.iter().map(|e| e.mem_usage()).sum::<usize>() as f64,
         );
-        reg.counter("p2kvs_slow_requests_total").store(self.trace.total_recorded());
+        reg.counter("p2kvs_slow_requests_total")
+            .store(self.trace.total_recorded());
         reg.snapshot()
     }
 
@@ -193,23 +205,24 @@ impl<E: KvsEngine> P2Kvs<E> {
         let n = opts.workers.max(1);
         let registry = Arc::new(MetricsRegistry::new());
         let trace = Arc::new(TraceRing::new(opts.trace_capacity));
-        let slow_ns = opts.slow_request_threshold.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let slow_ns = opts
+            .slow_request_threshold
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
         let mut engines = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
             let instance_dir = dir.join(format!("instance-{i}"));
             let engine = Arc::new(factory.open(&instance_dir, Some(filter.clone()))?);
-            let batch_max = if opts.obm { opts.batch_max } else { 1 };
+            let config = crate::worker::WorkerConfig {
+                batch_max: if opts.obm { opts.batch_max } else { 1 },
+                queue_capacity: opts.queue_capacity,
+                pin: opts.pin_workers,
+            };
             let lifecycle = opts
                 .metrics
                 .then(|| WorkerLifecycle::new(&registry, i, slow_ns, trace.clone()));
-            workers.push(WorkerHandle::spawn(
-                i,
-                engine.clone(),
-                batch_max,
-                opts.pin_workers,
-                lifecycle,
-            ));
+            workers.push(WorkerHandle::spawn(i, engine.clone(), config, lifecycle));
             engines.push(engine);
         }
         let opened = Instant::now();
@@ -295,10 +308,7 @@ impl<E: KvsEngine> P2Kvs<E> {
             value: value.to_vec(),
         };
         let worker = self.partitioner.worker_of(key);
-        let req = Request::asynchronous(
-            op,
-            Box::new(move |r| cb(r.map(|_| ()))),
-        );
+        let req = Request::asynchronous(op, Box::new(move |r| cb(r.map(|_| ()))));
         self.workers[worker]
             .queue
             .push(req)
@@ -509,7 +519,10 @@ impl<E: KvsEngine> P2Kvs<E> {
                 .map(|w| WorkerSnapshot {
                     ops: w.stats.ops.load(std::sync::atomic::Ordering::Relaxed),
                     batches: w.stats.batches.load(std::sync::atomic::Ordering::Relaxed),
-                    merged_ops: w.stats.merged_ops.load(std::sync::atomic::Ordering::Relaxed),
+                    merged_ops: w
+                        .stats
+                        .merged_ops
+                        .load(std::sync::atomic::Ordering::Relaxed),
                     busy: w.stats.busy.busy(),
                     queue_depth: w.queue.len(),
                 })

@@ -16,9 +16,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
 use p2kvs_storage::{EnvRef, WritableFile};
 use p2kvs_util::crc32c::crc32c;
+use parking_lot::Mutex;
 
 const REC_BEGIN: u8 = 1;
 const REC_COMMIT: u8 = 2;

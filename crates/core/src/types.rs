@@ -1,8 +1,21 @@
 //! Request and response types flowing through the accessing layer.
+//!
+//! The synchronous interface's completion slots are the second half of
+//! the hot path (the first is the queue): every blocking `put`/`get`
+//! hands a slot to the worker and parks on it. Instead of allocating a
+//! fresh `Mutex` + `Condvar` pair per request (the original
+//! `SyncCompletion`, deleted in favour of this), a [`CompletionSlot`] is
+//! a single atomic state word plus a parked-thread cell, **recycled
+//! through a thread-local freelist** — the steady-state submission path
+//! allocates nothing, and fulfilling a request wakes the waiter only if
+//! it actually parked (a spinning waiter costs the worker zero
+//! syscalls).
 
+use std::cell::RefCell;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicU32, Ordering};
 use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::thread::Thread;
 
 use crate::error::{Error, Result};
 
@@ -105,43 +118,155 @@ pub enum Response {
 
 /// How a finished request reports back.
 pub enum Completion {
-    /// A waiting user thread (synchronous interface): it sleeps on the
-    /// condvar until the worker stores the result.
-    Sync(Arc<SyncCompletion>),
+    /// A waiting user thread (synchronous interface): it spins briefly
+    /// then parks on the slot until the worker stores the result.
+    Sync(Arc<CompletionSlot>),
     /// Fire-and-forget callback (asynchronous interface, §4.1).
     Async(Box<dyn FnOnce(Result<Response>) + Send>),
 }
 
-/// Shared slot a synchronous caller parks on.
-#[derive(Default)]
-pub struct SyncCompletion {
-    slot: Mutex<Option<Result<Response>>>,
-    cv: Condvar,
+/// Slot states. EMPTY → (PARKED →) DONE, then recycled back to EMPTY.
+const SLOT_EMPTY: u32 = 0;
+const SLOT_PARKED: u32 = 1;
+const SLOT_DONE: u32 = 2;
+
+/// Iterations a waiter spins before parking. Round-trips through an
+/// unloaded worker complete well inside this budget, so the common case
+/// pays neither park nor unpark.
+const WAITER_SPIN: usize = 512;
+
+/// Bound on the per-thread freelist (slots, ~100 B each).
+const POOL_LIMIT: usize = 64;
+
+thread_local! {
+    /// Per-thread completion-slot freelist. `Request::sync` pops from it,
+    /// `SyncWaiter::wait` pushes back — zero cross-thread traffic, zero
+    /// allocation in steady state.
+    static SLOT_POOL: RefCell<Vec<Arc<CompletionSlot>>> = const { RefCell::new(Vec::new()) };
 }
 
-impl SyncCompletion {
-    /// Creates an empty completion.
-    pub fn new() -> Arc<SyncCompletion> {
-        Arc::new(SyncCompletion::default())
-    }
+/// Shared one-shot completion slot: one atomic state word, a result
+/// cell, and the parked waiter's thread handle. All cell accesses are
+/// ordered by the state word; see the safety notes on each method.
+pub struct CompletionSlot {
+    state: AtomicU32,
+    result: UnsafeCell<Option<Result<Response>>>,
+    waiter: UnsafeCell<Option<Thread>>,
+}
 
-    /// Stores the result and wakes the waiter.
-    pub fn fulfill(&self, result: Result<Response>) {
-        let mut slot = self.slot.lock();
-        *slot = Some(result);
-        drop(slot);
-        self.cv.notify_all();
-    }
+// SAFETY: the state machine gives each cell a single writer at a time —
+// `result` is written by the (sole) fulfiller before the DONE transition
+// and read by the (sole) waiter after observing DONE; `waiter` is
+// written by the waiter before its EMPTY→PARKED transition and consumed
+// by the fulfiller only after observing PARKED.
+unsafe impl Send for CompletionSlot {}
+unsafe impl Sync for CompletionSlot {}
 
-    /// Blocks until the result arrives.
-    pub fn wait(&self) -> Result<Response> {
-        let mut slot = self.slot.lock();
-        loop {
-            if let Some(result) = slot.take() {
-                return result;
-            }
-            self.cv.wait(&mut slot);
+impl Default for CompletionSlot {
+    fn default() -> Self {
+        CompletionSlot {
+            state: AtomicU32::new(SLOT_EMPTY),
+            result: UnsafeCell::new(None),
+            waiter: UnsafeCell::new(None),
         }
+    }
+}
+
+impl CompletionSlot {
+    /// Stores the result and wakes the waiter **iff it parked**. Consumes
+    /// the worker's reference *before* the unpark so the woken waiter
+    /// usually observes itself as the sole owner and can recycle the
+    /// slot.
+    pub fn fulfill(self: Arc<Self>, result: Result<Response>) {
+        // SAFETY: sole fulfiller (a Request is finished once), and the
+        // waiter reads `result` only after the Release swap below.
+        unsafe { *self.result.get() = Some(result) };
+        let prev = self.state.swap(SLOT_DONE, Ordering::AcqRel);
+        debug_assert_ne!(prev, SLOT_DONE, "completion fulfilled twice");
+        // SAFETY: PARKED was set after the waiter wrote its handle
+        // (release CAS); the Acquire swap above makes that write visible,
+        // and the waiter never touches the cell again before DONE.
+        let waiter = if prev == SLOT_PARKED {
+            unsafe { (*self.waiter.get()).take() }
+        } else {
+            None
+        };
+        drop(self);
+        if let Some(t) = waiter {
+            t.unpark();
+        }
+    }
+
+    /// Spins briefly (multiprocessors only), then parks until the result
+    /// arrives.
+    fn wait_result(&self) -> Result<Response> {
+        let spin_limit = crate::queue::adaptive_spin(WAITER_SPIN);
+        let mut spins = 0;
+        while self.state.load(Ordering::Acquire) != SLOT_DONE {
+            spins += 1;
+            if spins > spin_limit {
+                // Register for the wakeup. SAFETY: the fulfiller reads
+                // `waiter` only after observing PARKED, which this
+                // release CAS publishes after the write.
+                unsafe { *self.waiter.get() = Some(std::thread::current()) };
+                if self
+                    .state
+                    .compare_exchange(SLOT_EMPTY, SLOT_PARKED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    while self.state.load(Ordering::Acquire) != SLOT_DONE {
+                        std::thread::park();
+                    }
+                }
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        // SAFETY: state is DONE (Acquire): the fulfiller's write to
+        // `result` is visible and it will never touch the cell again.
+        unsafe { (*self.result.get()).take() }.expect("completed slot holds a result")
+    }
+
+    /// Resets a slot for reuse. Caller must hold the only reference.
+    fn reset(&self) {
+        // SAFETY: sole owner (checked by the caller via strong_count == 1
+        // plus an Acquire fence pairing with the fulfiller's Arc drop).
+        unsafe {
+            *self.result.get() = None;
+            *self.waiter.get() = None;
+        }
+        self.state.store(SLOT_EMPTY, Ordering::Relaxed);
+    }
+}
+
+/// The user-thread half of a synchronous request: wait once, get the
+/// result, and the slot goes back to the submitting thread's pool.
+pub struct SyncWaiter {
+    slot: Arc<CompletionSlot>,
+}
+
+impl SyncWaiter {
+    /// Blocks (spin, then park) until the worker fulfills the request.
+    pub fn wait(self) -> Result<Response> {
+        let SyncWaiter { slot } = self;
+        let result = slot.wait_result();
+        // Recycle if the worker has already dropped its reference —
+        // `fulfill` drops before unparking, so a parked waiter almost
+        // always recycles; a spin-woken one occasionally races the drop
+        // and simply lets the slot free instead.
+        if Arc::strong_count(&slot) == 1 {
+            // Pairs with the Release decrement of the fulfiller's Arc
+            // drop: everything it did to the slot happens-before reset.
+            fence(Ordering::Acquire);
+            slot.reset();
+            let _ = SLOT_POOL.try_with(|pool| {
+                let mut pool = pool.borrow_mut();
+                if pool.len() < POOL_LIMIT {
+                    pool.push(slot);
+                }
+            });
+        }
+        result
     }
 }
 
@@ -154,17 +279,37 @@ pub struct Request {
     pub enqueued: std::time::Instant,
 }
 
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("op", &self.op)
+            .field(
+                "completion",
+                &match self.completion {
+                    Completion::Sync(_) => "sync",
+                    Completion::Async(_) => "async",
+                },
+            )
+            .finish_non_exhaustive()
+    }
+}
+
 impl Request {
-    /// Builds a synchronous request, returning it with its completion.
-    pub fn sync(op: Op) -> (Request, Arc<SyncCompletion>) {
-        let completion = SyncCompletion::new();
+    /// Builds a synchronous request, returning it with the waiter half of
+    /// its (pooled) completion slot.
+    pub fn sync(op: Op) -> (Request, SyncWaiter) {
+        let slot = SLOT_POOL
+            .try_with(|pool| pool.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
         (
             Request {
                 op,
-                completion: Completion::Sync(completion.clone()),
+                completion: Completion::Sync(slot.clone()),
                 enqueued: std::time::Instant::now(),
             },
-            completion,
+            SyncWaiter { slot },
         )
     }
 
@@ -204,12 +349,30 @@ mod tests {
 
     #[test]
     fn op_classes() {
-        assert_eq!(Op::Put { key: vec![], value: vec![] }.class(), OpClass::Write);
+        assert_eq!(
+            Op::Put {
+                key: vec![],
+                value: vec![]
+            }
+            .class(),
+            OpClass::Write
+        );
         assert_eq!(Op::Delete { key: vec![] }.class(), OpClass::Write);
         assert_eq!(Op::Get { key: vec![] }.class(), OpClass::Read);
-        assert_eq!(Op::Scan { start: vec![], count: 1 }.class(), OpClass::Solo);
         assert_eq!(
-            Op::TxnBatch { ops: vec![], gsn: 1 }.class(),
+            Op::Scan {
+                start: vec![],
+                count: 1
+            }
+            .class(),
+            OpClass::Solo
+        );
+        assert_eq!(
+            Op::TxnBatch {
+                ops: vec![],
+                gsn: 1
+            }
+            .class(),
             OpClass::Solo
         );
     }
@@ -227,10 +390,69 @@ mod tests {
     }
 
     #[test]
+    fn sync_completion_parked_waiter_wakes() {
+        // Force the park path: fulfill long after the waiter's spin
+        // budget is exhausted.
+        let (req, completion) = Request::sync(Op::Get { key: b"k".to_vec() });
+        let waiter = std::thread::spawn(move || completion.wait());
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        req.finish(Ok(Response::Done));
+        assert_eq!(waiter.join().unwrap().unwrap(), Response::Done);
+    }
+
+    #[test]
+    fn fulfilled_before_wait_returns_immediately() {
+        let (req, completion) = Request::sync(Op::Put {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        });
+        req.finish(Ok(Response::Done));
+        assert_eq!(completion.wait().unwrap(), Response::Done);
+    }
+
+    #[test]
+    fn completion_slots_recycle_through_thread_pool() {
+        // Fulfill from this thread: the worker-side Arc is dropped inside
+        // `fulfill`, so `wait` observes sole ownership and recycles.
+        let (req, waiter) = Request::sync(Op::Get { key: b"a".to_vec() });
+        let first = Arc::as_ptr(match &req.completion {
+            Completion::Sync(c) => c,
+            _ => unreachable!(),
+        });
+        req.finish(Ok(Response::Done));
+        waiter.wait().unwrap();
+        let (req2, waiter2) = Request::sync(Op::Get { key: b"b".to_vec() });
+        let second = Arc::as_ptr(match &req2.completion {
+            Completion::Sync(c) => c,
+            _ => unreachable!(),
+        });
+        assert_eq!(first, second, "slot came back from the freelist");
+        req2.finish(Ok(Response::Done));
+        waiter2.wait().unwrap();
+    }
+
+    #[test]
+    fn recycled_slot_carries_no_stale_state() {
+        let (req, waiter) = Request::sync(Op::Get { key: b"x".to_vec() });
+        req.finish(Ok(Response::Value(Some(b"old".to_vec()))));
+        assert_eq!(
+            waiter.wait().unwrap(),
+            Response::Value(Some(b"old".to_vec()))
+        );
+        // Reuse the slot for a request with a different result.
+        let (req, waiter) = Request::sync(Op::Get { key: b"y".to_vec() });
+        req.finish(Ok(Response::Value(None)));
+        assert_eq!(waiter.wait().unwrap(), Response::Value(None));
+    }
+
+    #[test]
     fn async_completion_invokes_callback() {
         let (tx, rx) = std::sync::mpsc::channel();
         let req = Request::asynchronous(
-            Op::Put { key: b"k".to_vec(), value: b"v".to_vec() },
+            Op::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
             Box::new(move |r| tx.send(r.is_ok()).unwrap()),
         );
         req.finish(Ok(Response::Done));
@@ -239,10 +461,15 @@ mod tests {
 
     #[test]
     fn write_op_accessors() {
-        let p = WriteOp::Put { key: b"k".to_vec(), value: b"vvv".to_vec() };
+        let p = WriteOp::Put {
+            key: b"k".to_vec(),
+            value: b"vvv".to_vec(),
+        };
         assert_eq!(p.key(), b"k");
         assert_eq!(p.size(), 4);
-        let d = WriteOp::Delete { key: b"kk".to_vec() };
+        let d = WriteOp::Delete {
+            key: b"kk".to_vec(),
+        };
         assert_eq!(d.size(), 2);
     }
 }

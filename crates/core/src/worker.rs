@@ -5,6 +5,13 @@
 //! then execute it as one engine call — `write_batch` for writes,
 //! `multiget` for reads — falling back to per-request calls when the
 //! engine lacks the capability or the batch has a single element.
+//!
+//! The steady-state loop performs **no per-iteration heap allocation**:
+//! the batch `Vec`, the lifecycle queue-wait scratch, and the merged-call
+//! scratch buffers all live across iterations (only the engine-owned
+//! key/value copies inside a merged call allocate, and those belong to
+//! the engine API, not the loop). The queue side is a lock-free ring with
+//! a spin-then-park idle loop — see [`crate::queue`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,7 +22,7 @@ use p2kvs_obs::WorkerLifecycle;
 use p2kvs_util::timing::BusyClock;
 
 use crate::engine::KvsEngine;
-use crate::queue::RequestQueue;
+use crate::queue::{RequestQueue, DEFAULT_QUEUE_CAPACITY};
 use crate::types::{Op, OpClass, Request, Response, WriteOp};
 
 /// Counters published by one worker.
@@ -43,6 +50,28 @@ impl WorkerStats {
     }
 }
 
+/// Per-worker configuration (split out of the spawn signature).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerConfig {
+    /// OBM batch bound `M` (1 disables merging).
+    pub batch_max: usize,
+    /// Request ring capacity (rounded up to a power of two; full queues
+    /// apply backpressure to producers — see [`crate::queue`]).
+    pub queue_capacity: usize,
+    /// Bind the worker thread to core `id`.
+    pub pin: bool,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            batch_max: 32,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            pin: false,
+        }
+    }
+}
+
 /// A running worker.
 pub struct WorkerHandle {
     /// The worker's request queue.
@@ -55,48 +84,46 @@ pub struct WorkerHandle {
 impl WorkerHandle {
     /// Spawns worker `id` over `engine`.
     ///
-    /// `batch_max` bounds OBM batches (1 disables merging); `pin` binds
-    /// the thread to core `id`. When `lifecycle` is present the worker
-    /// stamps every batch at dequeue and completion, publishing
-    /// queue-wait and service latency histograms plus slow-request trace
-    /// events.
+    /// When `lifecycle` is present the worker stamps every batch at
+    /// dequeue and completion, publishing queue-wait and service latency
+    /// histograms plus slow-request trace events.
     pub fn spawn<E: KvsEngine>(
         id: usize,
         engine: Arc<E>,
-        batch_max: usize,
-        pin: bool,
+        config: WorkerConfig,
         lifecycle: Option<WorkerLifecycle>,
     ) -> WorkerHandle {
-        let queue = Arc::new(RequestQueue::new());
+        let queue = Arc::new(RequestQueue::with_capacity(config.queue_capacity));
         let stats = Arc::new(WorkerStats::default());
         let q = queue.clone();
         let s = stats.clone();
         let handle = std::thread::Builder::new()
             .name(format!("p2kvs-worker-{id}"))
             .spawn(move || {
-                if pin {
+                if config.pin {
                     p2kvs_util::affinity::pin_to_core(id);
                 }
-                let max = batch_max.max(1);
-                while let Some(batch) = q.pop_batch(max) {
+                let max = config.batch_max.max(1);
+                // All loop state is allocated once and reused: the
+                // steady-state iteration touches no allocator.
+                let mut batch: Vec<Request> = Vec::with_capacity(max);
+                let mut waits: Vec<u64> = Vec::with_capacity(max);
+                let mut scratch = BatchScratch::default();
+                while q.pop_batch_into(max, &mut batch) {
                     // Lifecycle stamps: queue wait ends at dequeue, service
                     // covers dequeue -> completion (requests in one OBM
                     // batch complete together).
                     let dequeued = Instant::now();
-                    let staged = lifecycle.as_ref().map(|_| {
-                        (
-                            batch[0].op.class().index(),
-                            batch
-                                .iter()
-                                .map(|r| {
-                                    dequeued.saturating_duration_since(r.enqueued).as_nanos()
-                                        as u64
-                                })
-                                .collect::<Vec<u64>>(),
-                        )
-                    });
-                    s.busy.time(|| execute_batch(&*engine, batch, &s));
-                    if let (Some(lc), Some((class, waits))) = (&lifecycle, staged) {
+                    let class = batch[0].op.class().index();
+                    if lifecycle.is_some() {
+                        waits.clear();
+                        waits.extend(batch.iter().map(|r| {
+                            dequeued.saturating_duration_since(r.enqueued).as_nanos() as u64
+                        }));
+                    }
+                    s.busy
+                        .time(|| execute_batch(&*engine, &mut batch, &s, &mut scratch));
+                    if let Some(lc) = &lifecycle {
                         lc.observe(class, &waits, dequeued.elapsed().as_nanos() as u64);
                     }
                 }
@@ -124,8 +151,21 @@ impl Drop for WorkerHandle {
     }
 }
 
-/// Executes one OBM batch against the engine.
-fn execute_batch<E: KvsEngine>(engine: &E, batch: Vec<Request>, stats: &WorkerStats) {
+/// Reusable buffers for merged engine calls, allocated once per worker.
+#[derive(Default)]
+struct BatchScratch {
+    ops: Vec<WriteOp>,
+    keys: Vec<Vec<u8>>,
+}
+
+/// Executes one OBM batch against the engine, draining `batch` (its
+/// allocation is the caller's and is reused across calls).
+fn execute_batch<E: KvsEngine>(
+    engine: &E,
+    batch: &mut Vec<Request>,
+    stats: &WorkerStats,
+    scratch: &mut BatchScratch,
+) {
     let n = batch.len() as u64;
     stats.ops.fetch_add(n, Ordering::Relaxed);
     stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -138,25 +178,25 @@ fn execute_batch<E: KvsEngine>(engine: &E, batch: Vec<Request>, stats: &WorkerSt
             // merge ratio.
             stats.merged_ops.fetch_add(n, Ordering::Relaxed);
             // Merge the run into one WriteBatch (Fig 10a).
-            let ops: Vec<WriteOp> = batch
-                .iter()
-                .map(|r| match &r.op {
-                    Op::Put { key, value } => WriteOp::Put {
-                        key: key.clone(),
-                        value: value.clone(),
-                    },
-                    Op::Delete { key } => WriteOp::Delete { key: key.clone() },
-                    other => unreachable!("non-write op {other:?} in write batch"),
-                })
-                .collect();
-            match engine.write_batch(&ops, 0) {
+            scratch.ops.clear();
+            scratch.ops.extend(batch.iter().map(|r| match &r.op {
+                Op::Put { key, value } => WriteOp::Put {
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+                Op::Delete { key } => WriteOp::Delete { key: key.clone() },
+                other => unreachable!("non-write op {other:?} in write batch"),
+            }));
+            let outcome = engine.write_batch(&scratch.ops, 0);
+            scratch.ops.clear();
+            match outcome {
                 Ok(()) => {
-                    for req in batch {
+                    for req in batch.drain(..) {
                         req.finish(Ok(Response::Done));
                     }
                 }
                 Err(e) => {
-                    for req in batch {
+                    for req in batch.drain(..) {
                         req.finish_err(&e);
                     }
                 }
@@ -165,21 +205,21 @@ fn execute_batch<E: KvsEngine>(engine: &E, batch: Vec<Request>, stats: &WorkerSt
         OpClass::Read if batch.len() > 1 && caps.multiget => {
             stats.merged_ops.fetch_add(n, Ordering::Relaxed);
             // Merge the run into one multiget (Fig 10b).
-            let keys: Vec<Vec<u8>> = batch
-                .iter()
-                .map(|r| match &r.op {
-                    Op::Get { key } => key.clone(),
-                    other => unreachable!("non-read op {other:?} in read batch"),
-                })
-                .collect();
-            match engine.multiget(&keys) {
+            scratch.keys.clear();
+            scratch.keys.extend(batch.iter().map(|r| match &r.op {
+                Op::Get { key } => key.clone(),
+                other => unreachable!("non-read op {other:?} in read batch"),
+            }));
+            let outcome = engine.multiget(&scratch.keys);
+            scratch.keys.clear();
+            match outcome {
                 Ok(values) => {
-                    for (req, v) in batch.into_iter().zip(values) {
+                    for (req, v) in batch.drain(..).zip(values) {
                         req.finish(Ok(Response::Value(v)));
                     }
                 }
                 Err(e) => {
-                    for req in batch {
+                    for req in batch.drain(..) {
                         req.finish_err(&e);
                     }
                 }
@@ -187,7 +227,7 @@ fn execute_batch<E: KvsEngine>(engine: &E, batch: Vec<Request>, stats: &WorkerSt
         }
         _ => {
             // Single request, or the engine lacks the batched fast path.
-            for req in batch {
+            for req in batch.drain(..) {
                 execute_one(engine, req);
             }
         }
@@ -217,10 +257,21 @@ mod tests {
     use crate::engine::{EngineFactory, LsmFactory};
     use std::path::Path;
 
+    fn test_config() -> WorkerConfig {
+        WorkerConfig {
+            batch_max: 32,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            pin: false,
+        }
+    }
+
     fn worker() -> (WorkerHandle, Arc<lsmkv::Db>) {
         let factory = LsmFactory::new(lsmkv::Options::for_test());
         let engine = Arc::new(factory.open(Path::new("w0"), None).unwrap());
-        (WorkerHandle::spawn(0, engine.clone(), 32, false, None), engine)
+        (
+            WorkerHandle::spawn(0, engine.clone(), test_config(), None),
+            engine,
+        )
     }
 
     /// A minimal engine with neither `batch_write` nor `multiget`: OBM
@@ -239,7 +290,10 @@ mod tests {
 
     impl KvsEngine for NoCapsEngine {
         fn put(&self, key: &[u8], value: &[u8]) -> crate::error::Result<()> {
-            self.map.lock().unwrap().insert(key.to_vec(), value.to_vec());
+            self.map
+                .lock()
+                .unwrap()
+                .insert(key.to_vec(), value.to_vec());
             Ok(())
         }
 
@@ -262,7 +316,11 @@ mod tests {
             Ok(self.map.lock().unwrap().get(key).cloned())
         }
 
-        fn scan(&self, start: &[u8], count: usize) -> crate::error::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        fn scan(
+            &self,
+            start: &[u8],
+            count: usize,
+        ) -> crate::error::Result<Vec<(Vec<u8>, Vec<u8>)>> {
             Ok(self
                 .map
                 .lock()
@@ -318,7 +376,8 @@ mod tests {
         // merged requests.
         let engine = NoCapsEngine::new();
         let stats = WorkerStats::default();
-        execute_batch(&engine, put_batch(8), &stats);
+        let mut scratch = BatchScratch::default();
+        execute_batch(&engine, &mut put_batch(8), &stats, &mut scratch);
         assert_eq!(stats.ops.load(Ordering::Relaxed), 8);
         assert_eq!(stats.batches.load(Ordering::Relaxed), 1);
         assert_eq!(
@@ -326,10 +385,15 @@ mod tests {
             0,
             "no-caps engine executes per request; nothing merged"
         );
-        let reads: Vec<Request> = (0..4)
-            .map(|i| Request::sync(Op::Get { key: format!("k{i}").into_bytes() }).0)
+        let mut reads: Vec<Request> = (0..4)
+            .map(|i| {
+                Request::sync(Op::Get {
+                    key: format!("k{i}").into_bytes(),
+                })
+                .0
+            })
             .collect();
-        execute_batch(&engine, reads, &stats);
+        execute_batch(&engine, &mut reads, &stats, &mut scratch);
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 0);
     }
 
@@ -338,7 +402,8 @@ mod tests {
         let factory = LsmFactory::new(lsmkv::Options::for_test());
         let engine = factory.open(Path::new("w-merged"), None).unwrap();
         let stats = WorkerStats::default();
-        execute_batch(&engine, put_batch(5), &stats);
+        let mut scratch = BatchScratch::default();
+        execute_batch(&engine, &mut put_batch(5), &stats, &mut scratch);
         assert_eq!(stats.ops.load(Ordering::Relaxed), 5);
         assert_eq!(
             stats.merged_ops.load(Ordering::Relaxed),
@@ -346,8 +411,20 @@ mod tests {
             "batch-write engine merges the whole run"
         );
         // A single-request batch is never a merge.
-        execute_batch(&engine, put_batch(1), &stats);
+        execute_batch(&engine, &mut put_batch(1), &stats, &mut scratch);
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn execute_batch_drains_and_reuses_the_vec() {
+        let engine = NoCapsEngine::new();
+        let stats = WorkerStats::default();
+        let mut scratch = BatchScratch::default();
+        let mut batch = put_batch(8);
+        let cap_before = batch.capacity();
+        execute_batch(&engine, &mut batch, &stats, &mut scratch);
+        assert!(batch.is_empty(), "batch is drained, not consumed");
+        assert_eq!(batch.capacity(), cap_before, "allocation is retained");
     }
 
     #[test]
@@ -358,7 +435,7 @@ mod tests {
         let lc = WorkerLifecycle::new(&registry, 0, 0, ring.clone());
         let factory = LsmFactory::new(lsmkv::Options::for_test());
         let engine = Arc::new(factory.open(Path::new("w-obs"), None).unwrap());
-        let worker = WorkerHandle::spawn(0, engine, 32, false, Some(lc));
+        let worker = WorkerHandle::spawn(0, engine, test_config(), Some(lc));
         let mut completions = Vec::new();
         for i in 0..40 {
             let (req, c) = Request::sync(Op::Put {
@@ -368,7 +445,9 @@ mod tests {
             worker.queue.push(req).ok().unwrap();
             completions.push(c);
         }
-        let (req, c) = Request::sync(Op::Get { key: b"k00".to_vec() });
+        let (req, c) = Request::sync(Op::Get {
+            key: b"k00".to_vec(),
+        });
         worker.queue.push(req).ok().unwrap();
         completions.push(c);
         for c in completions {
@@ -501,5 +580,31 @@ mod tests {
         for c in completions {
             assert!(c.wait().is_ok(), "pending requests must complete");
         }
+    }
+
+    #[test]
+    fn small_queue_capacity_applies_backpressure_but_completes() {
+        let factory = LsmFactory::new(lsmkv::Options::for_test());
+        let engine = Arc::new(factory.open(Path::new("w-bp"), None).unwrap());
+        let config = WorkerConfig {
+            batch_max: 4,
+            queue_capacity: 4,
+            pin: false,
+        };
+        let worker = WorkerHandle::spawn(0, engine, config, None);
+        assert_eq!(worker.queue.capacity(), 4);
+        let mut completions = Vec::new();
+        for i in 0..200 {
+            let (req, c) = Request::sync(Op::Put {
+                key: format!("bp{i:03}").into_bytes(),
+                value: b"v".to_vec(),
+            });
+            worker.queue.push(req).ok().unwrap();
+            completions.push(c);
+        }
+        for c in completions {
+            assert_eq!(c.wait().unwrap(), Response::Done);
+        }
+        assert_eq!(worker.stats.ops.load(Ordering::Relaxed), 200);
     }
 }
