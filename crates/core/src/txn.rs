@@ -40,6 +40,9 @@ pub struct TxnRecovery {
     pub committed: HashSet<u64>,
     /// Highest GSN ever allocated.
     pub max_gsn: u64,
+    /// Trailing bytes ignored because they did not form a CRC-valid
+    /// record — a torn tail from a crash mid-append. Zero on a clean log.
+    pub truncated_tail_bytes: usize,
 }
 
 impl TxnRecovery {
@@ -92,6 +95,7 @@ impl TxnManager {
             out.max_gsn = out.max_gsn.max(gsn);
             off += REC_LEN;
         }
+        out.truncated_tail_bytes = data.len() - off;
         Ok(out)
     }
 
@@ -212,6 +216,80 @@ mod tests {
         assert!(rec.should_replay(1));
         assert!(!rec.should_replay(2));
         assert!(rec.should_replay(3));
+    }
+
+    /// Writes a TXNLOG whose last record is cut to `keep` of its 13
+    /// bytes, preceded by a committed transaction (gsn 1) and, when
+    /// `tear_commit` is set, a begin for gsn 2 so the torn record is
+    /// gsn 2's commit; otherwise the torn record is gsn 2's begin.
+    fn torn_log(env: &EnvRef, dir: &Path, keep: usize, tear_commit: bool) {
+        let mut data = Vec::new();
+        data.extend_from_slice(&encode(REC_BEGIN, 1));
+        data.extend_from_slice(&encode(REC_COMMIT, 1));
+        if tear_commit {
+            data.extend_from_slice(&encode(REC_BEGIN, 2));
+            data.extend_from_slice(&encode(REC_COMMIT, 2)[..keep].to_vec());
+        } else {
+            data.extend_from_slice(&encode(REC_BEGIN, 2)[..keep].to_vec());
+        }
+        p2kvs_storage::env::write_all(&**env, &TxnManager::log_path(dir), &data).unwrap();
+    }
+
+    #[test]
+    fn begin_record_torn_at_every_offset_rolls_back_cleanly() {
+        // A crash can cut the 13-byte record at any byte boundary. At
+        // every cut the recovery must stop at the tear, keep the earlier
+        // committed transaction, and roll back the in-flight one.
+        for keep in 1..13 {
+            let env = env();
+            let dir = Path::new("t");
+            torn_log(&env, dir, keep, false);
+            let rec = TxnManager::recover(&env, dir).unwrap();
+            assert_eq!(rec.truncated_tail_bytes, keep, "cut at {keep}");
+            assert!(rec.should_replay(1), "cut at {keep}: committed gsn kept");
+            assert!(
+                !rec.should_replay(2),
+                "cut at {keep}: torn begin must not resurrect gsn 2"
+            );
+            assert!(!rec.begun.contains(&2), "cut at {keep}: torn begin is dropped");
+            assert_eq!(rec.max_gsn, 1, "cut at {keep}");
+            // The manager must reopen over the torn log and keep
+            // allocating fresh GSNs past everything it saw.
+            let mgr = TxnManager::open(&env, dir, &rec).unwrap();
+            let g = mgr.begin().unwrap();
+            assert!(g > rec.max_gsn);
+        }
+    }
+
+    #[test]
+    fn commit_record_torn_at_every_offset_rolls_back_the_transaction() {
+        for keep in 1..13 {
+            let env = env();
+            let dir = Path::new("t");
+            torn_log(&env, dir, keep, true);
+            let rec = TxnManager::recover(&env, dir).unwrap();
+            assert_eq!(rec.truncated_tail_bytes, keep, "cut at {keep}");
+            assert!(rec.should_replay(1), "cut at {keep}");
+            assert!(rec.begun.contains(&2), "cut at {keep}: begin record is intact");
+            assert!(
+                !rec.should_replay(2),
+                "cut at {keep}: a torn commit is no commit — gsn 2 rolls back"
+            );
+            assert_eq!(rec.max_gsn, 2, "cut at {keep}: begun gsn counts toward max");
+        }
+    }
+
+    #[test]
+    fn clean_log_reports_no_truncated_tail() {
+        let env = env();
+        let dir = Path::new("t");
+        {
+            let mgr = TxnManager::open(&env, dir, &TxnRecovery::default()).unwrap();
+            let g = mgr.begin().unwrap();
+            mgr.commit(g).unwrap();
+        }
+        let rec = TxnManager::recover(&env, dir).unwrap();
+        assert_eq!(rec.truncated_tail_bytes, 0);
     }
 
     #[test]

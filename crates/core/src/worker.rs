@@ -416,6 +416,84 @@ mod tests {
     }
 
     #[test]
+    fn merged_batch_engine_error_completes_every_request_with_the_error() {
+        // An engine write_batch failure on an OBM-merged batch must fan
+        // the error out to *every* rider: no hung waiters, no request
+        // acked Ok for data the engine never applied.
+        let faulty = std::sync::Arc::new(p2kvs_storage::FaultyEnv::over_mem());
+        let mut opts = lsmkv::Options::for_test();
+        opts.env = faulty.clone();
+        opts.sync = lsmkv::SyncPolicy::Always;
+        let factory = LsmFactory::new(opts);
+        let engine = factory.open(Path::new("w-fault"), None).unwrap();
+        faulty.set_plan(p2kvs_storage::FaultPlan {
+            fail_sync: Some(faulty.sync_points() + 1),
+            ..Default::default()
+        });
+        let stats = WorkerStats::default();
+        let mut scratch = BatchScratch::default();
+        let (mut batch, waiters): (Vec<_>, Vec<_>) = (0..8)
+            .map(|i| {
+                Request::sync(Op::Put {
+                    key: format!("k{i}").into_bytes(),
+                    value: b"v".to_vec(),
+                })
+            })
+            .unzip();
+        execute_batch(&engine, &mut batch, &stats, &mut scratch);
+        assert!(batch.is_empty(), "every request was completed");
+        for (i, w) in waiters.into_iter().enumerate() {
+            let err = w.wait().expect_err("every merged request must observe the engine error");
+            assert!(err.to_string().contains("injected fault"), "request {i}: {err}");
+        }
+        assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 8, "the batch was merged");
+    }
+
+    #[test]
+    fn worker_thread_survives_engine_error_and_keeps_serving() {
+        // End-to-end through the ring: a transient injected sync error
+        // fails some requests, but the worker neither hangs nor dies, and
+        // later requests succeed.
+        let faulty = std::sync::Arc::new(p2kvs_storage::FaultyEnv::over_mem());
+        let mut opts = lsmkv::Options::for_test();
+        opts.env = faulty.clone();
+        opts.sync = lsmkv::SyncPolicy::Always;
+        let engine = LsmFactory::new(opts).open(Path::new("w-fault-e2e"), None).unwrap();
+        let mut worker = WorkerHandle::spawn(0, std::sync::Arc::new(engine), WorkerConfig::default(), None);
+
+        faulty.set_plan(p2kvs_storage::FaultPlan {
+            fail_sync: Some(faulty.sync_points() + 1),
+            ..Default::default()
+        });
+        let mut waiters = Vec::new();
+        for i in 0..16 {
+            let (req, w) = Request::sync(Op::Put {
+                key: format!("k{i}").into_bytes(),
+                value: b"v".to_vec(),
+            });
+            worker.queue.push(req);
+            waiters.push(w);
+        }
+        // Bounded wait: a hung waiter must fail the test, not wedge it.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let outcomes: Vec<bool> = waiters.into_iter().map(|w| w.wait().is_ok()).collect();
+            let _ = tx.send(outcomes);
+        });
+        let outcomes = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("all requests must complete after an engine error");
+        let failed = outcomes.iter().filter(|ok| !**ok).count();
+        assert!(failed >= 1, "the injected sync error must fail at least one request");
+
+        // The fault was one-shot: the worker still serves traffic.
+        let (req, w) = Request::sync(Op::Put { key: b"after".to_vec(), value: b"v".to_vec() });
+        worker.queue.push(req);
+        assert_eq!(w.wait().unwrap(), Response::Done);
+        worker.shutdown();
+    }
+
+    #[test]
     fn execute_batch_drains_and_reuses_the_vec() {
         let engine = NoCapsEngine::new();
         let stats = WorkerStats::default();

@@ -31,6 +31,7 @@ pub struct JobContext<'a> {
 }
 
 /// Result of a major compaction.
+#[derive(Debug)]
 pub struct CompactionOutput {
     /// New files to install at the output level.
     pub files: Vec<FileMetaData>,
@@ -211,6 +212,12 @@ fn write_sorted_stream(
         }
         iter.next();
     }
+    // An input iterator that died with a read error is indistinguishable
+    // from a clean end of stream above; installing a truncated output and
+    // deleting the inputs would silently lose every remaining entry, so
+    // the job must fail instead (the caller fail-stops via bg_error and
+    // the orphaned outputs are garbage-collected).
+    iter.status()?;
     if let Some((number, b)) = builder.take() {
         if b.entries() > 0 {
             outputs.push(finish_builder(number, b)?);
@@ -435,6 +442,66 @@ mod tests {
         let out = run_compaction(&fx.ctx(), &task, &version, 100, &|| fx.alloc()).unwrap();
         let keys = read_table_keys(&fx, &out.files[0]);
         assert_eq!(keys.len(), 1, "tombstone must survive fragmented append");
+    }
+
+    #[test]
+    fn compaction_fails_on_read_error_instead_of_truncating() {
+        // Regression: a transient read error on an input table used to end
+        // the merged stream early, so the compaction installed a truncated
+        // output and the manifest edit deleted the inputs — durable loss
+        // of acked keys. The job must fail instead.
+        use p2kvs_storage::{FaultPlan, FaultyEnv};
+        let faulty = Arc::new(FaultyEnv::over_mem());
+        let mut opts = Options::for_test();
+        opts.env = faulty.clone();
+        let dir = std::path::PathBuf::from("cdb");
+        opts.env.create_dir_all(&dir).unwrap();
+        let cache = Arc::new(TableCache::new(opts.env.clone(), dir.clone(), None));
+        let stats = DbStats::new();
+        let next = AtomicU64::new(10);
+        let ctx = JobContext {
+            env: &opts.env,
+            dir: &dir,
+            opts: &opts,
+            table_cache: &cache,
+            stats: &stats,
+        };
+        let alloc = || next.fetch_add(1, Ordering::Relaxed);
+
+        let build = |tag: u8| {
+            let mem = Arc::new(MemTable::new());
+            for i in 0..400u64 {
+                mem.add(
+                    i + 1,
+                    ValueType::Value,
+                    format!("{tag:02x}-key{i:06}").as_bytes(),
+                    &[tag; 64],
+                );
+            }
+            flush_memtable(&ctx, &mem, &alloc).unwrap().remove(0)
+        };
+        let f1 = build(1);
+        let f2 = build(2);
+        let input_entries = f1.entries + f2.entries;
+        let version = Version::empty(7, CompactionStyle::Leveled);
+        let task = CompactionTask {
+            level: 0,
+            output_level: 1,
+            inputs: vec![Arc::new(f1), Arc::new(f2)],
+            next_inputs: vec![],
+        };
+        // Fail a read somewhere in the middle of the merge.
+        faulty.set_plan(FaultPlan {
+            fail_read: Some(faulty.reads() + 8),
+            ..FaultPlan::default()
+        });
+        let err = run_compaction(&ctx, &task, &version, 100, &alloc)
+            .expect_err("truncated merge must not pass as success");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // Retrying after the transient error succeeds and keeps every entry.
+        let out = run_compaction(&ctx, &task, &version, 100, &alloc).unwrap();
+        let total: u64 = out.files.iter().map(|f| f.entries).sum();
+        assert_eq!(total, input_entries);
     }
 
     #[test]

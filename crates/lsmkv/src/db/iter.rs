@@ -52,6 +52,14 @@ impl DbIterator {
         self.valid
     }
 
+    /// First read error any child iterator ran into. A child that errors
+    /// goes invalid, which otherwise just looks like its data ended:
+    /// callers draining the iterator must check this afterwards or a
+    /// transient read error silently truncates their results.
+    pub fn status(&self) -> crate::error::Result<()> {
+        self.inner.status()
+    }
+
     /// Positions at the first live user key.
     pub fn seek_to_first(&mut self) {
         self.inner.seek_to_first();

@@ -481,6 +481,7 @@ impl Db {
             out.push((it.key().to_vec(), it.value().to_vec()));
             it.next();
         }
+        it.status()?; // A read error must not pass as a short scan.
         Ok(out)
     }
 
@@ -493,6 +494,7 @@ impl Db {
             out.push((it.key().to_vec(), it.value().to_vec()));
             it.next();
         }
+        it.status()?; // A read error must not pass as an empty tail.
         Ok(out)
     }
 
@@ -779,6 +781,12 @@ impl DbInner {
             Ordering::Relaxed,
         );
         if let Err(e) = wal_err.map_or(Ok(()), Err) {
+            // The group's sequence range was already reserved; publish it
+            // even though nothing was inserted under those seqs, or the
+            // next group would wait on `visible_seq == start_seq - 1`
+            // forever and one transient WAL error would wedge every
+            // subsequent write.
+            self.publish(start_seq, end_seq);
             let msg = e.to_string();
             self.pop_group_and_promote(&group);
             for f in group.iter().skip(1) {

@@ -50,6 +50,19 @@ impl Error {
     pub fn corruption(msg: impl Into<String>) -> Error {
         Error::Corruption(msg.into())
     }
+
+    /// A value-preserving copy. `io::Error` is not `Clone`, so the IO
+    /// variant keeps the kind and message but drops the source chain —
+    /// enough for iterators that must hold an error and report it again
+    /// from `status()`.
+    pub fn clone_shallow(&self) -> Error {
+        match self {
+            Error::Io(e) => Error::Io(io::Error::new(e.kind(), e.to_string())),
+            Error::Corruption(m) => Error::Corruption(m.clone()),
+            Error::InvalidState(m) => Error::InvalidState(m.clone()),
+            Error::ShuttingDown => Error::ShuttingDown,
+        }
+    }
 }
 
 #[cfg(test)]

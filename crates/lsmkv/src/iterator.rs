@@ -6,12 +6,22 @@
 //! top in `db::DbIterator`. Iteration is forward-only throughout the
 //! engine: the paper's RANGE/SCAN operations are forward scans.
 
+use crate::error::Result;
 use crate::types::internal_cmp;
 
 /// A forward-only cursor over internal entries.
 pub trait InternalIterator: Send {
     /// Whether the cursor points at an entry.
     fn valid(&self) -> bool;
+
+    /// First error the iterator ran into, if any. An iterator that hits a
+    /// read error simply becomes invalid — indistinguishable from a clean
+    /// end of stream — so any consumer that drains an iterator to make a
+    /// durable decision (compaction rewrites, scans) MUST check `status`
+    /// after its loop, or a transient read error silently truncates data.
+    fn status(&self) -> Result<()> {
+        Ok(())
+    }
 
     /// Positions at the first entry.
     fn seek_to_first(&mut self);
@@ -94,6 +104,13 @@ impl MergingIterator {
 impl InternalIterator for MergingIterator {
     fn valid(&self) -> bool {
         self.current.is_some()
+    }
+
+    fn status(&self) -> Result<()> {
+        for child in &self.children {
+            child.status()?;
+        }
+        Ok(())
     }
 
     fn seek_to_first(&mut self) {

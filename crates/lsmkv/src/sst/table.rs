@@ -329,6 +329,7 @@ impl TableReader {
             table: self.clone(),
             index_iter: self.index.iter(),
             data_iter: None,
+            status: None,
         }
     }
 }
@@ -338,6 +339,10 @@ pub struct TableIterator {
     table: Arc<TableReader>,
     index_iter: BlockIter,
     data_iter: Option<BlockIter>,
+    /// First block-load error; makes the iterator invalid and is reported
+    /// through [`InternalIterator::status`] so consumers can tell a read
+    /// failure from a clean end of stream.
+    status: Option<Error>,
 }
 
 impl TableIterator {
@@ -347,8 +352,13 @@ impl TableIterator {
             return;
         }
         let handle = BlockHandle::decode(self.index_iter.value());
-        if let Ok(block) = self.table.read_block(handle, false) {
-            self.data_iter = Some(block.iter());
+        match self.table.read_block(handle, false) {
+            Ok(block) => self.data_iter = Some(block.iter()),
+            Err(e) => {
+                if self.status.is_none() {
+                    self.status = Some(e);
+                }
+            }
         }
     }
 
@@ -378,7 +388,15 @@ impl InternalIterator for TableIterator {
         self.data_iter.as_ref().map(BlockIter::valid).unwrap_or(false)
     }
 
+    fn status(&self) -> Result<()> {
+        match &self.status {
+            Some(e) => Err(e.clone_shallow()),
+            None => Ok(()),
+        }
+    }
+
     fn seek_to_first(&mut self) {
+        self.status = None;
         self.index_iter.seek_to_first();
         self.load_data_block();
         if let Some(it) = &mut self.data_iter {
@@ -388,6 +406,7 @@ impl InternalIterator for TableIterator {
     }
 
     fn seek(&mut self, target: &[u8]) {
+        self.status = None;
         self.index_iter.seek(target);
         self.load_data_block();
         if let Some(it) = &mut self.data_iter {
@@ -585,6 +604,56 @@ mod tests {
         assert_eq!(read2, read1, "second read served from cache");
         let (hits, _) = cache.stats();
         assert!(hits >= 1);
+    }
+
+    #[test]
+    fn iterator_status_surfaces_injected_read_error() {
+        // A block read that fails mid-iteration ends the iterator; without
+        // `status()` that is indistinguishable from a clean end of stream,
+        // which once let a compaction silently truncate its output.
+        use p2kvs_storage::{FaultPlan, FaultyEnv};
+        let faulty = FaultyEnv::over_mem();
+        let path = Path::new("f.sst");
+        let mut b = TableBuilder::new(faulty.new_writable(path).unwrap(), config());
+        for i in 0..500 {
+            let ikey = make_internal_key(format!("key{i:06}").as_bytes(), 1, ValueType::Value);
+            b.add(&ikey, format!("value{i}").as_bytes()).unwrap();
+        }
+        let summary = b.finish().unwrap();
+        let reader = Arc::new(
+            TableReader::open(
+                faulty.new_random_access(path).unwrap(),
+                summary.file_size,
+                9,
+                None,
+            )
+            .unwrap(),
+        );
+        let mut it = reader.iter();
+        it.seek_to_first();
+        assert!(it.valid());
+        // Fail the next read: the upcoming data-block load.
+        faulty.set_plan(FaultPlan {
+            fail_read: Some(faulty.reads() + 1),
+            ..FaultPlan::default()
+        });
+        let mut seen = 0;
+        while it.valid() {
+            seen += 1;
+            it.next();
+        }
+        assert!(seen < 500, "every block served from one read?");
+        let err = it.status().expect_err("read error must surface");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // The error is transient: re-seeking retries and succeeds.
+        it.seek_to_first();
+        let mut count = 0;
+        while it.valid() {
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 500);
+        it.status().unwrap();
     }
 
     #[test]

@@ -216,6 +216,9 @@ pub struct LevelFileIterator {
     cache: Arc<TableCache>,
     index: usize,
     current: Option<TableIterator>,
+    /// First table-open error; reported through `status` so a failed open
+    /// is not mistaken for the end of the level.
+    error: Option<Error>,
 }
 
 impl LevelFileIterator {
@@ -226,6 +229,7 @@ impl LevelFileIterator {
             cache,
             index: 0,
             current: None,
+            error: None,
         }
     }
 
@@ -240,7 +244,12 @@ impl LevelFileIterator {
                 self.current = Some(reader.iter());
                 true
             }
-            Err(_) => false,
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+                false
+            }
         }
     }
 
@@ -251,6 +260,17 @@ impl LevelFileIterator {
             .map(|it| !it.valid())
             .unwrap_or(false)
         {
+            // A table iterator that died with a read error must not be
+            // skipped over as if its file had simply ended.
+            if let Some(it) = &self.current {
+                if let Err(e) = it.status() {
+                    if self.error.is_none() {
+                        self.error = Some(e);
+                    }
+                    self.current = None;
+                    return;
+                }
+            }
             let next = self.index + 1;
             if next >= self.files.len() {
                 self.current = None;
@@ -270,7 +290,18 @@ impl InternalIterator for LevelFileIterator {
         self.current.as_ref().map(|it| it.valid()).unwrap_or(false)
     }
 
+    fn status(&self) -> Result<()> {
+        if let Some(e) = &self.error {
+            return Err(e.clone_shallow());
+        }
+        match &self.current {
+            Some(it) => it.status(),
+            None => Ok(()),
+        }
+    }
+
     fn seek_to_first(&mut self) {
+        self.error = None;
         if self.open(0) {
             if let Some(it) = &mut self.current {
                 it.seek_to_first();
@@ -280,6 +311,7 @@ impl InternalIterator for LevelFileIterator {
     }
 
     fn seek(&mut self, target: &[u8]) {
+        self.error = None;
         // Binary search for the first file whose largest key >= target.
         let idx = self
             .files
@@ -343,6 +375,12 @@ pub struct VersionSet {
     opts: Options,
     current: Arc<Version>,
     manifest: Option<LogWriter>,
+    /// Set after a manifest append/sync error. The failed record may or
+    /// may not be fully framed on disk, so retrying a later edit could
+    /// replay the "failed" one too (e.g. re-adding a flushed file).
+    /// Fail-stop is the only safe answer until the DB reopens and
+    /// rewrites a fresh manifest.
+    manifest_poisoned: bool,
     /// Number of the manifest file currently in use.
     pub manifest_number: u64,
     /// File-number allocator (shared with the DB for WAL numbers).
@@ -384,6 +422,7 @@ impl VersionSet {
             opts: opts.clone(),
             current: Arc::new(Version::empty(opts.num_levels, opts.compaction_style)),
             manifest: None,
+            manifest_poisoned: false,
             manifest_number: 0,
             next_file: Arc::new(AtomicU64::new(2)),
             last_sequence: AtomicU64::new(0),
@@ -433,6 +472,7 @@ impl VersionSet {
             opts: opts.clone(),
             current: Arc::new(version),
             manifest: None,
+            manifest_poisoned: false,
             manifest_number: 0,
             next_file: Arc::new(AtomicU64::new(next_file.max(manifest_num + 1))),
             last_sequence: AtomicU64::new(last_seq),
@@ -494,6 +534,11 @@ impl VersionSet {
 
     /// Logs `edit` to the manifest and installs the resulting version.
     pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<()> {
+        if self.manifest_poisoned {
+            return Err(Error::InvalidState(
+                "manifest poisoned by an earlier IO error; reopen the DB".to_string(),
+            ));
+        }
         edit.next_file_number = Some(self.next_file.load(Ordering::Relaxed));
         if edit.last_sequence.is_none() {
             edit.last_sequence = Some(self.last_sequence.load(Ordering::Relaxed));
@@ -505,8 +550,10 @@ impl VersionSet {
             .manifest
             .as_mut()
             .expect("manifest writer always present after open");
-        writer.add_record(&edit.encode())?;
-        writer.sync()?;
+        if let Err(e) = writer.add_record(&edit.encode()).and_then(|()| writer.sync()) {
+            self.manifest_poisoned = true;
+            return Err(e);
+        }
         self.current = Arc::new(self.current.apply(&edit));
         self.register_current();
         Ok(())
@@ -803,6 +850,45 @@ mod tests {
         assert_eq!(task.inputs.len(), 1);
         assert_eq!(task.next_inputs.len(), 1);
         assert_eq!(task.next_inputs[0].number, 31);
+    }
+
+    #[test]
+    fn manifest_io_error_poisons_version_set() {
+        // After a failed manifest append/sync the record may or may not be
+        // framed on disk; retrying later edits could duplicate the failed
+        // one. The set must fail-stop instead of appending more.
+        let faulty = Arc::new(p2kvs_storage::FaultyEnv::over_mem());
+        let mut opts = Options::for_test();
+        opts.env = faulty.clone();
+        let mut set = VersionSet::open(faulty.clone(), Path::new("poison"), &opts).unwrap();
+        let mut edit = VersionEdit::default();
+        edit.added.push((1, meta(10, "a", "m")));
+        set.log_and_apply(edit).unwrap();
+
+        faulty.set_plan(p2kvs_storage::FaultPlan {
+            fail_sync: Some(faulty.sync_points() + 1),
+            ..Default::default()
+        });
+        let mut edit = VersionEdit::default();
+        edit.added.push((1, meta(11, "n", "z")));
+        let err = set.log_and_apply(edit).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // The in-memory version must not have applied the failed edit.
+        assert!(!set.current().live_files().contains(&11));
+
+        // Fault is one-shot, but the set stays poisoned anyway.
+        let mut edit = VersionEdit::default();
+        edit.added.push((1, meta(12, "n", "z")));
+        let err = set.log_and_apply(edit).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+
+        // Fail-stop ends with a restart: after power failure the unsynced
+        // manifest tail (the failed record) is gone and recovery sees the
+        // pre-error state cleanly.
+        faulty.fs().power_failure();
+        let set2 = VersionSet::open(faulty.clone(), Path::new("poison"), &opts).unwrap();
+        assert!(set2.current().live_files().contains(&10));
+        assert!(!set2.current().live_files().contains(&11));
     }
 
     #[test]

@@ -527,3 +527,65 @@ fn many_reopens_accumulate_correctly() {
         }
     }
 }
+
+#[test]
+fn transient_wal_sync_error_does_not_wedge_writes() {
+    // A failed WAL sync must fail only the affected group. Before the
+    // publish-on-error fix, the reserved sequence range was never
+    // published and every later write group waited forever.
+    let faulty = Arc::new(p2kvs_storage::FaultyEnv::over_mem());
+    let mut opts = Options::rocksdb_like(faulty.clone());
+    opts.sync = SyncPolicy::Always;
+    let db = Arc::new(Db::open(opts, "db").unwrap());
+    db.put(&wo(), b"before", b"1").unwrap();
+
+    faulty.set_plan(p2kvs_storage::FaultPlan {
+        fail_sync: Some(faulty.sync_points() + 1),
+        ..Default::default()
+    });
+    let err = db.put(&wo(), b"failed", b"2").unwrap_err();
+    assert!(err.to_string().contains("injected fault"), "{err}");
+
+    // The next write must complete (bounded wait, not a join that could
+    // hang the whole test binary on regression).
+    let (tx, rx) = std::sync::mpsc::channel();
+    let db2 = db.clone();
+    std::thread::spawn(move || {
+        let r = db2.put(&wo(), b"after", b"3").map_err(|e| e.to_string());
+        let _ = tx.send(r);
+    });
+    let outcome = rx
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .expect("write after transient WAL error must not hang");
+    outcome.expect("retry after transient WAL error must succeed");
+    assert_eq!(db.get(b"before").unwrap().unwrap(), b"1");
+    assert_eq!(db.get(b"after").unwrap().unwrap(), b"3");
+    // The failed group's data must not be visible.
+    assert_eq!(db.get(b"failed").unwrap(), None);
+}
+
+#[test]
+fn injected_read_error_surfaces_at_open() {
+    // Recovery reads (CURRENT/MANIFEST/WAL) must propagate injected IO
+    // errors as errors, not panic or silently succeed.
+    let faulty = Arc::new(p2kvs_storage::FaultyEnv::over_mem());
+    {
+        let mut opts = Options::rocksdb_like(faulty.clone());
+        opts.sync = SyncPolicy::Always;
+        let db = Db::open(opts, "db").unwrap();
+        db.put(&wo(), b"k", b"v").unwrap();
+    }
+    faulty.set_plan(p2kvs_storage::FaultPlan {
+        fail_read: Some(faulty.reads() + 1),
+        ..Default::default()
+    });
+    let opts = Options::rocksdb_like(faulty.clone());
+    let err = match Db::open(opts, "db") {
+        Ok(_) => panic!("open must fail on an injected recovery read error"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("injected fault"), "{err}");
+    // One-shot: the retry recovers everything.
+    let db = Db::open(Options::rocksdb_like(faulty), "db").unwrap();
+    assert_eq!(db.get(b"k").unwrap().unwrap(), b"v");
+}

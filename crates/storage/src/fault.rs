@@ -1,0 +1,547 @@
+//! Deterministic fault injection over any [`Env`].
+//!
+//! [`FaultyEnv`] wraps an inner env (normally a [`MemEnv`]) and applies a
+//! programmable [`FaultPlan`]:
+//!
+//! * fail the Nth append / sync / read with an injected IO error
+//!   (one-shot: the op errors once, retries succeed),
+//! * crash — power-failure truncation of the backing [`MemFs`] to
+//!   last-synced lengths — when the Nth sync point is requested,
+//!   optionally letting part of the crashing file's unsynced tail
+//!   survive (a torn write inside the sync interval).
+//!
+//! Every sync request is globally numbered across all files (WAL, TXNLOG,
+//! MANIFEST, SSTs, ...), so a harness can dry-run a workload, read
+//! [`FaultyEnv::sync_points`], and then enumerate crashes at every — or a
+//! strided sample of — sync points. Crashing *at* sync point N yields the
+//! durable state between syncs N-1 and N, so the set of crash points
+//! covers every distinct durable state the workload can leave behind.
+//!
+//! After a crash the env is frozen: every subsequent operation on any
+//! handle fails with a "simulated power failure" error, which is how the
+//! still-running upper layers (workers, background flush threads) observe
+//! the outage. [`FaultyEnv::heal`] lifts the freeze for recovery.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::env::{Env, RandomAccessFile, RandomRwFile, SequentialFile, WritableFile};
+use crate::mem::{MemEnv, MemFs};
+use crate::stats::IoStatsSnapshot;
+
+/// What to inject, expressed against global 1-based operation counters.
+///
+/// All triggers are one-shot: once fired they are cleared from the plan,
+/// so a retry of the same operation succeeds (transient-error model). A
+/// crash is not transient — it freezes the env until [`FaultyEnv::heal`].
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    /// Fail the Nth append (1-based, counted across all files).
+    pub fail_append: Option<u64>,
+    /// Fail the Nth sync request without crashing.
+    pub fail_sync: Option<u64>,
+    /// Fail the Nth read (counted across random-access, sequential and
+    /// rw handles).
+    pub fail_read: Option<u64>,
+    /// Crash (power-failure truncate + freeze) when the Nth sync point is
+    /// requested. The sync itself fails; nothing it would have made
+    /// durable survives.
+    pub crash_at_sync: Option<u64>,
+    /// At the crash, let up to this many unsynced bytes of the file whose
+    /// sync triggered it survive — a torn write within the sync interval.
+    pub torn_tail: usize,
+}
+
+/// A fault that actually fired (for harness assertions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Append number `n` on `path` failed.
+    FailedAppend { n: u64, path: PathBuf },
+    /// Sync number `n` on `path` failed (no crash).
+    FailedSync { n: u64, path: PathBuf },
+    /// Read number `n` on `path` failed.
+    FailedRead { n: u64, path: PathBuf },
+    /// The env crashed at sync point `n`, which targeted `path`;
+    /// `torn` unsynced bytes of `path` survived.
+    Crash { n: u64, path: PathBuf, torn: usize },
+}
+
+/// Shared mutable fault state. One per [`FaultyEnv`], shared with every
+/// file handle the env ever produced.
+struct FaultState {
+    plan: Mutex<FaultPlan>,
+    appends: AtomicU64,
+    syncs: AtomicU64,
+    reads: AtomicU64,
+    crashed: AtomicBool,
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultState {
+    fn new() -> FaultState {
+        FaultState {
+            plan: Mutex::new(FaultPlan::default()),
+            appends: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn crashed_err(&self) -> io::Error {
+        io::Error::new(io::ErrorKind::Other, "simulated power failure: env is down")
+    }
+
+    fn injected_err(&self, what: &str, n: u64, path: &Path) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Other,
+            format!("injected fault: {what} #{n} on {}", path.display()),
+        )
+    }
+
+    fn check_live(&self) -> io::Result<()> {
+        if self.crashed.load(Ordering::Acquire) {
+            Err(self.crashed_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn on_append(&self, path: &Path) -> io::Result<()> {
+        self.check_live()?;
+        let n = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut plan = self.plan.lock();
+        if plan.fail_append == Some(n) {
+            plan.fail_append = None;
+            drop(plan);
+            self.events.lock().push(FaultEvent::FailedAppend { n, path: path.to_path_buf() });
+            return Err(self.injected_err("append", n, path));
+        }
+        Ok(())
+    }
+
+    fn on_read(&self, path: &Path) -> io::Result<()> {
+        self.check_live()?;
+        let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut plan = self.plan.lock();
+        if plan.fail_read == Some(n) {
+            plan.fail_read = None;
+            drop(plan);
+            self.events.lock().push(FaultEvent::FailedRead { n, path: path.to_path_buf() });
+            return Err(self.injected_err("read", n, path));
+        }
+        Ok(())
+    }
+
+    /// Numbers the sync request and decides its fate. Returns the action
+    /// the caller must take; the crash truncation itself needs the fs, so
+    /// it is done by the caller.
+    fn on_sync(&self, path: &Path, fs: &MemFs) -> io::Result<()> {
+        self.check_live()?;
+        let n = self.syncs.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut plan = self.plan.lock();
+        if plan.crash_at_sync == Some(n) {
+            plan.crash_at_sync = None;
+            let torn_budget = plan.torn_tail;
+            drop(plan);
+            // Freeze first so concurrent ops start failing immediately,
+            // then tear + truncate to the durable image.
+            self.crashed.store(true, Ordering::Release);
+            let torn = if torn_budget > 0 { fs.tear(path, torn_budget) } else { 0 };
+            fs.power_failure();
+            self.events.lock().push(FaultEvent::Crash { n, path: path.to_path_buf(), torn });
+            return Err(self.crashed_err());
+        }
+        if plan.fail_sync == Some(n) {
+            plan.fail_sync = None;
+            drop(plan);
+            self.events.lock().push(FaultEvent::FailedSync { n, path: path.to_path_buf() });
+            return Err(self.injected_err("sync", n, path));
+        }
+        Ok(())
+    }
+}
+
+/// An [`Env`] decorator injecting faults per a [`FaultPlan`].
+pub struct FaultyEnv {
+    inner: Arc<dyn Env>,
+    fs: Arc<MemFs>,
+    state: Arc<FaultState>,
+}
+
+impl FaultyEnv {
+    /// Wraps an env whose files live in `fs`. The fs handle is what crash
+    /// injection truncates; it must be the same store `inner` writes to.
+    pub fn new(inner: Arc<dyn Env>, fs: Arc<MemFs>) -> FaultyEnv {
+        FaultyEnv { inner, fs, state: Arc::new(FaultState::new()) }
+    }
+
+    /// A fresh in-memory env with fault injection and no device timing.
+    pub fn over_mem() -> FaultyEnv {
+        let fs = Arc::new(MemFs::new());
+        let inner = Arc::new(MemEnv::with_parts(fs.clone(), None));
+        FaultyEnv::new(inner, fs)
+    }
+
+    /// The backing store (for direct power_failure / footprint checks).
+    pub fn fs(&self) -> &Arc<MemFs> {
+        &self.fs
+    }
+
+    /// Replaces the fault plan. Counters keep running; plan indices are
+    /// absolute (compared against the global counters, not deltas).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.state.plan.lock() = plan;
+    }
+
+    /// Total sync requests observed so far — the number of sync points a
+    /// dry run of a workload exposes to crash enumeration.
+    pub fn sync_points(&self) -> u64 {
+        self.state.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Total appends observed so far.
+    pub fn appends(&self) -> u64 {
+        self.state.appends.load(Ordering::Relaxed)
+    }
+
+    /// Total reads observed so far.
+    pub fn reads(&self) -> u64 {
+        self.state.reads.load(Ordering::Relaxed)
+    }
+
+    /// Whether a planned crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.crashed.load(Ordering::Acquire)
+    }
+
+    /// Every fault that fired so far, in order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.state.events.lock().clone()
+    }
+
+    /// Lifts a crash freeze and clears the plan, modeling the machine
+    /// coming back up: recovery code can reopen and read what survived.
+    /// Counters keep their values so sync-point numbering stays global
+    /// across the workload *and* recovery (recovery's own syncs get
+    /// fresh numbers).
+    pub fn heal(&self) {
+        *self.state.plan.lock() = FaultPlan::default();
+        self.state.crashed.store(false, Ordering::Release);
+    }
+}
+
+struct FaultyWritable {
+    inner: Box<dyn WritableFile>,
+    state: Arc<FaultState>,
+    fs: Arc<MemFs>,
+    path: PathBuf,
+}
+
+impl WritableFile for FaultyWritable {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.state.on_append(&self.path)?;
+        self.inner.append(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.state.check_live()?;
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.state.on_sync(&self.path, &self.fs)?;
+        self.inner.sync()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+struct FaultyRandomAccess {
+    inner: Box<dyn RandomAccessFile>,
+    state: Arc<FaultState>,
+    path: PathBuf,
+}
+
+impl RandomAccessFile for FaultyRandomAccess {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.state.on_read(&self.path)?;
+        self.inner.read_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+struct FaultySequential {
+    inner: Box<dyn SequentialFile>,
+    state: Arc<FaultState>,
+    path: PathBuf,
+}
+
+impl SequentialFile for FaultySequential {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.state.on_read(&self.path)?;
+        self.inner.read(buf)
+    }
+}
+
+struct FaultyRandomRw {
+    inner: Box<dyn RandomRwFile>,
+    state: Arc<FaultState>,
+    path: PathBuf,
+}
+
+impl RandomRwFile for FaultyRandomRw {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.state.on_read(&self.path)?;
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        // In-place slot writes are durable on return (slot-commit model),
+        // so they count as appends for failure purposes.
+        self.state.on_append(&self.path)?;
+        self.inner.write_at(offset, data)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Env for FaultyEnv {
+    fn new_writable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>> {
+        self.state.check_live()?;
+        Ok(Box::new(FaultyWritable {
+            inner: self.inner.new_writable(path)?,
+            state: self.state.clone(),
+            fs: self.fs.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn new_appendable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>> {
+        self.state.check_live()?;
+        Ok(Box::new(FaultyWritable {
+            inner: self.inner.new_appendable(path)?,
+            state: self.state.clone(),
+            fs: self.fs.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn new_random_access(&self, path: &Path) -> io::Result<Box<dyn RandomAccessFile>> {
+        self.state.check_live()?;
+        Ok(Box::new(FaultyRandomAccess {
+            inner: self.inner.new_random_access(path)?,
+            state: self.state.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn new_sequential(&self, path: &Path) -> io::Result<Box<dyn SequentialFile>> {
+        self.state.check_live()?;
+        Ok(Box::new(FaultySequential {
+            inner: self.inner.new_sequential(path)?,
+            state: self.state.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn new_random_rw(&self, path: &Path) -> io::Result<Box<dyn RandomRwFile>> {
+        self.state.check_live()?;
+        Ok(Box::new(FaultyRandomRw {
+            inner: self.inner.new_random_rw(path)?,
+            state: self.state.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !self.state.crashed.load(Ordering::Acquire) && self.inner.exists(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.state.check_live()?;
+        self.inner.list_dir(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.state.check_live()?;
+        self.inner.remove_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.state.check_live()?;
+        self.inner.rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.state.check_live()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.state.check_live()?;
+        self.inner.remove_dir_all(path)
+    }
+
+    fn file_size(&self, path: &Path) -> io::Result<u64> {
+        self.state.check_live()?;
+        self.inner.file_size(path)
+    }
+
+    fn io_stats(&self) -> IoStatsSnapshot {
+        self.inner.io_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{read_all, write_all};
+
+    #[test]
+    fn sync_points_are_numbered_globally_across_files() {
+        let env = FaultyEnv::over_mem();
+        let mut a = env.new_writable(Path::new("a")).unwrap();
+        let mut b = env.new_writable(Path::new("b")).unwrap();
+        a.append(b"1").unwrap();
+        a.sync().unwrap();
+        b.append(b"2").unwrap();
+        b.sync().unwrap();
+        a.sync().unwrap();
+        assert_eq!(env.sync_points(), 3);
+    }
+
+    #[test]
+    fn fail_sync_is_one_shot() {
+        let env = FaultyEnv::over_mem();
+        env.set_plan(FaultPlan { fail_sync: Some(2), ..Default::default() });
+        let mut w = env.new_writable(Path::new("f")).unwrap();
+        w.append(b"x").unwrap();
+        w.sync().unwrap(); // #1
+        w.append(b"y").unwrap();
+        let err = w.sync().unwrap_err(); // #2 injected
+        assert!(err.to_string().contains("injected fault: sync #2"), "{err}");
+        w.sync().unwrap(); // #3: retry succeeds
+        assert!(!env.crashed());
+        assert_eq!(
+            env.events(),
+            vec![FaultEvent::FailedSync { n: 2, path: PathBuf::from("f") }]
+        );
+    }
+
+    #[test]
+    fn fail_append_and_read_fire_once() {
+        let env = FaultyEnv::over_mem();
+        env.set_plan(FaultPlan {
+            fail_append: Some(2),
+            fail_read: Some(1),
+            ..Default::default()
+        });
+        let mut w = env.new_writable(Path::new("f")).unwrap();
+        w.append(b"ok").unwrap();
+        assert!(w.append(b"bad").is_err());
+        w.append(b"ok2").unwrap();
+        w.sync().unwrap();
+        assert!(read_all(&env, Path::new("f")).is_err()); // read #1 injected
+        assert_eq!(read_all(&env, Path::new("f")).unwrap(), b"okok2");
+    }
+
+    #[test]
+    fn crash_at_sync_freezes_env_until_heal() {
+        let env = FaultyEnv::over_mem();
+        write_all(&env, Path::new("old"), b"durable").unwrap(); // sync #1
+        env.set_plan(FaultPlan { crash_at_sync: Some(2), ..Default::default() });
+
+        let mut w = env.new_writable(Path::new("new")).unwrap();
+        w.append(b"never synced").unwrap();
+        let err = w.sync().unwrap_err(); // sync #2 -> crash
+        assert!(err.to_string().contains("simulated power failure"), "{err}");
+        assert!(env.crashed());
+
+        // Frozen: every op on any handle or the env fails.
+        assert!(w.append(b"more").is_err());
+        assert!(env.new_writable(Path::new("x")).is_err());
+        assert!(env.list_dir(Path::new("")).is_err());
+        assert!(!env.exists(Path::new("old")));
+
+        env.heal();
+        // The unsynced file is gone entirely; the synced one survives.
+        assert!(!env.exists(Path::new("new")));
+        assert_eq!(read_all(&env, Path::new("old")).unwrap(), b"durable");
+        // Recovery syncs get fresh global numbers (numbering continues).
+        write_all(&env, Path::new("post"), b"p").unwrap();
+        assert_eq!(env.sync_points(), 3);
+    }
+
+    #[test]
+    fn crash_with_torn_tail_keeps_partial_write() {
+        let env = FaultyEnv::over_mem();
+        let mut w = env.new_writable(Path::new("wal")).unwrap();
+        w.append(b"head").unwrap();
+        w.sync().unwrap(); // #1
+        env.set_plan(FaultPlan {
+            crash_at_sync: Some(2),
+            torn_tail: 3,
+            ..Default::default()
+        });
+        w.append(b"torn-write").unwrap();
+        assert!(w.sync().is_err());
+        env.heal();
+        // 3 of the 10 unsynced bytes survived the crash.
+        assert_eq!(read_all(&env, Path::new("wal")).unwrap(), b"headtor");
+        match &env.events()[..] {
+            [FaultEvent::Crash { n: 2, torn: 3, path }] => {
+                assert_eq!(path, Path::new("wal"));
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dry_run_then_crash_enumeration_is_reproducible() {
+        // The pattern the crash matrix uses: dry-run to count sync
+        // points, then re-run the same workload crashing at each point.
+        let workload = |env: &FaultyEnv| -> Vec<io::Result<()>> {
+            (0..4u8)
+                .map(|i| write_all(env, Path::new(&format!("f{i}")), &[i]))
+                .collect()
+        };
+        let dry = FaultyEnv::over_mem();
+        let results = workload(&dry);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let total = dry.sync_points();
+        assert_eq!(total, 4);
+
+        for point in 1..=total {
+            let env = FaultyEnv::over_mem();
+            env.set_plan(FaultPlan { crash_at_sync: Some(point), ..Default::default() });
+            let results = workload(&env);
+            assert!(env.crashed(), "crash point {point} must fire");
+            let failed = results.iter().filter(|r| r.is_err()).count();
+            assert!(failed >= 1);
+            env.heal();
+            // Exactly the writes whose sync preceded the crash survive.
+            for i in 0..4u8 {
+                let path = format!("f{i}");
+                let should_survive = (i as u64) < point - 1;
+                assert_eq!(
+                    env.exists(Path::new(&path)),
+                    should_survive,
+                    "crash at {point}: file {path}"
+                );
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod device;
 pub mod env;
+pub mod fault;
 pub mod mem;
 pub mod sim;
 pub mod stats;
@@ -31,7 +32,8 @@ pub mod stdfs;
 
 pub use device::{DeviceModel, DeviceProfile};
 pub use env::{Env, RandomAccessFile, RandomRwFile, SequentialFile, WritableFile};
-pub use mem::MemEnv;
+pub use fault::{FaultEvent, FaultPlan, FaultyEnv};
+pub use mem::{MemEnv, MemFs};
 pub use sim::SimEnv;
 pub use stats::{IoClass, IoStats, IoStatsSnapshot};
 pub use stdfs::StdEnv;

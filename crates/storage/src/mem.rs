@@ -7,7 +7,10 @@
 //! * `append` makes data immediately visible to readers (page cache),
 //! * `sync` marks the current length durable,
 //! * [`MemFs::power_failure`] truncates every file back to its last synced
-//!   length — the failure-injection hook behind the crash-consistency tests.
+//!   length and *removes* files that were never synced at all — real
+//!   filesystems do not guarantee that an unsynced creation survives a
+//!   crash, not even as a zero-length entry. Renames carry the synced
+//!   state with the file, so the write-tmp/sync/rename pattern survives.
 
 use std::collections::HashMap;
 use std::io;
@@ -82,13 +85,34 @@ impl MemFs {
     }
 
     /// Simulates a power failure: every file is truncated to its last
-    /// synced length. Unsynced appends disappear.
+    /// synced length, and files never synced at all disappear entirely
+    /// (their creation never reached the disk's metadata journal).
     pub fn power_failure(&self) {
-        let files = self.files.read();
-        for file in files.values() {
+        let mut files = self.files.write();
+        files.retain(|_, file| {
             let mut f = file.lock();
+            if f.synced == 0 {
+                return false;
+            }
             let synced = f.synced;
             f.data.truncate(synced);
+            true
+        });
+    }
+
+    /// Lets up to `extra` unsynced bytes of `path` survive the next
+    /// [`MemFs::power_failure`], modeling a write torn mid-sync-interval:
+    /// the drive persisted part of a write that was never acknowledged.
+    /// Returns the number of bytes actually torn in.
+    pub fn tear(&self, path: &Path, extra: usize) -> usize {
+        match self.get(path) {
+            Some(file) => {
+                let mut f = file.lock();
+                let torn = extra.min(f.data.len() - f.synced);
+                f.synced += torn;
+                torn
+            }
+            None => 0,
         }
     }
 
@@ -516,6 +540,56 @@ mod tests {
         w.append(b"-volatile").unwrap();
         env.fs().power_failure();
         assert_eq!(read_all(&env, path).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn power_failure_removes_never_synced_files() {
+        let env = MemEnv::new();
+        let synced = Path::new("db/synced.log");
+        let unsynced = Path::new("db/unsynced.log");
+        let mut w = env.new_writable(synced).unwrap();
+        w.append(b"keep").unwrap();
+        w.sync().unwrap();
+        let mut u = env.new_writable(unsynced).unwrap();
+        u.append(b"lost").unwrap();
+        env.fs().power_failure();
+        assert!(env.exists(synced));
+        assert!(
+            !env.exists(unsynced),
+            "a file never synced must not survive a crash, not even empty"
+        );
+    }
+
+    #[test]
+    fn power_failure_keeps_synced_file_renamed_into_place() {
+        // The write-tmp/sync/rename pattern (CURRENT updates) must be
+        // crash-safe: the synced state travels with the file across rename.
+        let env = MemEnv::new();
+        write_all(&env, Path::new("db/CURRENT.tmp"), b"MANIFEST-000002").unwrap();
+        env.rename(Path::new("db/CURRENT.tmp"), Path::new("db/CURRENT")).unwrap();
+        // And an unsynced file renamed into place must NOT survive.
+        let mut w = env.new_writable(Path::new("db/next.tmp")).unwrap();
+        w.append(b"half").unwrap();
+        drop(w);
+        env.rename(Path::new("db/next.tmp"), Path::new("db/next")).unwrap();
+        env.fs().power_failure();
+        assert_eq!(read_all(&env, Path::new("db/CURRENT")).unwrap(), b"MANIFEST-000002");
+        assert!(!env.exists(Path::new("db/next")));
+    }
+
+    #[test]
+    fn tear_lets_unsynced_prefix_survive() {
+        let env = MemEnv::new();
+        let path = Path::new("f.log");
+        let mut w = env.new_writable(path).unwrap();
+        w.append(b"durable").unwrap();
+        w.sync().unwrap();
+        w.append(b"-torn-rest").unwrap();
+        assert_eq!(env.fs().tear(path, 5), 5);
+        env.fs().power_failure();
+        assert_eq!(read_all(&env, path).unwrap(), b"durable-torn");
+        // Tearing past the unsynced length clamps.
+        assert_eq!(env.fs().tear(Path::new("missing"), 3), 0);
     }
 
     #[test]

@@ -120,6 +120,25 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
+    /// Differential run under injected transient faults: one WAL/manifest
+    /// sync and one file read fail mid-workload, yet every acked-Ok write
+    /// stays durable and committed transactions stay atomic — live and
+    /// after a clean reopen. Unacked-transaction atomicity is exempt; see
+    /// `Oracle::check_acked_only` for the no-undo limitation.
+    #[test]
+    fn transient_faults_never_lose_acked_writes(
+        seed in 0u64..1 << 32,
+        sync_n in 1u64..240,
+        read_n in 1u64..160,
+    ) {
+        let violations = p2kvs_integration_tests::crash::differential_fault_run(
+            seed,
+            Some(sync_n),
+            Some(read_n),
+        );
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
     /// The KVell engine also matches the model, including after recovery
     /// (index rebuilt by slab scan).
     #[test]
