@@ -1,0 +1,60 @@
+//! Standalone scan-interference benchmark: point-GET latency with and
+//! without a concurrent full-store scan, for the chunked streaming scan
+//! path versus the old blocking behavior, writing `BENCH_scan.json`.
+//!
+//! ```text
+//! cargo run -p p2kvs-bench --release --bin scan_interference
+//! ```
+//!
+//! The artifact lands in `$P2KVS_METRICS_DIR` when set, the working
+//! directory otherwise; the dataset size scales with `P2KVS_SCALE`.
+
+use p2kvs_bench::scaninterf;
+
+fn main() -> std::io::Result<()> {
+    let path = scaninterf::artifact_path();
+    let results = scaninterf::run_default(&path)?;
+
+    let fmt_chunk = |c: usize| {
+        if c == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            c.to_string()
+        }
+    };
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                fmt_chunk(r.chunk_entries),
+                format!("{:.1}", r.p50_get_idle_ns as f64 / 1e3),
+                format!("{:.1}", r.p99_get_idle_ns as f64 / 1e3),
+                format!("{:.1}", r.p50_get_scan_ns as f64 / 1e3),
+                format!("{:.1}", r.p99_get_scan_ns as f64 / 1e3),
+                r.scans_completed.to_string(),
+                p2kvs_bench::kqps(r.scan_entries_per_sec),
+            ]
+        })
+        .collect();
+    p2kvs_bench::print_table(
+        "point-GET latency under a concurrent full-store scan",
+        &[
+            "config",
+            "chunk",
+            "idle_p50_us",
+            "idle_p99_us",
+            "scan_p50_us",
+            "scan_p99_us",
+            "scans",
+            "kentries/s",
+        ],
+        &rows,
+    );
+    println!(
+        "\np99 point-GET improvement during scan (blocking/chunked): {:.2}x",
+        scaninterf::p99_improvement(&results)
+    );
+    println!("wrote {}", path.display());
+    Ok(())
+}

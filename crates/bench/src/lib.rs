@@ -12,6 +12,7 @@ pub mod accessing;
 pub mod artifact;
 pub mod clients;
 pub mod figures;
+pub mod scaninterf;
 pub mod setups;
 
 /// Returns `n` scaled by `P2KVS_SCALE` (min 1).

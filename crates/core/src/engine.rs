@@ -21,10 +21,89 @@ pub struct Capabilities {
     pub batch_write: bool,
     /// The engine has an optimized batched point lookup.
     pub multiget: bool,
+    /// The engine can open a snapshot-pinned streaming cursor
+    /// ([`KvsEngine::open_cursor`] returns [`ScanCursor::Native`]), so a
+    /// chunked scan sees one consistent point-in-time view. Without it
+    /// the default resume-from-last-key emulation is used, which is
+    /// merely monotonic (see `DESIGN.md` §8).
+    pub native_cursor: bool,
 }
 
 /// Predicate deciding whether a GSN-tagged batch replays at recovery.
 pub type GsnFilter = Arc<dyn Fn(u64) -> bool + Send + Sync>;
+
+/// One bounded slice of a streaming scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanChunk {
+    /// Entries in key order, continuing where the previous chunk ended.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Whether the cursor is exhausted — `false` means another
+    /// [`KvsEngine::scan_chunk`] call will make progress.
+    pub done: bool,
+}
+
+/// An engine-native streaming iterator, pinned to a point-in-time view
+/// for its whole lifetime. Lives in the owning worker's cursor table
+/// between chunks and never crosses threads.
+pub trait NativeCursor {
+    /// Pulls at most `limit` entries / `max_bytes` payload bytes.
+    fn next_chunk(&mut self, limit: usize, max_bytes: usize) -> Result<ScanChunk>;
+}
+
+/// State carried between chunks of a streaming scan.
+///
+/// Engines with [`Capabilities::native_cursor`] hand back a pinned
+/// [`NativeCursor`]; everything else gets the portable emulation, which
+/// re-seeks from the successor of the last returned key on every chunk
+/// (correct but only monotonic — concurrent writes between chunks may or
+/// may not be observed).
+pub enum ScanCursor {
+    /// Resume-from-last-key emulation over plain [`KvsEngine::scan`].
+    Emulated {
+        /// Smallest key the next chunk may return.
+        next: Vec<u8>,
+        /// Exclusive upper bound (RANGE); `None` for open-ended SCAN.
+        end: Option<Vec<u8>>,
+        /// Set once the key space (or the bound) is exhausted.
+        done: bool,
+    },
+    /// A snapshot-pinned engine iterator.
+    Native(Box<dyn NativeCursor>),
+}
+
+impl ScanCursor {
+    /// The emulated cursor every engine supports.
+    pub fn emulated(start: &[u8], end: Option<&[u8]>) -> ScanCursor {
+        ScanCursor::Emulated {
+            next: start.to_vec(),
+            end: end.map(<[u8]>::to_vec),
+            done: false,
+        }
+    }
+}
+
+/// The smallest key strictly greater than `key` (append a zero byte).
+fn successor(key: &[u8]) -> Vec<u8> {
+    let mut s = Vec::with_capacity(key.len() + 1);
+    s.extend_from_slice(key);
+    s.push(0);
+    s
+}
+
+/// Truncates `entries` to the byte budget (always keeping at least one
+/// entry so a single oversized value cannot stall the cursor). Returns
+/// whether anything was cut.
+fn apply_byte_budget(entries: &mut Vec<(Vec<u8>, Vec<u8>)>, max_bytes: usize) -> bool {
+    let mut bytes = 0usize;
+    for (i, (k, v)) in entries.iter().enumerate() {
+        bytes = bytes.saturating_add(k.len() + v.len());
+        if bytes >= max_bytes && i + 1 < entries.len() {
+            entries.truncate(i + 1);
+            return true;
+        }
+    }
+    false
+}
 
 /// A key-value engine instance owned by one worker.
 pub trait KvsEngine: Send + Sync + 'static {
@@ -52,6 +131,58 @@ pub trait KvsEngine: Send + Sync + 'static {
 
     /// Entries in `[begin, end)`, in order.
     fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+
+    /// Opens a streaming cursor over keys in `[start, end)` (open-ended
+    /// when `end` is `None`). Engines with
+    /// [`Capabilities::native_cursor`] should return a snapshot-pinned
+    /// [`ScanCursor::Native`]; the default is resume-from-last-key
+    /// emulation over [`KvsEngine::scan`].
+    fn open_cursor(&self, start: &[u8], end: Option<&[u8]>) -> Result<ScanCursor> {
+        Ok(ScanCursor::emulated(start, end))
+    }
+
+    /// Pulls the next chunk (at most `limit` entries / `max_bytes`
+    /// payload bytes, both clamped to ≥ 1) from a cursor previously
+    /// returned by [`KvsEngine::open_cursor`] on the same instance.
+    fn scan_chunk(
+        &self,
+        cursor: &mut ScanCursor,
+        limit: usize,
+        max_bytes: usize,
+    ) -> Result<ScanChunk> {
+        let limit = limit.max(1);
+        let max_bytes = max_bytes.max(1);
+        match cursor {
+            ScanCursor::Native(c) => c.next_chunk(limit, max_bytes),
+            ScanCursor::Emulated { next, end, done } => {
+                if *done {
+                    return Ok(ScanChunk {
+                        entries: Vec::new(),
+                        done: true,
+                    });
+                }
+                let mut entries = self.scan(next, limit)?;
+                let mut finished = entries.len() < limit;
+                if let Some(end) = end.as_deref() {
+                    if let Some(cut) = entries.iter().position(|(k, _)| k.as_slice() >= end) {
+                        entries.truncate(cut);
+                        finished = true;
+                    }
+                }
+                if apply_byte_budget(&mut entries, max_bytes) {
+                    finished = false;
+                }
+                if let Some((k, _)) = entries.last() {
+                    *next = successor(k);
+                }
+                *done = finished;
+                Ok(ScanChunk {
+                    entries,
+                    done: finished,
+                })
+            }
+        }
+    }
 
     /// The engine's fast paths.
     fn capabilities(&self) -> Capabilities;
@@ -178,10 +309,26 @@ impl KvsEngine for lsmkv::Db {
         Ok(lsmkv::Db::range(self, begin, end)?)
     }
 
+    fn open_cursor(&self, start: &[u8], end: Option<&[u8]>) -> Result<ScanCursor> {
+        let snap = self.snapshot();
+        let opts = lsmkv::ReadOptions {
+            snapshot: Some(snap.sequence()),
+            ..lsmkv::ReadOptions::default()
+        };
+        let mut iter = self.iter_with(&opts)?;
+        iter.seek(start);
+        Ok(ScanCursor::Native(Box::new(LsmCursor {
+            _snap: snap,
+            iter,
+            end: end.map(<[u8]>::to_vec),
+        })))
+    }
+
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             batch_write: true,
             multiget: self.options().has_multiget,
+            native_cursor: true,
         }
     }
 
@@ -195,6 +342,44 @@ impl KvsEngine for lsmkv::Db {
 
     fn engine_metrics(&self) -> Vec<(String, f64)> {
         self.stats().metrics()
+    }
+}
+
+/// lsmkv's native cursor: a registered snapshot (protects visible
+/// versions from compaction GC) plus a merged iterator pinned to it (the
+/// iterator itself keeps the memtables and table files alive). A scan of
+/// any length therefore sees exactly the store as of `open_cursor`,
+/// while interleaved writes proceed untouched.
+struct LsmCursor {
+    _snap: lsmkv::Snapshot,
+    iter: lsmkv::DbIterator,
+    end: Option<Vec<u8>>,
+}
+
+impl NativeCursor for LsmCursor {
+    fn next_chunk(&mut self, limit: usize, max_bytes: usize) -> Result<ScanChunk> {
+        let mut entries = Vec::new();
+        let mut bytes = 0usize;
+        let mut bounded = false;
+        while self.iter.valid() && entries.len() < limit && bytes < max_bytes {
+            let key = self.iter.key();
+            if let Some(end) = &self.end {
+                if key >= end.as_slice() {
+                    bounded = true;
+                    break;
+                }
+            }
+            bytes = bytes.saturating_add(key.len() + self.iter.value().len());
+            entries.push((key.to_vec(), self.iter.value().to_vec()));
+            self.iter.next();
+        }
+        // A child read error makes the merged iterator go invalid, which
+        // otherwise looks like clean exhaustion — surface it instead.
+        self.iter.status()?;
+        Ok(ScanChunk {
+            done: bounded || !self.iter.valid(),
+            entries,
+        })
     }
 }
 
@@ -265,15 +450,27 @@ impl KvsEngine for wtiger::WtDb {
     }
 
     fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut out = wtiger::WtDb::scan(self, begin, usize::MAX / 2)?;
-        out.retain(|(k, _)| k.as_slice() < end);
-        Ok(out)
+        // No bounded-range API: stream forward in chunks until `end`
+        // instead of materializing the whole tail of the key space.
+        let mut cursor = ScanCursor::emulated(begin, Some(end));
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.scan_chunk(&mut cursor, 512, usize::MAX)?;
+            out.extend(chunk.entries);
+            if chunk.done {
+                return Ok(out);
+            }
+        }
     }
 
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             batch_write: false,
             multiget: false,
+            // No snapshot machinery: chunked scans run on the emulated
+            // resume-from-last-key cursor (monotonic, not snapshot-
+            // consistent — see DESIGN.md §8).
+            native_cursor: false,
         }
     }
 
@@ -283,6 +480,108 @@ impl KvsEngine for wtiger::WtDb {
 
     fn mem_usage(&self) -> usize {
         wtiger::WtDb::mem_usage(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// kvell adapter (KVell stand-in: share-nothing B-tree-indexed slabs)
+// ---------------------------------------------------------------------
+
+/// Factory for [`kvell::KvellDb`] instances sharing an options template.
+///
+/// KVell is itself internally sharded; under p2KVS each framework worker
+/// owns one single-worker KVell instance so the two partitioning layers
+/// do not fight over threads.
+pub struct KvellFactory {
+    template: kvell::KvellOptions,
+}
+
+impl KvellFactory {
+    /// Creates a factory cloning `template` per instance.
+    pub fn new(template: kvell::KvellOptions) -> KvellFactory {
+        KvellFactory { template }
+    }
+}
+
+impl EngineFactory for KvellFactory {
+    type Engine = kvell::KvellDb;
+
+    fn open(&self, dir: &Path, _filter: Option<GsnFilter>) -> Result<kvell::KvellDb> {
+        // Like WiredTiger, KVell has no batch-write and thus no GSN
+        // tagging: the recovery filter is inapplicable.
+        Ok(kvell::KvellDb::open(self.template.clone(), dir)?)
+    }
+
+    fn env(&self) -> p2kvs_storage::EnvRef {
+        self.template.env.clone()
+    }
+}
+
+impl KvsEngine for kvell::KvellDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        Ok(kvell::KvellDb::put(self, key, value)?)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        kvell::KvellDb::delete(self, key)?;
+        Ok(())
+    }
+
+    fn write_batch(&self, ops: &[WriteOp], gsn: u64) -> Result<()> {
+        if gsn != 0 {
+            return Err(Error::Unsupported(
+                "transactions on an engine without batch-write",
+            ));
+        }
+        for op in ops {
+            match op {
+                WriteOp::Put { key, value } => kvell::KvellDb::put(self, key, value)?,
+                WriteOp::Delete { key } => {
+                    kvell::KvellDb::delete(self, key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(kvell::KvellDb::get(self, key)?)
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Ok(kvell::KvellDb::scan(self, start, count)?)
+    }
+
+    fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        // No bounded-range API: stream forward in chunks until `end`, so
+        // a narrow range does not read the whole tail of the key space.
+        let mut cursor = ScanCursor::emulated(begin, Some(end));
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.scan_chunk(&mut cursor, 512, usize::MAX)?;
+            out.extend(chunk.entries);
+            if chunk.done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            batch_write: false,
+            multiget: false,
+            native_cursor: false,
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        // KVell-style slabs write through the environment on every update;
+        // there is no separate durability barrier to issue.
+        Ok(())
+    }
+
+    fn mem_usage(&self) -> usize {
+        kvell::KvellDb::mem_usage(self).unwrap_or(0)
     }
 }
 
@@ -350,6 +649,154 @@ mod tests {
                 (b"b".to_vec(), b"2".to_vec())
             ]
         );
+    }
+
+    /// Drains a cursor fully in `limit`-sized chunks, counting chunks.
+    fn drain_cursor<E: KvsEngine>(
+        engine: &E,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> (Vec<(Vec<u8>, Vec<u8>)>, usize) {
+        let mut cursor = engine.open_cursor(start, end).unwrap();
+        let mut out = Vec::new();
+        let mut chunks = 0;
+        loop {
+            let chunk = engine.scan_chunk(&mut cursor, limit, usize::MAX).unwrap();
+            chunks += 1;
+            out.extend(chunk.entries);
+            if chunk.done {
+                return (out, chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn emulated_cursor_streams_in_chunks_and_matches_scan() {
+        let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+        let db = WtFactory::new(wtiger::WtOptions::new(env))
+            .open(Path::new("cur1"), None)
+            .unwrap();
+        for i in 0..50 {
+            KvsEngine::put(&db, format!("k{i:03}").as_bytes(), b"v").unwrap();
+        }
+        let (all, chunks) = drain_cursor(&db, b"", None, 7);
+        assert_eq!(all, KvsEngine::scan(&db, b"", 100).unwrap());
+        assert!(chunks >= 50 / 7, "50 entries in 7-entry chunks");
+        // Bounded cursor = RANGE.
+        let (bounded, _) = drain_cursor(&db, b"k010", Some(b"k020"), 3);
+        assert_eq!(bounded, KvsEngine::range(&db, b"k010", b"k020").unwrap());
+        assert_eq!(bounded.len(), 10);
+    }
+
+    #[test]
+    fn emulated_cursor_byte_budget_keeps_progress() {
+        let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+        let db = WtFactory::new(wtiger::WtOptions::new(env))
+            .open(Path::new("cur2"), None)
+            .unwrap();
+        for i in 0..10 {
+            KvsEngine::put(&db, format!("k{i}").as_bytes(), &vec![b'x'; 100]).unwrap();
+        }
+        let mut cursor = db.open_cursor(b"", None).unwrap();
+        // Budget below one entry: each chunk still returns exactly one.
+        let mut total = 0;
+        loop {
+            let chunk = db.scan_chunk(&mut cursor, 100, 10).unwrap();
+            assert!(chunk.done || chunk.entries.len() == 1);
+            total += chunk.entries.len();
+            if chunk.done {
+                break;
+            }
+        }
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn lsm_native_cursor_is_snapshot_consistent() {
+        let factory = LsmFactory::new(lsmkv::Options::for_test());
+        let db = factory.open(Path::new("cur3"), None).unwrap();
+        for i in 0..20 {
+            KvsEngine::put(&db, format!("k{i:02}").as_bytes(), b"old").unwrap();
+        }
+        assert!(db.capabilities().native_cursor);
+        let mut cursor = db.open_cursor(b"", None).unwrap();
+        assert!(matches!(cursor, ScanCursor::Native(_)));
+        let first = db.scan_chunk(&mut cursor, 5, usize::MAX).unwrap();
+        assert_eq!(first.entries.len(), 5);
+        // Writes made mid-scan are invisible: overwrites, deletes and
+        // fresh keys all happen after the pinned sequence.
+        KvsEngine::put(&db, b"k07", b"new").unwrap();
+        KvsEngine::delete(&db, b"k08").unwrap();
+        KvsEngine::put(&db, b"k05a", b"inserted").unwrap();
+        let mut rest = Vec::new();
+        loop {
+            let chunk = db.scan_chunk(&mut cursor, 5, usize::MAX).unwrap();
+            rest.extend(chunk.entries);
+            if chunk.done {
+                break;
+            }
+        }
+        assert_eq!(rest.len(), 15, "exactly the remaining pre-snapshot keys");
+        assert!(rest.iter().all(|(_, v)| v == b"old"));
+        assert!(!rest.iter().any(|(k, _)| k == b"k05a"));
+        // A fresh scan sees the new state.
+        let now = KvsEngine::scan(&db, b"", 100).unwrap();
+        assert_eq!(now.len(), 20, "one insert, one delete");
+        assert!(now.iter().any(|(k, v)| k == b"k07" && v == b"new"));
+    }
+
+    #[test]
+    fn lsm_cursor_survives_flush_and_compaction_interleaving() {
+        let factory = LsmFactory::new(lsmkv::Options::for_test());
+        let db = factory.open(Path::new("cur4"), None).unwrap();
+        for i in 0..200 {
+            KvsEngine::put(&db, format!("k{i:04}").as_bytes(), &vec![b'v'; 64]).unwrap();
+        }
+        let mut cursor = db.open_cursor(b"", None).unwrap();
+        let mut seen = 0;
+        let mut round = 0;
+        loop {
+            let chunk = db.scan_chunk(&mut cursor, 16, usize::MAX).unwrap();
+            seen += chunk.entries.len();
+            if chunk.done {
+                break;
+            }
+            // Churn the tree between chunks: overwrites plus a flush.
+            for i in 0..50 {
+                KvsEngine::put(&db, format!("k{i:04}").as_bytes(), &vec![b'w'; 64]).unwrap();
+            }
+            if round == 2 {
+                db.flush().unwrap();
+            }
+            round += 1;
+        }
+        assert_eq!(seen, 200, "pinned snapshot view is complete");
+    }
+
+    #[test]
+    fn kvell_adapter_roundtrip() {
+        let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+        let mut opts = kvell::KvellOptions::new(env);
+        opts.workers = 1;
+        let factory = KvellFactory::new(opts);
+        let db = factory.open(Path::new("e5"), None).unwrap();
+        let caps = db.capabilities();
+        assert!(!caps.batch_write && !caps.multiget && !caps.native_cursor);
+        KvsEngine::put(&db, b"b", b"2").unwrap();
+        KvsEngine::put(&db, b"a", b"1").unwrap();
+        KvsEngine::put(&db, b"c", b"3").unwrap();
+        assert_eq!(KvsEngine::get(&db, b"b").unwrap().unwrap(), b"2");
+        assert!(db.write_batch(&[], 7).is_err(), "GSN batches unsupported");
+        assert_eq!(
+            KvsEngine::range(&db, b"a", b"c").unwrap(),
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec())
+            ]
+        );
+        let (all, _) = drain_cursor(&db, b"", None, 2);
+        assert_eq!(all.len(), 3);
     }
 
     #[test]

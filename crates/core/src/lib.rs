@@ -16,9 +16,13 @@
 //!   mechanism** (OBM, Algorithm 1): consecutive same-type requests (bound
 //!   `M`, default 32) merge into one engine `WriteBatch` or one `multiget`
 //!   (§4.3).
-//! * **Range queries** — RANGE forks into parallel per-instance sub-ranges;
-//!   SCAN uses a parallel scan-and-filter (with an adaptive-quota variant)
-//!   because per-instance key distribution is unknown a priori (§4.4).
+//! * **Range queries** — RANGE and SCAN stream through per-instance
+//!   **engine cursors** pulled in bounded chunks and lazily K-way merged
+//!   ([`scan::StoreIter`], also exposed as
+//!   [`P2Kvs::iter`](store::P2Kvs::iter)). Every chunk is a separate
+//!   queue round-trip, so large scans interleave with point traffic
+//!   instead of head-of-line-blocking a worker; the paper's quota
+//!   strategies (§4.4) survive as opening-chunk sizing policies.
 //! * **Transactions** — cross-instance WriteBatches share a Global Sequence
 //!   Number persisted in a commit log; recovery rolls back batches whose
 //!   GSN never committed (§4.5).
@@ -51,6 +55,7 @@ pub mod engine;
 pub mod error;
 pub mod queue;
 pub mod router;
+pub mod scan;
 pub mod stats;
 pub mod store;
 pub mod txn;
@@ -60,6 +65,7 @@ pub mod worker;
 pub use engine::{Capabilities, EngineFactory, KvsEngine};
 pub use error::{Error, Result};
 pub use router::{HashPartitioner, Partitioner, RangePartitioner};
+pub use scan::StoreIter;
 pub use store::{P2Kvs, P2KvsOptions, ScanStrategy};
 pub use types::{Op, Response, WriteOp};
 

@@ -753,9 +753,11 @@ mod tests {
     }
 
     fn scan() -> Request {
-        Request::sync(Op::Scan {
+        Request::sync(Op::ScanOpen {
             start: b"a".to_vec(),
-            count: 10,
+            end: None,
+            limit: 10,
+            max_bytes: usize::MAX,
         })
         .0
     }

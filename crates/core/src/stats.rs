@@ -11,6 +11,14 @@ pub struct WorkerSnapshot {
     pub batches: u64,
     /// Requests that rode in multi-request batches.
     pub merged_ops: u64,
+    /// Streaming scans opened.
+    pub scans: u64,
+    /// Scan chunks served (first chunks plus resumes).
+    pub scan_chunks: u64,
+    /// Cursor resumptions served.
+    pub scan_resumes: u64,
+    /// Cursors currently parked on the worker.
+    pub active_scans: u64,
     /// Useful processing time.
     pub busy: Duration,
     /// Current queue depth.
@@ -77,6 +85,10 @@ mod tests {
                     ops: 100,
                     batches: 25,
                     merged_ops: 80,
+                    scans: 2,
+                    scan_chunks: 6,
+                    scan_resumes: 4,
+                    active_scans: 1,
                     busy: Duration::from_millis(500),
                     queue_depth: 0,
                 },
@@ -84,6 +96,10 @@ mod tests {
                     ops: 60,
                     batches: 15,
                     merged_ops: 40,
+                    scans: 0,
+                    scan_chunks: 0,
+                    scan_resumes: 0,
+                    active_scans: 0,
                     busy: Duration::from_millis(250),
                     queue_depth: 3,
                 },

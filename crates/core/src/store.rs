@@ -11,21 +11,29 @@ use p2kvs_obs::{
 use crate::engine::{EngineFactory, GsnFilter, KvsEngine};
 use crate::error::{Error, Result};
 use crate::router::{HashPartitioner, Partitioner};
+use crate::scan::StoreIter;
 use crate::stats::{StoreSnapshot, WorkerSnapshot};
 use crate::txn::TxnManager;
 use crate::types::{Op, Request, Response, WriteOp};
 use crate::worker::{WorkerHandle, WorkerStats};
 
-/// How SCAN distributes work across instances (§4.4).
+/// How SCAN sizes the opening per-instance quota (§4.4).
+///
+/// Both strategies now run over the same streaming cursor machinery
+/// ([`crate::scan::StoreIter`]) and are therefore always exact: the
+/// strategy only decides how much each instance is asked for in the
+/// *first* chunk, trading read amplification (`ParallelFull` reads up to
+/// `N×` the requested entries up front) against extra cursor round trips
+/// (`Adaptive` starts near `count / N` and pulls more chunks only from
+/// the instances that still contribute).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanStrategy {
-    /// Ask every instance for the full scan size, merge, truncate. Simple
-    /// and parallel; reads up to `N×` extra entries (the paper's default
-    /// parallelizing approach).
+    /// Ask every instance for the full scan size in the opening chunk —
+    /// the paper's default parallelizing approach.
     ParallelFull,
-    /// Start with `count / N` (plus margin) per instance and enlarge only
-    /// the instances that might still contribute — the ablation variant
-    /// trading round trips for read amplification.
+    /// Ask each instance for `count / N` plus a margin, refilling lazily
+    /// — the ablation variant trading round trips for read
+    /// amplification.
     Adaptive,
 }
 
@@ -48,6 +56,13 @@ pub struct P2KvsOptions {
     pub pin_workers: bool,
     /// SCAN strategy.
     pub scan_strategy: ScanStrategy,
+    /// Hard per-chunk entry bound enforced by every worker: no scan
+    /// occupies a worker for more than this many entries before queued
+    /// point ops get their turn. `usize::MAX` restores the old blocking
+    /// behavior (benchmark baseline).
+    pub scan_chunk_entries: usize,
+    /// Hard per-chunk payload-byte bound (same clamping).
+    pub scan_chunk_bytes: usize,
     /// Record per-request queue-wait/service latencies into the metrics
     /// registry (the registry itself always exists; this gates the
     /// per-request recording).
@@ -71,6 +86,8 @@ impl Default for P2KvsOptions {
             obm: true,
             pin_workers: true,
             scan_strategy: ScanStrategy::ParallelFull,
+            scan_chunk_entries: crate::worker::DEFAULT_SCAN_CHUNK_ENTRIES,
+            scan_chunk_bytes: crate::worker::DEFAULT_SCAN_CHUNK_BYTES,
             metrics: true,
             slow_request_threshold: Duration::from_millis(1),
             trace_capacity: 256,
@@ -116,6 +133,16 @@ impl<E: KvsEngine> ObsShared<E> {
                 .store(stats.batches.load(ordering));
             reg.counter(&l("p2kvs_worker_merged_ops_total"))
                 .store(stats.merged_ops.load(ordering));
+            reg.counter(&l("p2kvs_worker_scans_total"))
+                .store(stats.scans_opened.load(ordering));
+            reg.counter(&l("p2kvs_worker_scan_chunks_total"))
+                .store(stats.scan_chunks.load(ordering));
+            reg.counter(&l("p2kvs_worker_scan_resumes_total"))
+                .store(stats.scan_resumes.load(ordering));
+            reg.set_gauge(
+                &l("p2kvs_active_scans"),
+                stats.scans_active.load(ordering) as f64,
+            );
             reg.set_gauge(
                 &l("p2kvs_worker_busy_seconds"),
                 stats.busy.busy().as_secs_f64(),
@@ -218,6 +245,8 @@ impl<E: KvsEngine> P2Kvs<E> {
                 batch_max: if opts.obm { opts.batch_max } else { 1 },
                 queue_capacity: opts.queue_capacity,
                 pin: opts.pin_workers,
+                scan_chunk_entries: opts.scan_chunk_entries,
+                scan_chunk_bytes: opts.scan_chunk_bytes,
             };
             let lifecycle = opts
                 .metrics
@@ -335,13 +364,25 @@ impl<E: KvsEngine> P2Kvs<E> {
     /// then awaited, so OBM can merge them per worker.
     pub fn get_many(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
         let mut completions = Vec::with_capacity(keys.len());
+        let mut push_err = None;
         for key in keys {
             let (req, done) = Request::sync(Op::Get { key: key.clone() });
-            self.workers[self.partitioner.worker_of(key)]
-                .queue
-                .push(req)
-                .map_err(|_| Error::Closed)?;
-            completions.push(done);
+            match self.workers[self.partitioner.worker_of(key)].queue.push(req) {
+                Ok(()) => completions.push(done),
+                Err(_) => {
+                    push_err = Some(Error::Closed);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = push_err {
+            // Already-enqueued requests still hold pooled completion
+            // slots; abandoning them would recycle slots that a worker
+            // is about to fulfill. Drain before reporting the failure.
+            for c in completions {
+                let _ = c.wait();
+            }
+            return Err(e);
         }
         completions
             .into_iter()
@@ -385,13 +426,27 @@ impl<E: KvsEngine> P2Kvs<E> {
         }
         let gsn = self.txn.begin()?;
         let mut completions = Vec::with_capacity(involved.len());
+        let mut push_err = None;
         for &w in &involved {
             let (req, done) = Request::sync(Op::TxnBatch {
                 ops: std::mem::take(&mut per_worker[w]),
                 gsn,
             });
-            self.workers[w].queue.push(req).map_err(|_| Error::Closed)?;
-            completions.push(done);
+            match self.workers[w].queue.push(req) {
+                Ok(()) => completions.push(done),
+                Err(_) => {
+                    push_err = Some(Error::Closed);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = push_err {
+            // Drain in-flight sub-batches, then fail without writing a
+            // commit record: recovery rolls every sub-batch back.
+            for c in completions {
+                let _ = c.wait();
+            }
+            return Err(e);
         }
         let mut first_err = None;
         for c in completions {
@@ -409,97 +464,91 @@ impl<E: KvsEngine> P2Kvs<E> {
         }
     }
 
-    /// RANGE `[begin, end)`: forked into parallel per-instance sub-ranges
-    /// and merged (partitions are disjoint, so this is exact).
-    pub fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut completions = Vec::with_capacity(self.workers());
-        for w in 0..self.workers() {
-            let (req, done) = Request::sync(Op::Range {
-                begin: begin.to_vec(),
-                end: end.to_vec(),
-            });
-            self.workers[w].queue.push(req).map_err(|_| Error::Closed)?;
-            completions.push(done);
-        }
-        let mut all = Vec::new();
-        for c in completions {
-            match c.wait()? {
-                Response::Entries(mut e) => all.append(&mut e),
-                other => return Err(Error::Engine(format!("unexpected response {other:?}"))),
-            }
-        }
-        all.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(all)
-    }
-
-    /// SCAN: up to `count` entries with keys `>= start`, using the
-    /// configured [`ScanStrategy`].
-    pub fn scan(&self, start: &[u8], count: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    /// The opening per-instance chunk quota for a `count`-entry scan
+    /// under the configured [`ScanStrategy`]. Follow-up chunks always
+    /// use `scan_chunk_entries`.
+    fn first_chunk_quota(&self, count: usize) -> usize {
         match self.opts.scan_strategy {
-            ScanStrategy::ParallelFull => self.scan_with_quota(start, count, count),
+            ScanStrategy::ParallelFull => count,
             ScanStrategy::Adaptive => {
                 let n = self.workers();
-                let mut quota = (count / n + count / (2 * n).max(1) + 4).min(count);
-                loop {
-                    let merged = self.scan_with_quota(start, count, quota)?;
-                    if merged.len() >= count || quota >= count {
-                        return Ok(merged);
-                    }
-                    // Some instance may still hold closer keys beyond its
-                    // quota: enlarge and retry.
-                    quota = (quota * 2).min(count);
-                }
+                (count / n + count / (2 * n).max(1) + 4).min(count)
             }
         }
     }
 
-    /// One parallel scan round: every instance returns up to `quota`
-    /// entries, merged and truncated to `count`.
-    fn scan_with_quota(
-        &self,
-        start: &[u8],
-        count: usize,
-        quota: usize,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut completions = Vec::with_capacity(self.workers());
-        for w in 0..self.workers() {
-            let (req, done) = Request::sync(Op::Scan {
-                start: start.to_vec(),
-                count: quota,
-            });
-            self.workers[w].queue.push(req).map_err(|_| Error::Closed)?;
-            completions.push(done);
+    /// A streaming, globally sorted iterator over the whole store.
+    ///
+    /// Entries are pulled lazily in bounded chunks (one engine cursor
+    /// per instance, K-way merged — see [`crate::scan::StoreIter`]), so
+    /// iteration interleaves with concurrent point traffic instead of
+    /// head-of-line-blocking it. Consistency is per instance: each
+    /// engine cursor is snapshot-consistent when the engine supports
+    /// native cursors (`Capabilities::native_cursor`, e.g. lsmkv) and
+    /// monotonic read-committed otherwise (see `DESIGN.md` §8).
+    pub fn iter(&self) -> Result<StoreIter<'_>> {
+        self.iter_from(b"")
+    }
+
+    /// Like [`P2Kvs::iter`], starting at the first key `>= start`.
+    pub fn iter_from(&self, start: &[u8]) -> Result<StoreIter<'_>> {
+        StoreIter::open(
+            &self.workers,
+            start,
+            None,
+            self.opts.scan_chunk_entries,
+            self.opts.scan_chunk_entries,
+            self.opts.scan_chunk_bytes,
+        )
+    }
+
+    /// Like [`P2Kvs::iter`], bounded to `[begin, end)`.
+    pub fn iter_range(&self, begin: &[u8], end: &[u8]) -> Result<StoreIter<'_>> {
+        StoreIter::open(
+            &self.workers,
+            begin,
+            Some(end),
+            self.opts.scan_chunk_entries,
+            self.opts.scan_chunk_entries,
+            self.opts.scan_chunk_bytes,
+        )
+    }
+
+    /// RANGE `[begin, end)`: per-instance bounded cursors, K-way merged
+    /// (partitions are disjoint, so this is exact). Materializes the
+    /// result; use [`P2Kvs::iter_range`] to stream instead.
+    pub fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        if begin >= end {
+            return Ok(Vec::new());
         }
-        let mut per_worker: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::with_capacity(completions.len());
-        for c in completions {
-            match c.wait()? {
-                Response::Entries(e) => per_worker.push(e),
-                other => return Err(Error::Engine(format!("unexpected response {other:?}"))),
-            }
+        let mut iter = self.iter_range(begin, end)?;
+        let mut all = Vec::new();
+        while let Some(entry) = iter.next_entry()? {
+            all.push(entry);
         }
-        // The merged prefix is exact up to the smallest "horizon" of any
-        // instance that filled its quota.
-        let mut horizon: Option<Vec<u8>> = None;
-        for entries in &per_worker {
-            if entries.len() == quota {
-                let last = entries.last().expect("quota > 0").0.clone();
-                horizon = Some(match horizon {
-                    None => last,
-                    Some(h) if last < h => last,
-                    Some(h) => h,
-                });
-            }
-        }
-        let mut all: Vec<(Vec<u8>, Vec<u8>)> = per_worker.into_iter().flatten().collect();
-        all.sort_by(|a, b| a.0.cmp(&b.0));
-        if let Some(h) = horizon {
-            // Entries beyond the horizon may be wrong (an instance could
-            // hold closer keys past its quota); keep the exact prefix.
-            let cut = all.partition_point(|(k, _)| k.as_slice() <= h.as_slice());
-            all.truncate(cut);
-        }
-        all.truncate(count);
         Ok(all)
+    }
+
+    /// SCAN: up to `count` entries with keys `>= start`.
+    ///
+    /// Always exact: the [`ScanStrategy`] only sizes the opening
+    /// per-instance chunk; if the merge needs more from some instance,
+    /// its cursor is simply pulled again (no quota-and-retry rounds).
+    pub fn scan(&self, start: &[u8], count: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        if count == 0 {
+            // A zero-entry scan used to panic in the quota merge; it is
+            // simply empty.
+            return Ok(Vec::new());
+        }
+        let mut iter = StoreIter::open(
+            &self.workers,
+            start,
+            None,
+            self.first_chunk_quota(count),
+            self.opts.scan_chunk_entries,
+            self.opts.scan_chunk_bytes,
+        )?;
+        iter.next_chunk(count)
     }
 
     /// Durability barrier across all instances.
@@ -522,6 +571,22 @@ impl<E: KvsEngine> P2Kvs<E> {
                     merged_ops: w
                         .stats
                         .merged_ops
+                        .load(std::sync::atomic::Ordering::Relaxed),
+                    scans: w
+                        .stats
+                        .scans_opened
+                        .load(std::sync::atomic::Ordering::Relaxed),
+                    scan_chunks: w
+                        .stats
+                        .scan_chunks
+                        .load(std::sync::atomic::Ordering::Relaxed),
+                    scan_resumes: w
+                        .stats
+                        .scan_resumes
+                        .load(std::sync::atomic::Ordering::Relaxed),
+                    active_scans: w
+                        .stats
+                        .scans_active
                         .load(std::sync::atomic::Ordering::Relaxed),
                     busy: w.stats.busy.busy(),
                     queue_depth: w.queue.len(),

@@ -54,10 +54,29 @@ pub enum Op {
     Delete { key: Vec<u8> },
     /// Point lookup.
     Get { key: Vec<u8> },
-    /// Read up to `count` entries starting at `start`.
-    Scan { start: Vec<u8>, count: usize },
-    /// Read entries in `[begin, end)`.
-    Range { begin: Vec<u8>, end: Vec<u8> },
+    /// Opens a streaming scan over keys in `[start, end)` (`end = None`
+    /// leaves it open-ended) and returns the first chunk of at most
+    /// `limit` entries / `max_bytes` payload bytes. The reply is
+    /// [`Response::Chunk`]; a `Some(cursor)` in it means more data is
+    /// available via [`Op::ScanNext`]. Replaces the old blocking
+    /// `Scan`/`Range` ops: a worker never runs a scan longer than one
+    /// chunk per dequeue, so queued point ops interleave between chunks.
+    ScanOpen {
+        start: Vec<u8>,
+        end: Option<Vec<u8>>,
+        limit: usize,
+        max_bytes: usize,
+    },
+    /// Pulls the next chunk from a cursor returned by a previous
+    /// [`Response::Chunk`] on the same worker.
+    ScanNext {
+        cursor: u64,
+        limit: usize,
+        max_bytes: usize,
+    },
+    /// Releases a cursor early (the consumer stopped before exhaustion).
+    /// Idempotent: closing an unknown or already-exhausted cursor is Ok.
+    ScanClose { cursor: u64 },
     /// A transaction sub-batch carrying a Global Sequence Number. Never
     /// merged with other requests by OBM.
     TxnBatch { ops: Vec<WriteOp>, gsn: u64 },
@@ -100,7 +119,10 @@ impl Op {
         match self {
             Op::Put { .. } | Op::Delete { .. } => OpClass::Write,
             Op::Get { .. } => OpClass::Read,
-            Op::Scan { .. } | Op::Range { .. } | Op::TxnBatch { .. } => OpClass::Solo,
+            Op::ScanOpen { .. }
+            | Op::ScanNext { .. }
+            | Op::ScanClose { .. }
+            | Op::TxnBatch { .. } => OpClass::Solo,
         }
     }
 }
@@ -112,8 +134,13 @@ pub enum Response {
     Done,
     /// GET result.
     Value(Option<Vec<u8>>),
-    /// SCAN/RANGE result.
-    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// One chunk of a streaming scan. `cursor` names the worker-side
+    /// cursor to pass to [`Op::ScanNext`] for more data; `None` means the
+    /// scan is exhausted (or fit entirely in this chunk).
+    Chunk {
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        cursor: Option<u64>,
+    },
 }
 
 /// How a finished request reports back.
@@ -360,13 +387,25 @@ mod tests {
         assert_eq!(Op::Delete { key: vec![] }.class(), OpClass::Write);
         assert_eq!(Op::Get { key: vec![] }.class(), OpClass::Read);
         assert_eq!(
-            Op::Scan {
+            Op::ScanOpen {
                 start: vec![],
-                count: 1
+                end: None,
+                limit: 1,
+                max_bytes: 1,
             }
             .class(),
             OpClass::Solo
         );
+        assert_eq!(
+            Op::ScanNext {
+                cursor: 1,
+                limit: 1,
+                max_bytes: 1,
+            }
+            .class(),
+            OpClass::Solo
+        );
+        assert_eq!(Op::ScanClose { cursor: 1 }.class(), OpClass::Solo);
         assert_eq!(
             Op::TxnBatch {
                 ops: vec![],

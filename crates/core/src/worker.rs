@@ -12,7 +12,16 @@
 //! key/value copies inside a merged call allocate, and those belong to
 //! the engine API, not the loop). The queue side is a lock-free ring with
 //! a spin-then-park idle loop — see [`crate::queue`].
+//!
+//! **Scans are cooperative**: a worker never runs a scan longer than one
+//! bounded chunk per dequeue. `Op::ScanOpen` opens an engine cursor,
+//! serves the first chunk and parks the cursor in a worker-local table;
+//! each `Op::ScanNext` serves one more chunk. Because every chunk is a
+//! separate queue round-trip, point ops enqueued while a scan is in
+//! flight are drained (and OBM-merged) between chunks instead of waiting
+//! for the whole scan — the queue itself is the yield point.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -21,7 +30,7 @@ use std::time::Instant;
 use p2kvs_obs::WorkerLifecycle;
 use p2kvs_util::timing::BusyClock;
 
-use crate::engine::KvsEngine;
+use crate::engine::{KvsEngine, ScanCursor};
 use crate::queue::{RequestQueue, DEFAULT_QUEUE_CAPACITY};
 use crate::types::{Op, OpClass, Request, Response, WriteOp};
 
@@ -36,6 +45,14 @@ pub struct WorkerStats {
     pub batches: AtomicU64,
     /// Requests that were merged into multi-request batches.
     pub merged_ops: AtomicU64,
+    /// Streaming scans opened (`ScanOpen` requests served).
+    pub scans_opened: AtomicU64,
+    /// Scan chunks served (first chunks plus resumes).
+    pub scan_chunks: AtomicU64,
+    /// Cursor resumptions (`ScanNext` chunks served).
+    pub scan_resumes: AtomicU64,
+    /// Cursors currently parked in the worker's table.
+    pub scans_active: AtomicU64,
 }
 
 impl WorkerStats {
@@ -60,7 +77,19 @@ pub struct WorkerConfig {
     pub queue_capacity: usize,
     /// Bind the worker thread to core `id`.
     pub pin: bool,
+    /// Hard cap on entries per scan chunk. Requests asking for more are
+    /// clamped, so no single dequeue can head-of-line-block the queue
+    /// behind a long scan. `usize::MAX` restores the old blocking
+    /// behavior (used by the interference benchmark's baseline).
+    pub scan_chunk_entries: usize,
+    /// Hard cap on payload bytes per scan chunk (same clamping).
+    pub scan_chunk_bytes: usize,
 }
+
+/// Default per-chunk entry bound.
+pub const DEFAULT_SCAN_CHUNK_ENTRIES: usize = 256;
+/// Default per-chunk payload-byte bound (1 MiB).
+pub const DEFAULT_SCAN_CHUNK_BYTES: usize = 1 << 20;
 
 impl Default for WorkerConfig {
     fn default() -> Self {
@@ -68,6 +97,8 @@ impl Default for WorkerConfig {
             batch_max: 32,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             pin: false,
+            scan_chunk_entries: DEFAULT_SCAN_CHUNK_ENTRIES,
+            scan_chunk_bytes: DEFAULT_SCAN_CHUNK_BYTES,
         }
     }
 }
@@ -114,7 +145,11 @@ impl WorkerHandle {
                     // covers dequeue -> completion (requests in one OBM
                     // batch complete together).
                     let dequeued = Instant::now();
-                    let class = batch[0].op.class().index();
+                    let class = batch[0].op.class();
+                    // "Scan active" means a parked cursor exists *before*
+                    // this batch: these are the point ops whose latency a
+                    // concurrent scan could have wrecked.
+                    let scan_active = !scratch.scans.is_empty();
                     if lifecycle.is_some() {
                         waits.clear();
                         waits.extend(batch.iter().map(|r| {
@@ -122,9 +157,13 @@ impl WorkerHandle {
                         }));
                     }
                     s.busy
-                        .time(|| execute_batch(&*engine, &mut batch, &s, &mut scratch));
+                        .time(|| execute_batch(&*engine, &mut batch, &s, &mut scratch, &config));
                     if let Some(lc) = &lifecycle {
-                        lc.observe(class, &waits, dequeued.elapsed().as_nanos() as u64);
+                        let service_ns = dequeued.elapsed().as_nanos() as u64;
+                        lc.observe(class.index(), &waits, service_ns);
+                        if scan_active && class != OpClass::Solo {
+                            lc.observe_point_during_scan(waits.len(), service_ns);
+                        }
                     }
                 }
             })
@@ -151,11 +190,34 @@ impl Drop for WorkerHandle {
     }
 }
 
-/// Reusable buffers for merged engine calls, allocated once per worker.
+/// Parked streaming-scan cursors, keyed by the id handed to the client
+/// in [`Response::Chunk`]. Owned by the worker thread; dropped cursors
+/// release their engine snapshots.
+#[derive(Default)]
+struct ScanTable {
+    next_id: u64,
+    cursors: HashMap<u64, ScanCursor>,
+}
+
+impl ScanTable {
+    fn insert(&mut self, cursor: ScanCursor) -> u64 {
+        self.next_id += 1;
+        self.cursors.insert(self.next_id, cursor);
+        self.next_id
+    }
+
+    fn is_empty(&self) -> bool {
+        self.cursors.is_empty()
+    }
+}
+
+/// Reusable buffers for merged engine calls, allocated once per worker,
+/// plus the worker's parked scan cursors.
 #[derive(Default)]
 struct BatchScratch {
     ops: Vec<WriteOp>,
     keys: Vec<Vec<u8>>,
+    scans: ScanTable,
 }
 
 /// Executes one OBM batch against the engine, draining `batch` (its
@@ -165,6 +227,7 @@ fn execute_batch<E: KvsEngine>(
     batch: &mut Vec<Request>,
     stats: &WorkerStats,
     scratch: &mut BatchScratch,
+    config: &WorkerConfig,
 ) {
     let n = batch.len() as u64;
     stats.ops.fetch_add(n, Ordering::Relaxed);
@@ -228,21 +291,111 @@ fn execute_batch<E: KvsEngine>(
         _ => {
             // Single request, or the engine lacks the batched fast path.
             for req in batch.drain(..) {
-                execute_one(engine, req);
+                execute_one(engine, req, stats, &mut scratch.scans, config);
             }
         }
     }
 }
 
+/// Serves one bounded chunk, opening the cursor first for `ScanOpen`.
+/// The cursor parks in `scans` between chunks; it is removed on
+/// exhaustion, on error (a failed cursor must not leak its snapshot),
+/// and on explicit close.
+fn execute_scan<E: KvsEngine>(
+    engine: &E,
+    op: Op,
+    stats: &WorkerStats,
+    scans: &mut ScanTable,
+    config: &WorkerConfig,
+) -> crate::error::Result<Response> {
+    let clamp = |limit: usize, max_bytes: usize| {
+        (
+            limit.min(config.scan_chunk_entries).max(1),
+            max_bytes.min(config.scan_chunk_bytes).max(1),
+        )
+    };
+    match op {
+        Op::ScanOpen {
+            start,
+            end,
+            limit,
+            max_bytes,
+        } => {
+            let (limit, max_bytes) = clamp(limit, max_bytes);
+            let mut cursor = engine.open_cursor(&start, end.as_deref())?;
+            let chunk = engine.scan_chunk(&mut cursor, limit, max_bytes)?;
+            stats.scans_opened.fetch_add(1, Ordering::Relaxed);
+            stats.scan_chunks.fetch_add(1, Ordering::Relaxed);
+            let cursor = if chunk.done {
+                None
+            } else {
+                stats.scans_active.fetch_add(1, Ordering::Relaxed);
+                Some(scans.insert(cursor))
+            };
+            Ok(Response::Chunk {
+                entries: chunk.entries,
+                cursor,
+            })
+        }
+        Op::ScanNext {
+            cursor: id,
+            limit,
+            max_bytes,
+        } => {
+            let (limit, max_bytes) = clamp(limit, max_bytes);
+            let cursor = scans
+                .cursors
+                .get_mut(&id)
+                .ok_or_else(|| crate::error::Error::Engine(format!("unknown scan cursor {id}")))?;
+            match engine.scan_chunk(cursor, limit, max_bytes) {
+                Ok(chunk) => {
+                    stats.scan_chunks.fetch_add(1, Ordering::Relaxed);
+                    stats.scan_resumes.fetch_add(1, Ordering::Relaxed);
+                    let cursor = if chunk.done {
+                        scans.cursors.remove(&id);
+                        stats.scans_active.fetch_sub(1, Ordering::Relaxed);
+                        None
+                    } else {
+                        Some(id)
+                    };
+                    Ok(Response::Chunk {
+                        entries: chunk.entries,
+                        cursor,
+                    })
+                }
+                Err(e) => {
+                    scans.cursors.remove(&id);
+                    stats.scans_active.fetch_sub(1, Ordering::Relaxed);
+                    Err(e)
+                }
+            }
+        }
+        Op::ScanClose { cursor } => {
+            if scans.cursors.remove(&cursor).is_some() {
+                stats.scans_active.fetch_sub(1, Ordering::Relaxed);
+            }
+            Ok(Response::Done)
+        }
+        other => unreachable!("non-scan op {other:?} in execute_scan"),
+    }
+}
+
 /// Executes one request without batching.
-fn execute_one<E: KvsEngine>(engine: &E, req: Request) {
+fn execute_one<E: KvsEngine>(
+    engine: &E,
+    req: Request,
+    stats: &WorkerStats,
+    scans: &mut ScanTable,
+    config: &WorkerConfig,
+) {
     let Request { op, completion, .. } = req;
     let result = match op {
         Op::Put { key, value } => engine.put(&key, &value).map(|()| Response::Done),
         Op::Delete { key } => engine.delete(&key).map(|()| Response::Done),
         Op::Get { key } => engine.get(&key).map(Response::Value),
-        Op::Scan { start, count } => engine.scan(&start, count).map(Response::Entries),
-        Op::Range { begin, end } => engine.range(&begin, &end).map(Response::Entries),
+        op @ (Op::ScanOpen { .. } | Op::ScanNext { .. } | Op::ScanClose { .. }) => {
+            execute_scan(engine, op, stats, scans, config)
+        }
         Op::TxnBatch { ops, gsn } => engine.write_batch(&ops, gsn).map(|()| Response::Done),
     };
     match completion {
@@ -262,6 +415,7 @@ mod tests {
             batch_max: 32,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             pin: false,
+            ..WorkerConfig::default()
         }
     }
 
@@ -345,6 +499,7 @@ mod tests {
             crate::engine::Capabilities {
                 batch_write: false,
                 multiget: false,
+                native_cursor: false,
             }
         }
 
@@ -377,7 +532,7 @@ mod tests {
         let engine = NoCapsEngine::new();
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
-        execute_batch(&engine, &mut put_batch(8), &stats, &mut scratch);
+        execute_batch(&engine, &mut put_batch(8), &stats, &mut scratch, &test_config());
         assert_eq!(stats.ops.load(Ordering::Relaxed), 8);
         assert_eq!(stats.batches.load(Ordering::Relaxed), 1);
         assert_eq!(
@@ -393,7 +548,7 @@ mod tests {
                 .0
             })
             .collect();
-        execute_batch(&engine, &mut reads, &stats, &mut scratch);
+        execute_batch(&engine, &mut reads, &stats, &mut scratch, &test_config());
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 0);
     }
 
@@ -403,7 +558,7 @@ mod tests {
         let engine = factory.open(Path::new("w-merged"), None).unwrap();
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
-        execute_batch(&engine, &mut put_batch(5), &stats, &mut scratch);
+        execute_batch(&engine, &mut put_batch(5), &stats, &mut scratch, &test_config());
         assert_eq!(stats.ops.load(Ordering::Relaxed), 5);
         assert_eq!(
             stats.merged_ops.load(Ordering::Relaxed),
@@ -411,7 +566,7 @@ mod tests {
             "batch-write engine merges the whole run"
         );
         // A single-request batch is never a merge.
-        execute_batch(&engine, &mut put_batch(1), &stats, &mut scratch);
+        execute_batch(&engine, &mut put_batch(1), &stats, &mut scratch, &test_config());
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 5);
     }
 
@@ -440,7 +595,7 @@ mod tests {
                 })
             })
             .unzip();
-        execute_batch(&engine, &mut batch, &stats, &mut scratch);
+        execute_batch(&engine, &mut batch, &stats, &mut scratch, &test_config());
         assert!(batch.is_empty(), "every request was completed");
         for (i, w) in waiters.into_iter().enumerate() {
             let err = w.wait().expect_err("every merged request must observe the engine error");
@@ -500,7 +655,7 @@ mod tests {
         let mut scratch = BatchScratch::default();
         let mut batch = put_batch(8);
         let cap_before = batch.capacity();
-        execute_batch(&engine, &mut batch, &stats, &mut scratch);
+        execute_batch(&engine, &mut batch, &stats, &mut scratch, &test_config());
         assert!(batch.is_empty(), "batch is drained, not consumed");
         assert_eq!(batch.capacity(), cap_before, "allocation is retained");
     }
@@ -585,8 +740,19 @@ mod tests {
         assert!(stats.avg_batch_size() >= 1.0);
     }
 
+    /// Drives one chunk through the worker queue, returning the entries
+    /// and the continuation cursor (if any).
+    fn pull_chunk(worker: &WorkerHandle, op: Op) -> (Vec<(Vec<u8>, Vec<u8>)>, Option<u64>) {
+        let (req, c) = Request::sync(op);
+        worker.queue.push(req).ok().unwrap();
+        match c.wait().unwrap() {
+            Response::Chunk { entries, cursor } => (entries, cursor),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
     #[test]
-    fn scan_executes_solo() {
+    fn scan_streams_in_chunks_through_the_queue() {
         let (worker, _) = worker();
         for i in 0..10 {
             let (req, c) = Request::sync(Op::Put {
@@ -596,18 +762,123 @@ mod tests {
             worker.queue.push(req).ok().unwrap();
             c.wait().unwrap();
         }
-        let (req, c) = Request::sync(Op::Scan {
-            start: b"k3".to_vec(),
-            count: 3,
+        let (first, cursor) = pull_chunk(
+            &worker,
+            Op::ScanOpen {
+                start: b"k3".to_vec(),
+                end: None,
+                limit: 3,
+                max_bytes: usize::MAX,
+            },
+        );
+        assert_eq!(first.len(), 3);
+        assert_eq!(first[0].0, b"k3");
+        let mut cursor = cursor.expect("7 keys remain past k5");
+        assert_eq!(worker.stats.scans_active.load(Ordering::Relaxed), 1);
+
+        // Point ops are served while the cursor is parked: the scan does
+        // not block the queue between chunks.
+        let (req, c) = Request::sync(Op::Get { key: b"k0".to_vec() });
+        worker.queue.push(req).ok().unwrap();
+        assert_eq!(c.wait().unwrap(), Response::Value(Some(b"0".to_vec())));
+
+        let mut all = first;
+        loop {
+            let (entries, next) = pull_chunk(
+                &worker,
+                Op::ScanNext {
+                    cursor,
+                    limit: 3,
+                    max_bytes: usize::MAX,
+                },
+            );
+            all.extend(entries);
+            match next {
+                Some(id) => cursor = id,
+                None => break,
+            }
+        }
+        let keys: Vec<_> = all.iter().map(|(k, _)| k.clone()).collect();
+        let want: Vec<Vec<u8>> = (3..10).map(|i| format!("k{i}").into_bytes()).collect();
+        assert_eq!(keys, want, "chunked scan covers the full suffix in order");
+        assert_eq!(worker.stats.scans_active.load(Ordering::Relaxed), 0);
+        assert!(worker.stats.scan_resumes.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn scan_chunk_sizes_are_clamped_by_worker_config() {
+        let factory = LsmFactory::new(lsmkv::Options::for_test());
+        let engine = Arc::new(factory.open(Path::new("w-clamp"), None).unwrap());
+        let config = WorkerConfig {
+            scan_chunk_entries: 2,
+            ..WorkerConfig::default()
+        };
+        let worker = WorkerHandle::spawn(0, engine, config, None);
+        for i in 0..6 {
+            let (req, c) = Request::sync(Op::Put {
+                key: format!("c{i}").into_bytes(),
+                value: b"v".to_vec(),
+            });
+            worker.queue.push(req).ok().unwrap();
+            c.wait().unwrap();
+        }
+        // The client asks for everything in one chunk; the worker caps it.
+        let (entries, cursor) = pull_chunk(
+            &worker,
+            Op::ScanOpen {
+                start: Vec::new(),
+                end: None,
+                limit: usize::MAX,
+                max_bytes: usize::MAX,
+            },
+        );
+        assert_eq!(entries.len(), 2, "chunk clamped to scan_chunk_entries");
+        assert!(cursor.is_some(), "scan must continue past the clamp");
+    }
+
+    #[test]
+    fn scan_next_on_unknown_cursor_is_an_error_and_close_is_idempotent() {
+        let (worker, _) = worker();
+        let (req, c) = Request::sync(Op::ScanNext {
+            cursor: 99,
+            limit: 1,
+            max_bytes: usize::MAX,
         });
         worker.queue.push(req).ok().unwrap();
-        match c.wait().unwrap() {
-            Response::Entries(e) => {
-                assert_eq!(e.len(), 3);
-                assert_eq!(e[0].0, b"k3");
-            }
-            other => panic!("unexpected {other:?}"),
+        let err = c.wait().expect_err("unknown cursor must not hang or panic");
+        assert!(err.to_string().contains("unknown scan cursor"), "{err}");
+
+        for i in 0..8 {
+            let (req, c) = Request::sync(Op::Put {
+                key: format!("x{i}").into_bytes(),
+                value: b"v".to_vec(),
+            });
+            worker.queue.push(req).ok().unwrap();
+            c.wait().unwrap();
         }
+        let (_, cursor) = pull_chunk(
+            &worker,
+            Op::ScanOpen {
+                start: Vec::new(),
+                end: None,
+                limit: 2,
+                max_bytes: usize::MAX,
+            },
+        );
+        let cursor = cursor.unwrap();
+        for _ in 0..2 {
+            let (req, c) = Request::sync(Op::ScanClose { cursor });
+            worker.queue.push(req).ok().unwrap();
+            assert_eq!(c.wait().unwrap(), Response::Done, "close is idempotent");
+        }
+        assert_eq!(worker.stats.scans_active.load(Ordering::Relaxed), 0);
+        let (req, c) = Request::sync(Op::ScanNext {
+            cursor,
+            limit: 1,
+            max_bytes: usize::MAX,
+        });
+        worker.queue.push(req).ok().unwrap();
+        assert!(c.wait().is_err(), "a closed cursor cannot be resumed");
     }
 
     #[test]
@@ -668,6 +939,7 @@ mod tests {
             batch_max: 4,
             queue_capacity: 4,
             pin: false,
+            ..WorkerConfig::default()
         };
         let worker = WorkerHandle::spawn(0, engine, config, None);
         assert_eq!(worker.queue.capacity(), 4);

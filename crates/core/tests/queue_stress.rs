@@ -127,9 +127,11 @@ fn multi_producer_mixed_close_midstream_exactly_once() {
                         2 => Op::Get {
                             key: format!("k{id}").into_bytes(),
                         },
-                        _ => Op::Scan {
+                        _ => Op::ScanOpen {
                             start: b"k".to_vec(),
-                            count: 1,
+                            end: None,
+                            limit: 1,
+                            max_bytes: usize::MAX,
                         },
                     };
                     let completions = completions.clone();

@@ -4,8 +4,8 @@
 
 use std::sync::Arc;
 
-use p2kvs::engine::{LsmFactory, WtFactory};
-use p2kvs::{MetricsSnapshot, P2Kvs, P2KvsOptions, ScanStrategy, WriteOp};
+use p2kvs::engine::{Capabilities, EngineFactory, GsnFilter, KvellFactory, LsmFactory, WtFactory};
+use p2kvs::{KvsEngine, MetricsSnapshot, P2Kvs, P2KvsOptions, ScanStrategy, WriteOp};
 use p2kvs_storage::{EnvRef, MemEnv};
 
 fn lsm_factory() -> LsmFactory {
@@ -16,6 +16,23 @@ fn open_lsm(workers: usize) -> P2Kvs<lsmkv::Db> {
     let mut opts = P2KvsOptions::with_workers(workers);
     opts.pin_workers = false;
     P2Kvs::open(lsm_factory(), "p2", opts).unwrap()
+}
+
+/// Waits for the fire-and-forget `ScanClose` requests issued when an
+/// iterator drops to be processed by the workers (bounded, not racy).
+fn wait_no_active_scans<E: KvsEngine>(store: &P2Kvs<E>) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let active: u64 = store.snapshot().workers.iter().map(|w| w.active_scans).sum();
+        if active == 0 {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "parked cursors were never released ({active} still active)"
+        );
+        std::thread::yield_now();
+    }
 }
 
 #[test]
@@ -178,6 +195,319 @@ fn scan_strategies_agree() {
             let got_keys: Vec<Vec<u8>> = got.iter().map(|(k, _)| k.clone()).collect();
             assert_eq!(got_keys, expect, "strategy {strategy:?} start {start:?} n {n}");
         }
+    }
+}
+
+#[test]
+fn scan_count_zero_is_empty() {
+    // Regression: the old quota merge panicked on `count == 0` because
+    // every empty per-worker result hit `entries.last().expect(..)`.
+    let store = open_lsm(4);
+    assert!(store.scan(b"", 0).unwrap().is_empty());
+    for i in 0..50 {
+        store.put(format!("z{i:02}").as_bytes(), b"v").unwrap();
+    }
+    assert!(store.scan(b"", 0).unwrap().is_empty());
+    assert!(store.scan(b"z25", 0).unwrap().is_empty());
+}
+
+#[test]
+fn chunked_scan_is_byte_identical_to_blocking() {
+    // The streaming path must return exactly what the old blocking path
+    // returned on static data. `scan_chunk_entries = usize::MAX`
+    // reproduces the blocking behavior (one unbounded chunk per
+    // instance).
+    let fill = |store: &P2Kvs<lsmkv::Db>| {
+        for i in 0..2000 {
+            store
+                .put(
+                    format!("key{i:05}").as_bytes(),
+                    format!("value-{i}").as_bytes(),
+                )
+                .unwrap();
+        }
+    };
+    let mut chunked_opts = P2KvsOptions::with_workers(4);
+    chunked_opts.pin_workers = false;
+    chunked_opts.scan_chunk_entries = 16;
+    let chunked = P2Kvs::open(lsm_factory(), "p2c", chunked_opts).unwrap();
+    let mut blocking_opts = P2KvsOptions::with_workers(4);
+    blocking_opts.pin_workers = false;
+    blocking_opts.scan_chunk_entries = usize::MAX;
+    blocking_opts.scan_chunk_bytes = usize::MAX;
+    let blocking = P2Kvs::open(lsm_factory(), "p2b", blocking_opts).unwrap();
+    fill(&chunked);
+    fill(&blocking);
+    for (start, n) in [
+        (b"".as_slice(), 2000),
+        (b"key00500".as_slice(), 137),
+        (b"key01990".as_slice(), 50),
+    ] {
+        assert_eq!(
+            chunked.scan(start, n).unwrap(),
+            blocking.scan(start, n).unwrap(),
+            "start {start:?} n {n}"
+        );
+    }
+    assert_eq!(
+        chunked.range(b"key00100", b"key00250").unwrap(),
+        blocking.range(b"key00100", b"key00250").unwrap()
+    );
+}
+
+#[test]
+fn iter_streams_sorted_with_pagination_and_bounds() {
+    let mut opts = P2KvsOptions::with_workers(4);
+    opts.pin_workers = false;
+    opts.scan_chunk_entries = 32; // force many resumes
+    let store = P2Kvs::open(lsm_factory(), "p2i", opts).unwrap();
+    for i in 0..800 {
+        store
+            .put(format!("it{i:04}").as_bytes(), format!("{i}").as_bytes())
+            .unwrap();
+    }
+    // Full iteration, via the Iterator impl.
+    let all: Vec<_> = store
+        .iter()
+        .unwrap()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap();
+    assert_eq!(all.len(), 800);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "globally sorted");
+    assert_eq!(all[0].0, b"it0000");
+    assert_eq!(all[799].0, b"it0799");
+    // Paginated pull.
+    let mut iter = store.iter_from(b"it0100").unwrap();
+    let page1 = iter.next_chunk(25).unwrap();
+    let page2 = iter.next_chunk(25).unwrap();
+    assert_eq!(page1.len(), 25);
+    assert_eq!(page1[0].0, b"it0100");
+    assert_eq!(page2[0].0, b"it0125");
+    // Abandoning the iterator mid-scan must release its parked cursors.
+    drop(iter);
+    // Bounded iteration stops exactly at the end key.
+    let bounded: Vec<_> = store
+        .iter_range(b"it0200", b"it0210")
+        .unwrap()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap();
+    assert_eq!(bounded.len(), 10);
+    assert_eq!(bounded.last().unwrap().0, b"it0209");
+    // The workers resumed parked cursors rather than scanning blocking.
+    let snap = store.snapshot();
+    let resumes: u64 = snap.workers.iter().map(|w| w.scan_resumes).sum();
+    assert!(resumes > 0, "32-entry chunks over 800 keys must resume");
+    wait_no_active_scans(&store);
+}
+
+#[test]
+fn lsm_iter_is_snapshot_consistent_across_writes() {
+    // lsmkv has native cursors: every per-instance stream pins a
+    // snapshot at open, so writes issued mid-iteration are invisible.
+    let mut opts = P2KvsOptions::with_workers(4);
+    opts.pin_workers = false;
+    opts.scan_chunk_entries = 8;
+    let store = P2Kvs::open(lsm_factory(), "p2s", opts).unwrap();
+    for i in 0..200 {
+        store.put(format!("s{i:03}").as_bytes(), b"old").unwrap();
+    }
+    let mut iter = store.iter().unwrap();
+    let first = iter.next_chunk(10).unwrap();
+    assert_eq!(first.len(), 10);
+    // Overwrite, delete, and insert while the scan is mid-flight.
+    for i in 0..200 {
+        store.put(format!("s{i:03}").as_bytes(), b"new").unwrap();
+    }
+    store.delete(b"s150").unwrap();
+    store.put(b"s999", b"new").unwrap();
+    let rest: Vec<_> = iter.collect::<Result<Vec<_>, _>>().unwrap();
+    let mut seen = first;
+    seen.extend(rest);
+    assert_eq!(seen.len(), 200, "the pinned view has exactly the old keys");
+    assert!(
+        seen.iter().all(|(_, v)| v == b"old"),
+        "mid-scan writes must be invisible to a native cursor"
+    );
+}
+
+/// An lsmkv instance that hides its native cursor support: the default
+/// resume-from-last-key emulation must carry chunked scans while OBM
+/// keeps merging point ops between chunks.
+struct EmulatedCursorDb(lsmkv::Db);
+
+impl KvsEngine for EmulatedCursorDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> p2kvs::Result<()> {
+        KvsEngine::put(&self.0, key, value)
+    }
+    fn delete(&self, key: &[u8]) -> p2kvs::Result<()> {
+        KvsEngine::delete(&self.0, key)
+    }
+    fn write_batch(&self, ops: &[WriteOp], gsn: u64) -> p2kvs::Result<()> {
+        KvsEngine::write_batch(&self.0, ops, gsn)
+    }
+    fn get(&self, key: &[u8]) -> p2kvs::Result<Option<Vec<u8>>> {
+        KvsEngine::get(&self.0, key)
+    }
+    fn multiget(&self, keys: &[Vec<u8>]) -> p2kvs::Result<Vec<Option<Vec<u8>>>> {
+        KvsEngine::multiget(&self.0, keys)
+    }
+    fn scan(&self, start: &[u8], count: usize) -> p2kvs::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        KvsEngine::scan(&self.0, start, count)
+    }
+    fn range(&self, begin: &[u8], end: &[u8]) -> p2kvs::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        KvsEngine::range(&self.0, begin, end)
+    }
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            native_cursor: false,
+            ..KvsEngine::capabilities(&self.0)
+        }
+    }
+    fn sync(&self) -> p2kvs::Result<()> {
+        KvsEngine::sync(&self.0)
+    }
+    fn mem_usage(&self) -> usize {
+        KvsEngine::mem_usage(&self.0)
+    }
+}
+
+struct EmulatedCursorFactory(LsmFactory);
+
+impl EngineFactory for EmulatedCursorFactory {
+    type Engine = EmulatedCursorDb;
+
+    fn open(&self, dir: &std::path::Path, filter: Option<GsnFilter>) -> p2kvs::Result<EmulatedCursorDb> {
+        Ok(EmulatedCursorDb(self.0.open(dir, filter)?))
+    }
+
+    fn env(&self) -> EnvRef {
+        self.0.env()
+    }
+}
+
+#[test]
+fn engine_without_native_cursor_degrades_to_emulated_chunks_with_obm() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.scan_chunk_entries = 8;
+    let store = Arc::new(
+        P2Kvs::open(EmulatedCursorFactory(lsm_factory()), "p2e", opts).unwrap(),
+    );
+    for i in 0..300 {
+        store
+            .put(format!("e{i:03}").as_bytes(), format!("{i}").as_bytes())
+            .unwrap();
+    }
+    // Start the scan, then flood point writes so OBM has runs to merge
+    // while cursors are parked between chunks.
+    let mut iter = store.iter().unwrap();
+    let mut seen = iter.next_chunk(20).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    for i in 0..600 {
+        let tx = tx.clone();
+        store
+            .put_async(format!("flood{i:03}").as_bytes(), b"v", move |r| {
+                r.unwrap();
+                tx.send(()).unwrap();
+            })
+            .unwrap();
+    }
+    // Drain the rest of the scan while the flood lands.
+    loop {
+        let chunk = iter.next_chunk(40).unwrap();
+        if chunk.is_empty() {
+            break;
+        }
+        seen.extend(chunk);
+    }
+    for _ in 0..600 {
+        rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+    }
+    // The emulated cursor is monotonic: sorted, no duplicates, and every
+    // pre-scan key appears (flood keys sort before "e..." and may or may
+    // not be seen — read-committed, not snapshot).
+    assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
+    let e_keys: Vec<_> = seen.iter().filter(|(k, _)| k.starts_with(b"e")).collect();
+    assert_eq!(e_keys.len(), 300, "every pre-existing key is returned");
+    let snap = store.snapshot();
+    assert!(
+        snap.workers.iter().map(|w| w.scan_resumes).sum::<u64>() > 0,
+        "emulation must serve multiple chunks per stream"
+    );
+    assert!(
+        snap.workers.iter().map(|w| w.merged_ops).sum::<u64>() > 0,
+        "OBM must keep merging point ops between scan chunks"
+    );
+}
+
+#[test]
+fn works_over_kvell() {
+    let env: EnvRef = Arc::new(MemEnv::new());
+    let factory = KvellFactory::new(kvell::KvellOptions::new(env));
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.scan_chunk_entries = 16;
+    let store = P2Kvs::open(factory, "p2kv", opts).unwrap();
+    for i in 0..300 {
+        store
+            .put(format!("k{i:03}").as_bytes(), format!("{i}").as_bytes())
+            .unwrap();
+    }
+    assert_eq!(store.get(b"k123").unwrap().unwrap(), b"123");
+    store.delete(b"k100").unwrap();
+    assert_eq!(store.get(b"k100").unwrap(), None);
+    let scan = store.scan(b"k050", 10).unwrap();
+    assert_eq!(scan.len(), 10);
+    assert_eq!(scan[0].0, b"k050");
+    let range = store.range(b"k200", b"k210").unwrap();
+    assert_eq!(range.len(), 10);
+    // KVell has no atomic batch-write: cross-instance transactions are
+    // rejected rather than silently partially applied.
+    let err = store.write_batch(
+        (0..50)
+            .map(|i| WriteOp::Put {
+                key: format!("t{i}").into_bytes(),
+                value: b"v".to_vec(),
+            })
+            .collect(),
+    );
+    assert!(err.is_err(), "KVell transactions must be rejected");
+}
+
+#[test]
+fn scan_metrics_surface_in_snapshots() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.scan_chunk_entries = 8;
+    let store = P2Kvs::open(lsm_factory(), "p2m", opts).unwrap();
+    for i in 0..200 {
+        store.put(format!("m{i:03}").as_bytes(), b"v").unwrap();
+    }
+    let got = store.scan(b"", 200).unwrap();
+    assert_eq!(got.len(), 200);
+    let snap = store.metrics_snapshot();
+    let scans: u64 = (0..2)
+        .map(|w| {
+            snap.counter(&format!("p2kvs_worker_scans_total{{worker=\"{w}\"}}"))
+                .unwrap()
+        })
+        .sum();
+    let chunks: u64 = (0..2)
+        .map(|w| {
+            snap.counter(&format!("p2kvs_worker_scan_chunks_total{{worker=\"{w}\"}}"))
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(scans, 2, "one stream opened per worker");
+    assert!(chunks > scans, "8-entry chunks over 200 keys need resumes");
+    wait_no_active_scans(&store);
+    let snap = store.metrics_snapshot();
+    for w in 0..2 {
+        assert_eq!(
+            snap.gauge(&format!("p2kvs_active_scans{{worker=\"{w}\"}}")),
+            Some(0.0),
+            "no cursor may remain parked after the scan"
+        );
     }
 }
 
@@ -421,7 +751,33 @@ fn metrics_snapshot_covers_lifecycle_engines_and_renders() {
         store.get(format!("key{i:04}").as_bytes()).unwrap();
     }
 
-    let snap = store.metrics_snapshot();
+    // Lifecycle histograms are recorded by the worker *after* a request
+    // is acked, so a snapshot taken immediately after the last ack can be
+    // one batch short; poll (bounded) until the counts settle.
+    let snap = {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let snap = store.metrics_snapshot();
+            let count = |base: &str, class: &str| -> u64 {
+                snap.histograms_of(base)
+                    .iter()
+                    .filter(|(n, _)| n.contains(&format!("class=\"{class}\"")))
+                    .map(|(_, h)| h.count)
+                    .sum()
+            };
+            if ["p2kvs_queue_wait_ns", "p2kvs_service_ns"]
+                .iter()
+                .all(|b| count(b, "write") == 300 && count(b, "read") == 200)
+            {
+                break snap;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "lifecycle histogram counts never settled"
+            );
+            std::thread::yield_now();
+        }
+    };
 
     // Per-class lifecycle histograms: non-zero counts, ordered tails.
     for base in ["p2kvs_queue_wait_ns", "p2kvs_service_ns"] {

@@ -104,6 +104,7 @@ pub struct WorkerLifecycle {
     worker: usize,
     queue_wait: [Arc<ConcurrentHistogram>; 3],
     service: [Arc<ConcurrentHistogram>; 3],
+    point_during_scan: Arc<ConcurrentHistogram>,
     trace: Arc<TraceRing>,
     slow_ns: u64,
 }
@@ -134,6 +135,8 @@ impl WorkerLifecycle {
             worker,
             queue_wait: per_class("p2kvs_queue_wait_ns"),
             service: per_class("p2kvs_service_ns"),
+            point_during_scan: registry
+                .histogram(&labeled("p2kvs_point_during_scan_service_ns", &[("worker", &w)])),
             trace,
             slow_ns,
         }
@@ -163,6 +166,15 @@ impl WorkerLifecycle {
                 service_ns,
                 batch_size: queue_waits_ns.len(),
             });
+        }
+    }
+
+    /// Records a point-op batch that was served while a streaming scan
+    /// had a cursor parked on this worker — the latency a blocking scan
+    /// would have wrecked. `n` requests shared one `service_ns` batch.
+    pub fn observe_point_during_scan(&self, n: usize, service_ns: u64) {
+        for _ in 0..n {
+            self.point_during_scan.record(service_ns);
         }
     }
 }
@@ -220,6 +232,21 @@ mod tests {
             .histogram("p2kvs_service_ns{worker=\"2\",class=\"write\"}")
             .unwrap();
         assert_eq!(service.count, 3, "service recorded once per request");
+    }
+
+    #[test]
+    fn point_during_scan_histogram_counts_per_request() {
+        let registry = MetricsRegistry::new();
+        let ring = Arc::new(TraceRing::new(2));
+        let lc = WorkerLifecycle::new(&registry, 3, u64::MAX, ring);
+        lc.observe_point_during_scan(4, 700);
+        lc.observe_point_during_scan(0, 9_999);
+        let snap = registry.snapshot();
+        let h = snap
+            .histogram("p2kvs_point_during_scan_service_ns{worker=\"3\"}")
+            .unwrap();
+        assert_eq!(h.count, 4, "one sample per request, none for empty batches");
+        assert_eq!(h.max, 700);
     }
 
     #[test]

@@ -139,6 +139,215 @@ proptest! {
         prop_assert!(violations.is_empty(), "violations: {violations:?}");
     }
 
+    /// The whole read-path surface — `scan`, `range`, and the streaming
+    /// `iter`/`iter_from`/`iter_range` cursors, consumed per-entry and
+    /// paginated — agrees with the BTreeMap model over random histories,
+    /// for both scan strategies, with the chunk size forced tiny so every
+    /// drain exercises many `ScanNext` resumes.
+    #[test]
+    fn scan_range_and_iter_match_model(
+        steps in proptest::collection::vec(step_strategy(), 1..120),
+        start in any::<u8>(),
+        count in 0usize..300,
+        lo in any::<u8>(),
+        width in 0u8..100,
+        page in 1usize..64,
+        chunk in 1usize..16,
+        adaptive in any::<bool>(),
+    ) {
+        let env: p2kvs_storage::EnvRef = Arc::new(p2kvs_storage::MemEnv::new());
+        let factory = LsmFactory::new(lsmkv::Options::rocksdb_like(env));
+        let mut opts = P2KvsOptions::with_workers(3);
+        opts.pin_workers = false;
+        opts.scan_chunk_entries = chunk;
+        opts.scan_strategy = if adaptive {
+            p2kvs::ScanStrategy::Adaptive
+        } else {
+            p2kvs::ScanStrategy::ParallelFull
+        };
+        let store = P2Kvs::open(factory, "prop-iter", opts).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for step in &steps {
+            match step {
+                Step::Put(k, v) => {
+                    store.put(&key(*k), &value(*v)).unwrap();
+                    model.insert(key(*k), value(*v));
+                }
+                Step::Delete(k) => {
+                    store.delete(&key(*k)).unwrap();
+                    model.remove(&key(*k));
+                }
+                Step::Batch(kvs) => {
+                    store
+                        .write_batch(
+                            kvs.iter()
+                                .map(|(k, v)| WriteOp::Put { key: key(*k), value: value(*v) })
+                                .collect(),
+                        )
+                        .unwrap();
+                    for (k, v) in kvs {
+                        model.insert(key(*k), value(*v));
+                    }
+                }
+            }
+        }
+        let all: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+
+        // scan(start, count): `count` entries from `start` on.
+        let scanned = store.scan(&key(start), count).unwrap();
+        let expect: Vec<_> = model
+            .range(key(start)..)
+            .take(count)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(&scanned, &expect);
+
+        // range(lo, hi): the half-open window.
+        let hi = lo.saturating_add(width);
+        let got = store.range(&key(lo), &key(hi)).unwrap();
+        let expect: Vec<_> = model
+            .range(key(lo)..key(hi))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(&got, &expect);
+
+        // iter(): the full store, consumed one entry at a time.
+        let streamed: Vec<_> = store.iter().unwrap().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(&streamed, &all);
+
+        // iter_from(start): paginated pulls of `page` entries.
+        let mut it = store.iter_from(&key(start)).unwrap();
+        let mut paged = Vec::new();
+        loop {
+            let c = it.next_chunk(page).unwrap();
+            if c.is_empty() {
+                break;
+            }
+            prop_assert!(c.len() <= page);
+            paged.extend(c);
+        }
+        let expect: Vec<_> = model
+            .range(key(start)..)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(&paged, &expect);
+
+        // iter_range(lo, hi) agrees with range().
+        let windowed: Vec<_> = store
+            .iter_range(&key(lo), &key(hi))
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(&windowed, &got);
+    }
+
+    /// Snapshot-consistency contract, lsmkv backend (native cursors): an
+    /// iterator opened before a burst of writes sees *exactly* the
+    /// pre-open state — overwrites, deletes, and inserts issued while the
+    /// scan drains (forced across many chunk resumes) are all invisible.
+    /// See DESIGN.md §8 for the per-backend contract this pins down.
+    #[test]
+    fn lsm_iter_snapshot_ignores_concurrent_history(
+        preload in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..80),
+        churn in proptest::collection::vec(step_strategy(), 1..60),
+    ) {
+        let env: p2kvs_storage::EnvRef = Arc::new(p2kvs_storage::MemEnv::new());
+        let factory = LsmFactory::new(lsmkv::Options::rocksdb_like(env));
+        let mut opts = P2KvsOptions::with_workers(3);
+        opts.pin_workers = false;
+        opts.scan_chunk_entries = 2; // many resumes while churn lands
+        let store = P2Kvs::open(factory, "prop-snap", opts).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (k, v) in &preload {
+            store.put(&key(*k), &value(*v)).unwrap();
+            model.insert(key(*k), value(*v));
+        }
+
+        // The cursor opens synchronously on every worker, pinning the
+        // snapshot *before* any churn below is applied.
+        let mut it = store.iter().unwrap();
+        for step in &churn {
+            match step {
+                Step::Put(k, _) => store.put(&key(*k), b"churn").unwrap(),
+                Step::Delete(k) => store.delete(&key(*k)).unwrap(),
+                Step::Batch(kvs) => {
+                    for (k, _) in kvs {
+                        store.put(&key(*k), b"churn").unwrap();
+                    }
+                }
+            }
+        }
+        let drained: Vec<_> = it.by_ref().map(|r| r.unwrap()).collect();
+        let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(&drained, &expect);
+    }
+
+    /// Snapshot-consistency contract, emulated cursors (WiredTiger
+    /// model): resume-from-last-key is only read-committed per chunk, so
+    /// a concurrent overwrite MAY be visible — but the stream stays
+    /// strictly sorted, every key untouched by the churn appears with its
+    /// original value, and every surfaced value is one the store actually
+    /// held at some point.
+    #[test]
+    fn emulated_iter_is_monotonic_read_committed(
+        preload in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..80),
+        overwrites in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let env: p2kvs_storage::EnvRef = Arc::new(p2kvs_storage::MemEnv::new());
+        let factory = p2kvs::engine::WtFactory::new(wtiger::WtOptions::new(env));
+        let mut opts = P2KvsOptions::with_workers(3);
+        opts.pin_workers = false;
+        opts.scan_chunk_entries = 2;
+        let store = P2Kvs::open(factory, "prop-emu", opts).unwrap();
+        let mut before = std::collections::BTreeMap::new();
+        for (k, v) in &preload {
+            store.put(&key(*k), &value(*v)).unwrap();
+            before.insert(key(*k), value(*v));
+        }
+
+        let mut it = store.iter().unwrap();
+        // Interleave churn with the drain so some chunks predate it and
+        // some follow it.
+        let mut drained: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        drained.extend(it.next_chunk(3).unwrap());
+        let touched: std::collections::BTreeSet<Vec<u8>> = overwrites
+            .iter()
+            .map(|k| {
+                store.put(&key(*k), b"churn").unwrap();
+                key(*k)
+            })
+            .collect();
+        loop {
+            let c = it.next_chunk(7).unwrap();
+            if c.is_empty() {
+                break;
+            }
+            drained.extend(c);
+        }
+
+        prop_assert!(drained.windows(2).all(|w| w[0].0 < w[1].0), "not sorted");
+        let seen: std::collections::BTreeMap<_, _> = drained.into_iter().collect();
+        for (k, v) in &before {
+            if touched.contains(k) {
+                // Read-committed: either version, but the key is present
+                // (overwrites never remove it).
+                let got = seen.get(k);
+                prop_assert!(
+                    got == Some(v) || got.map(|g| g.as_slice()) == Some(b"churn".as_slice()),
+                    "key {k:?} surfaced an impossible value"
+                );
+            } else {
+                prop_assert_eq!(seen.get(k), Some(v), "untouched key lost or changed");
+            }
+        }
+        for (k, v) in &seen {
+            let valid = before.get(k).map(|old| old == v).unwrap_or(false)
+                || (v.as_slice() == b"churn".as_slice() && touched.contains(k));
+            prop_assert!(valid, "entry {k:?} was never written with that value");
+        }
+    }
+
     /// The KVell engine also matches the model, including after recovery
     /// (index rebuilt by slab scan).
     #[test]
