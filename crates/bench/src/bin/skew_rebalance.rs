@@ -1,0 +1,58 @@
+//! Standalone skew-rebalancing benchmark: zipfian tenant traffic over a
+//! static shard map versus the skew-aware balancer, writing
+//! `BENCH_skew.json`.
+//!
+//! ```text
+//! cargo run -p p2kvs-bench --release --bin skew_rebalance
+//! ```
+//!
+//! The artifact lands in `$P2KVS_METRICS_DIR` when set, the working
+//! directory otherwise; op counts scale with `P2KVS_SCALE` and the seed
+//! comes from `P2KVS_SKEW_SEED` (default fixed).
+
+use p2kvs_bench::skew;
+
+fn main() -> std::io::Result<()> {
+    let path = skew::artifact_path();
+    let results = skew::run_default(&path)?;
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                r.migrations.to_string(),
+                p2kvs_bench::kqps(r.throughput_ops_sec),
+                format!("{:.1}", r.p50_get_ns as f64 / 1e3),
+                format!("{:.1}", r.p99_get_ns as f64 / 1e3),
+                format!("{:.2}", r.ops_spread),
+                format!("{:.2}", r.busy_spread),
+                format!("{:?}", r.worker_ops),
+            ]
+        })
+        .collect();
+    p2kvs_bench::print_table(
+        "zipfian tenant skew: static map vs skew-aware rebalancing",
+        &[
+            "config",
+            "moves",
+            "kops/s",
+            "get_p50_us",
+            "get_p99_us",
+            "ops_spread",
+            "busy_spread",
+            "worker_ops",
+        ],
+        &rows,
+    );
+    println!(
+        "\nper-worker throughput spread improvement (static/balanced): {:.2}x",
+        skew::spread_improvement(&results)
+    );
+    println!(
+        "aggregate throughput improvement (balanced/static): {:.2}x",
+        skew::throughput_improvement(&results)
+    );
+    println!("wrote {}", path.display());
+    Ok(())
+}

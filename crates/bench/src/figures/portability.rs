@@ -185,7 +185,7 @@ pub fn ablate() {
         let keys = ycsb::generator::KeySpace::hashed();
         for _ in 0..200_000 {
             let k = keys.key(zipf.next(&mut rng));
-            counts[p.worker_of(&k)] += 1;
+            counts[p.shard_of(&k)] += 1;
         }
         let min = *counts.iter().min().unwrap() as f64;
         let max = *counts.iter().max().unwrap() as f64;

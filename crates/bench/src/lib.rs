@@ -14,6 +14,7 @@ pub mod clients;
 pub mod figures;
 pub mod scaninterf;
 pub mod setups;
+pub mod skew;
 
 /// Returns `n` scaled by `P2KVS_SCALE` (min 1).
 pub fn scaled(n: u64) -> u64 {

@@ -91,7 +91,9 @@ pub fn p2kvs(env: Arc<SimEnv>, dir: &str, workers: usize, obm: bool) -> P2Client
 /// p2KVS over RocksDB-mode engines with explicit engine options.
 pub fn p2kvs_with(opts: Options, dir: &str, workers: usize, obm: bool) -> P2Client<Db> {
     let factory = LsmFactory::new(opts);
-    let mut popts = P2KvsOptions::with_workers(workers);
+    // The paper's static layout: one shard per worker, no balancer —
+    // figures reproduce the published configuration byte-for-byte.
+    let mut popts = P2KvsOptions::paper_layout(workers);
     popts.obm = obm;
     // Adaptive SCAN quotas: exact results with far less read amplification
     // (see the `repro ablate` scan-strategy table).
@@ -110,7 +112,7 @@ pub fn p2kvs_over_leveldb(env: Arc<SimEnv>, dir: &str, workers: usize) -> P2Clie
     o.read_pool_threads = 0;
     let factory = LsmFactory::new(o);
     P2Client {
-        store: P2Kvs::open(factory, dir, P2KvsOptions::with_workers(workers))
+        store: P2Kvs::open(factory, dir, P2KvsOptions::paper_layout(workers))
             .expect("open p2kvs/leveldb"),
     }
 }
@@ -119,7 +121,7 @@ pub fn p2kvs_over_leveldb(env: Arc<SimEnv>, dir: &str, workers: usize) -> P2Clie
 pub fn p2kvs_over_wt(env: Arc<SimEnv>, dir: &str, workers: usize) -> P2Client<wtiger::WtDb> {
     let factory = WtFactory::new(wtiger::WtOptions::new(env));
     P2Client {
-        store: P2Kvs::open(factory, dir, P2KvsOptions::with_workers(workers))
+        store: P2Kvs::open(factory, dir, P2KvsOptions::paper_layout(workers))
             .expect("open p2kvs/wt"),
     }
 }

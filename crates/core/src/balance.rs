@@ -1,0 +1,193 @@
+//! Skew-aware rebalancing policy.
+//!
+//! The balancer closes the gap the paper's static `Hash(key) % N` layout
+//! leaves open: under zipfian skew (YCSB-B, θ=0.99) a handful of shards
+//! carry most of the load, and whichever workers own them saturate while
+//! the rest idle. Because shards outnumber workers (default `4×`), load
+//! can be evened out by **moving shard ownership** — pure queue
+//! redirection, no data movement — which this module decides and
+//! `P2Kvs::rebalance_once` executes via the epoch-fenced handoff.
+//!
+//! The policy is deliberately simple and allocation-light: per tick it
+//! compares the busiest and idlest workers by accumulated per-shard
+//! service time and, when the ratio between them exceeds
+//! [`BalancePolicy::min_ratio`], proposes moving the hottest shard whose
+//! transfer strictly reduces the pair's maximum. Proposals that cannot
+//! help (the busiest worker owns a single shard, or its hottest shard is
+//! larger than the gap) are skipped — oscillation is structurally
+//! impossible because every accepted move lowers `max(busiest, idlest)`.
+
+use crate::shard::ShardMap;
+
+/// Tunables for the rebalancing decision.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancePolicy {
+    /// Trigger threshold: rebalance only when the busiest worker's load
+    /// exceeds `min_ratio ×` the idlest worker's. 1.25 tolerates normal
+    /// jitter; 1.0 chases noise.
+    pub min_ratio: f64,
+    /// Migrations proposed per tick. Handoffs are serialized and cheap
+    /// (no data moves), but each quiesces the submit path once — keep
+    /// this small.
+    pub max_moves: usize,
+}
+
+impl Default for BalancePolicy {
+    fn default() -> Self {
+        BalancePolicy {
+            min_ratio: 1.25,
+            max_moves: 2,
+        }
+    }
+}
+
+/// Plans up to [`BalancePolicy::max_moves`] ownership migrations given
+/// the current map, the worker count, and the per-shard load observed
+/// since the last tick (`load[s]` in any consistent unit — the store
+/// feeds service-time nanoseconds). Returns `(shard, target_worker)`
+/// pairs; later pairs assume earlier ones applied.
+pub(crate) fn plan_moves(
+    map: &ShardMap,
+    workers: usize,
+    load: &[u64],
+    policy: &BalancePolicy,
+) -> Vec<(usize, usize)> {
+    debug_assert_eq!(load.len(), map.shards());
+    let workers = workers.max(1);
+    let mut owner: Vec<usize> = (0..map.shards()).map(|s| map.owner(s)).collect();
+    let mut per_worker = vec![0u64; workers];
+    for (s, o) in owner.iter().enumerate() {
+        per_worker[*o] += load[s];
+    }
+    let mut moves = Vec::new();
+    for _ in 0..policy.max_moves {
+        let busiest = match (0..workers).max_by_key(|w| per_worker[*w]) {
+            Some(w) => w,
+            None => break,
+        };
+        let idlest = match (0..workers).min_by_key(|w| per_worker[*w]) {
+            Some(w) => w,
+            None => break,
+        };
+        if busiest == idlest {
+            break;
+        }
+        let hot = per_worker[busiest] as f64;
+        let cold = per_worker[idlest] as f64;
+        if hot < policy.min_ratio * cold.max(1.0) {
+            break;
+        }
+        // The hottest shard on the busiest worker whose move strictly
+        // reduces max(busiest, idlest): receiving it must leave the
+        // idlest below the busiest's current load.
+        let candidate = owner
+            .iter()
+            .enumerate()
+            .filter(|(s, o)| {
+                **o == busiest
+                    && load[*s] > 0
+                    && per_worker[idlest] + load[*s] < per_worker[busiest]
+            })
+            .max_by_key(|(s, _)| load[*s])
+            .map(|(s, _)| s);
+        let Some(shard) = candidate else { break };
+        owner[shard] = idlest;
+        per_worker[busiest] -= load[shard];
+        per_worker[idlest] += load[shard];
+        moves.push((shard, idlest));
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(shards: usize, workers: usize) -> ShardMap {
+        ShardMap::initial(shards, workers)
+    }
+
+    #[test]
+    fn balanced_load_plans_nothing() {
+        // 8 shards, 2 workers, uniform load.
+        let m = map(8, 2);
+        let load = vec![100u64; 8];
+        assert!(plan_moves(&m, 2, &load, &BalancePolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn skewed_load_moves_the_hot_shard_to_the_idle_worker() {
+        // Worker 0 owns shards {0,2,4,6}; shard 0 is scorching.
+        let m = map(8, 2);
+        let mut load = vec![10u64; 8];
+        load[0] = 1000;
+        load[2] = 400;
+        let moves = plan_moves(
+            &m,
+            2,
+            &load,
+            &BalancePolicy {
+                min_ratio: 1.25,
+                max_moves: 1,
+            },
+        );
+        // Worker 0 carries 1420 vs worker 1's 40; receiving shard 0
+        // leaves worker 1 at 1040 < 1420, so the hottest shard itself
+        // is movable and the greedy policy takes it.
+        assert_eq!(moves, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn movable_hot_shard_goes_to_idlest() {
+        // 4 workers; worker 0 carries two hot shards, everyone else idle.
+        let m = map(8, 4);
+        let mut load = vec![0u64; 8];
+        load[0] = 500; // worker 0
+        load[4] = 450; // worker 0
+        load[1] = 10; // worker 1
+        let moves = plan_moves(&m, 4, &load, &BalancePolicy::default());
+        assert!(!moves.is_empty());
+        let (shard, target) = moves[0];
+        assert!(shard == 0 || shard == 4, "a hot shard moves");
+        assert_ne!(target, 0, "away from the hot worker");
+    }
+
+    #[test]
+    fn single_hot_shard_larger_than_gap_stays_put() {
+        // Worker 0's only loaded shard is so hot that moving it would
+        // just swap which worker saturates — no move.
+        let m = map(2, 2);
+        let load = vec![1000u64, 10];
+        assert!(plan_moves(&m, 2, &load, &BalancePolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn below_threshold_imbalance_is_tolerated() {
+        let m = map(4, 2);
+        // Worker 0: 110, worker 1: 100 — inside the 1.25 dead band.
+        let load = vec![60u64, 50, 50, 50];
+        assert!(plan_moves(&m, 2, &load, &BalancePolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn successive_moves_account_for_earlier_ones() {
+        // Two hot shards on worker 0 and max_moves 2: the second move
+        // must see the first one applied (both must not dogpile onto the
+        // same target blindly).
+        let m = map(8, 4);
+        let mut load = vec![1u64; 8];
+        load[0] = 300;
+        load[4] = 300;
+        let moves = plan_moves(
+            &m,
+            4,
+            &load,
+            &BalancePolicy {
+                min_ratio: 1.1,
+                max_moves: 2,
+            },
+        );
+        assert_eq!(moves.len(), 2);
+        assert_ne!(moves[0].1, moves[1].1, "hot shards spread to different workers");
+    }
+}

@@ -44,8 +44,10 @@ pub struct ScanChunk {
 
 /// An engine-native streaming iterator, pinned to a point-in-time view
 /// for its whole lifetime. Lives in the owning worker's cursor table
-/// between chunks and never crosses threads.
-pub trait NativeCursor {
+/// between chunks; `Send` because shard ownership migration hands parked
+/// cursors to the new owning worker (only one thread drives the cursor
+/// at any time — the handoff is a move, never sharing).
+pub trait NativeCursor: Send {
     /// Pulls at most `limit` entries / `max_bytes` payload bytes.
     fn next_chunk(&mut self, limit: usize, max_bytes: usize) -> Result<ScanChunk>;
 }

@@ -13,6 +13,9 @@ pub enum Error {
     /// The requested operation is unsupported by the engine (e.g. batch
     /// writes on WiredTiger).
     Unsupported(&'static str),
+    /// Invalid store configuration detected at `open` (e.g. a custom
+    /// partitioner whose `partitions()` does not match the shard count).
+    Config(String),
     /// The store has been closed.
     Closed,
 }
@@ -26,6 +29,7 @@ impl fmt::Display for Error {
             Error::Engine(msg) => write!(f, "engine error: {msg}"),
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Closed => write!(f, "store is closed"),
         }
     }
@@ -58,6 +62,7 @@ impl Clone for Error {
             Error::Engine(m) => Error::Engine(m.clone()),
             Error::Io(e) => Error::Engine(format!("io error: {e}")),
             Error::Unsupported(w) => Error::Unsupported(w),
+            Error::Config(m) => Error::Config(m.clone()),
             Error::Closed => Error::Closed,
         }
     }
@@ -76,5 +81,8 @@ mod tests {
         assert!(cloned.to_string().contains("disk"));
         assert_eq!(Error::Closed.to_string(), "store is closed");
         assert!(Error::Unsupported("batch").to_string().contains("batch"));
+        let cfg = Error::Config("partitions mismatch".into());
+        assert!(cfg.to_string().contains("invalid configuration"));
+        assert!(cfg.clone().to_string().contains("partitions mismatch"));
     }
 }

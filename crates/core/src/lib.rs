@@ -5,9 +5,17 @@
 //! instances:
 //!
 //! * **Horizontal (inter-instance) dimension** — the key space is
-//!   hash-partitioned over `N` independent engine instances, each owned by
-//!   one worker thread pinned to a core. Per-instance WAL/MemTable/LSM-tree
-//!   removes all contention on shared engine structures (§4.1–4.2).
+//!   hash-partitioned over `S` independent engine instances (**virtual
+//!   shards**, default `4×` the worker count), each with its own
+//!   WAL/MemTable/LSM-tree, removing all contention on shared engine
+//!   structures (§4.1–4.2). A versioned, epoch-stamped shard map
+//!   ([`shard::ShardMap`]) assigns shards to `N` worker threads pinned
+//!   to cores; an optional skew-aware balancer ([`balance`]) migrates
+//!   shard *ownership* between workers — pure queue redirection through
+//!   an epoch-fenced handoff, never data movement — so zipfian hot
+//!   spots stop saturating one worker while others idle. With
+//!   `shards == workers` the map is the identity and the paper's static
+//!   layout is reproduced exactly.
 //! * **Vertical (intra-instance) dimension** — an accessing layer separates
 //!   user threads from workers: user threads enqueue requests onto a
 //!   bounded **lock-free MPSC ring** (pooled completion slots, spin-then-
@@ -51,21 +59,23 @@
 //! assert_eq!(store.get(b"hello").unwrap().unwrap(), b"world");
 //! ```
 
+pub mod balance;
 pub mod engine;
 pub mod error;
 pub mod queue;
-pub mod router;
 pub mod scan;
+pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod txn;
 pub mod types;
 pub mod worker;
 
+pub use balance::BalancePolicy;
 pub use engine::{Capabilities, EngineFactory, KvsEngine};
 pub use error::{Error, Result};
-pub use router::{HashPartitioner, Partitioner, RangePartitioner};
 pub use scan::StoreIter;
+pub use shard::{HashPartitioner, Partitioner, RangePartitioner, ShardMap};
 pub use store::{P2Kvs, P2KvsOptions, ScanStrategy};
 pub use types::{Op, Response, WriteOp};
 

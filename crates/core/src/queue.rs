@@ -452,8 +452,11 @@ impl RequestQueue {
 
     /// Blocks for the next request, then drains consecutive same-class
     /// requests into `batch` up to `max` total (Algorithm 1), reusing
-    /// `batch`'s allocation. Returns `false` when the queue is closed and
-    /// fully drained ( `batch` is left empty).
+    /// `batch`'s allocation. The run may interleave shards — the worker
+    /// splits it into per-shard engine calls after dequeue, so stopping
+    /// at a shard boundary here would only shrink merge windows for
+    /// workers owning several shards. Returns `false` when the queue is
+    /// closed and fully drained (`batch` is left empty).
     pub fn pop_batch_into(&self, max: usize, batch: &mut Vec<Request>) -> bool {
         batch.clear();
         let _guard = self.consumer_guard();
@@ -465,7 +468,8 @@ impl RequestQueue {
         batch.push(first);
         if class != OpClass::Solo {
             while batch.len() < max {
-                let next_same = matches!(self.ring.peek(|r| r.op.class() == class), Some(true));
+                let next_same =
+                    matches!(self.ring.peek(|r| r.op.class() == class), Some(true));
                 if !next_same {
                     break;
                 }
@@ -776,6 +780,24 @@ mod tests {
         assert!(matches!(b2[0].op, Op::Get { .. }));
         let b3 = q.pop_batch(32).unwrap();
         assert_eq!(b3.len(), 1);
+    }
+
+    #[test]
+    fn shard_boundary_does_not_break_the_run() {
+        // Same class, mixed shards: the run dequeues whole (the worker
+        // regroups it per shard after the pop), preserving the relative
+        // order inside each shard.
+        let q = RequestQueue::new();
+        q.push(put("1").on_shard(3)).ok().unwrap();
+        q.push(put("2").on_shard(3)).ok().unwrap();
+        q.push(put("3").on_shard(7)).ok().unwrap();
+        let b1 = q.pop_batch(32).unwrap();
+        assert_eq!(b1.len(), 3, "one same-class run, shards interleaved");
+        assert_eq!(
+            b1.iter().map(|r| r.shard).collect::<Vec<_>>(),
+            vec![3, 3, 7],
+            "FIFO order survives the pop"
+        );
     }
 
     #[test]

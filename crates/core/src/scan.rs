@@ -1,12 +1,17 @@
-//! Lazy K-way merge cursor over per-instance scan streams.
+//! Lazy K-way merge cursor over per-shard scan streams.
 //!
 //! [`StoreIter`] is the store-level half of the streaming scan subsystem
-//! (§4.4): it opens one engine cursor per worker (`Op::ScanOpen`), then
-//! merges the per-instance streams on demand. Partitions are disjoint,
+//! (§4.4): it opens one engine cursor per **shard** (`Op::ScanOpen`),
+//! then merges the per-shard streams on demand. Partitions are disjoint,
 //! so picking the smallest buffered head key yields the globally sorted
-//! order exactly — no heap is needed for the paper's `N ≤ 8` instances;
-//! a linear min scan over at most `N` heads is cheaper than maintaining
+//! order exactly — no heap is needed for the default `S ≤ 32` shards; a
+//! linear min scan over at most `S` heads is cheaper than maintaining
 //! one.
+//!
+//! Every request is routed through the live [`MapCell`], so an iterator
+//! keeps working across shard migrations: a chunk request that races a
+//! handoff is stashed by the incoming owner and served once the shard's
+//! cursor table (this stream's parked cursor included) is installed.
 //!
 //! The merge is *lazy* in both directions:
 //!
@@ -29,14 +34,16 @@
 use std::collections::VecDeque;
 
 use crate::error::{Error, Result};
+use crate::shard::MapCell;
 use crate::types::{Op, Request, Response};
 use crate::worker::WorkerHandle;
 
-/// One per-instance scan stream: the worker it lives on, the parked
-/// cursor id (if the stream is not exhausted), and locally buffered
-/// entries not yet consumed by the merge.
+/// One per-shard scan stream: the shard it reads, the parked cursor id
+/// (if the stream is not exhausted), and locally buffered entries not
+/// yet consumed by the merge. The worker serving the stream is resolved
+/// per request from the shard map — it changes under migration.
 struct Stream {
-    worker: usize,
+    shard: usize,
     cursor: Option<u64>,
     buf: VecDeque<(Vec<u8>, Vec<u8>)>,
 }
@@ -55,6 +62,7 @@ struct Stream {
 /// [`P2Kvs::iter_range`]: crate::store::P2Kvs::iter_range
 pub struct StoreIter<'a> {
     workers: &'a [WorkerHandle],
+    map: &'a MapCell,
     streams: Vec<Stream>,
     chunk_entries: usize,
     chunk_bytes: usize,
@@ -62,34 +70,41 @@ pub struct StoreIter<'a> {
 }
 
 impl<'a> StoreIter<'a> {
-    /// Fans `ScanOpen` out to every worker and assembles the merge
-    /// state. `first_limit` is the per-instance quota for the opening
-    /// chunk (the scan-strategy knob); refills use `chunk_entries`.
+    /// Fans `ScanOpen` out to every shard's owning worker and assembles
+    /// the merge state. `first_limit` is the per-shard quota for the
+    /// opening chunk (the scan-strategy knob); refills use
+    /// `chunk_entries`.
     pub(crate) fn open(
         workers: &'a [WorkerHandle],
+        map: &'a MapCell,
+        shards: usize,
         start: &[u8],
         end: Option<&[u8]>,
         first_limit: usize,
         chunk_entries: usize,
         chunk_bytes: usize,
     ) -> Result<StoreIter<'a>> {
-        let mut completions = Vec::with_capacity(workers.len());
+        let mut completions = Vec::with_capacity(shards);
         let mut push_err = None;
-        for (w, handle) in workers.iter().enumerate() {
+        // Pin once for the whole fan-out: the epoch fence then orders
+        // every open against any concurrent migration.
+        let pin = map.pin();
+        for shard in 0..shards {
             let (req, done) = Request::sync(Op::ScanOpen {
                 start: start.to_vec(),
                 end: end.map(|e| e.to_vec()),
                 limit: first_limit.max(1),
                 max_bytes: chunk_bytes,
             });
-            match handle.queue.push(req) {
-                Ok(()) => completions.push((w, done)),
+            match workers[pin.owner(shard)].queue.push(req.on_shard(shard as u64)) {
+                Ok(()) => completions.push((shard, done)),
                 Err(_) => {
                     push_err = Some(Error::Closed);
                     break;
                 }
             }
         }
+        drop(pin);
         // A mid-loop push failure must not abandon the completions that
         // were already enqueued: their pooled slots are still in flight
         // and a fulfilled-but-never-awaited slot would be recycled in a
@@ -97,27 +112,27 @@ impl<'a> StoreIter<'a> {
         // cursor that still came back — before reporting the error.
         if let Some(e) = push_err {
             let mut streams = Vec::new();
-            for (w, done) in completions {
+            for (shard, done) in completions {
                 if let Ok(Response::Chunk {
                     cursor: Some(id), ..
                 }) = done.wait()
                 {
                     streams.push(Stream {
-                        worker: w,
+                        shard,
                         cursor: Some(id),
                         buf: VecDeque::new(),
                     });
                 }
             }
-            close_streams(workers, &mut streams);
+            close_streams(workers, map, &mut streams);
             return Err(e);
         }
         let mut streams = Vec::with_capacity(completions.len());
         let mut first_err: Option<Error> = None;
-        for (w, done) in completions {
+        for (shard, done) in completions {
             match done.wait() {
                 Ok(Response::Chunk { entries, cursor }) => streams.push(Stream {
-                    worker: w,
+                    shard,
                     cursor,
                     buf: entries.into(),
                 }),
@@ -131,11 +146,12 @@ impl<'a> StoreIter<'a> {
             }
         }
         if let Some(e) = first_err {
-            close_streams(workers, &mut streams);
+            close_streams(workers, map, &mut streams);
             return Err(e);
         }
         Ok(StoreIter {
             workers,
+            map,
             streams,
             chunk_entries: chunk_entries.max(1),
             chunk_bytes: chunk_bytes.max(1),
@@ -157,7 +173,14 @@ impl<'a> StoreIter<'a> {
                 max_bytes: self.chunk_bytes,
             });
             let stream = &mut self.streams[i];
-            if self.workers[stream.worker].queue.push(req).is_err() {
+            // Resolve the owner per request: the cursor follows its
+            // shard across migrations.
+            let owner = self.map.owner(stream.shard);
+            if self.workers[owner]
+                .queue
+                .push(req.on_shard(stream.shard as u64))
+                .is_err()
+            {
                 // Queue closed: the worker is gone and its cursor table
                 // with it — nothing left to close.
                 stream.cursor = None;
@@ -237,7 +260,7 @@ impl<'a> StoreIter<'a> {
     /// Marks the iterator failed and releases every parked cursor.
     fn poison(&mut self) {
         self.poisoned = true;
-        close_streams(self.workers, &mut self.streams);
+        close_streams(self.workers, self.map, &mut self.streams);
     }
 }
 
@@ -245,11 +268,12 @@ impl<'a> StoreIter<'a> {
 /// cursor. Uses an asynchronous request so neither `Drop` nor an error
 /// path blocks on the worker; a closed queue means the worker (and its
 /// cursor table) is already gone.
-fn close_streams(workers: &[WorkerHandle], streams: &mut [Stream]) {
+fn close_streams(workers: &[WorkerHandle], map: &MapCell, streams: &mut [Stream]) {
     for s in streams {
         if let Some(id) = s.cursor.take() {
-            let req = Request::asynchronous(Op::ScanClose { cursor: id }, Box::new(|_| {}));
-            let _ = workers[s.worker].queue.push(req);
+            let req = Request::asynchronous(Op::ScanClose { cursor: id }, Box::new(|_| {}))
+                .on_shard(s.shard as u64);
+            let _ = workers[map.owner(s.shard)].queue.push(req);
         }
     }
 }
@@ -272,6 +296,6 @@ impl Iterator for StoreIter<'_> {
 
 impl Drop for StoreIter<'_> {
     fn drop(&mut self) {
-        close_streams(self.workers, &mut self.streams);
+        close_streams(self.workers, self.map, &mut self.streams);
     }
 }

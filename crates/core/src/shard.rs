@@ -1,0 +1,549 @@
+//! Two-level shard routing: `key → shard → worker` (the generalization
+//! of §4.2's balanced request allocation).
+//!
+//! The paper routes `Hash(key) % N` straight onto `N` worker-owned
+//! instances, hard-wiring the partition count to the worker count. This
+//! module splits that coupling in two:
+//!
+//! * A [`Partitioner`] maps keys onto `S` **virtual shards** — engine
+//!   instances with their own WAL/MemTable, exactly like the paper's
+//!   instances, just more of them than workers (default `4×`).
+//! * A versioned [`ShardMap`] maps shards onto workers. The map is an
+//!   immutable, epoch-stamped snapshot behind a [`MapCell`]; the submit
+//!   path pays one extra indirection (`shard → worker`) and an
+//!   uncontended read-lock/Arc-clone pair, and the balancer republishes
+//!   a whole new map on every ownership migration.
+//!
+//! The epoch fence: a submitter *pins* the map (clones the `Arc`) for
+//! exactly the duration of its queue pushes. After publishing a new
+//! map, the migrator waits for the displaced map's pin count to drain
+//! ([`MapCell::quiesce`]) — from then on it is impossible for a request
+//! routed under the old epoch to still be in flight toward a queue, so
+//! a handoff marker pushed *after* quiescence is provably behind every
+//! old-epoch request in the source worker's FIFO ring. That ordering is
+//! what preserves per-key issue order across a migration (DESIGN.md §9);
+//! the worker-side re-route path exists as a defensive backstop, not as
+//! the fence.
+//!
+//! With `shards == workers` the initial map is the identity and the
+//! whole machinery reduces to the paper's static layout.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use p2kvs_util::hash::fnv1a64;
+
+use crate::error::{Error, Result};
+use crate::worker::ScanTable;
+
+/// Maps keys to shard indices.
+///
+/// `partitions()` must equal the store's shard count; [`crate::P2Kvs`]
+/// validates this at open and rejects mismatched partitioners instead
+/// of indexing out of bounds at the first submit.
+pub trait Partitioner: Send + Sync + 'static {
+    /// The shard owning `key`.
+    fn shard_of(&self, key: &[u8]) -> usize;
+
+    /// Number of shards this partitioner spreads keys over.
+    fn partitions(&self) -> usize;
+}
+
+/// The paper's default: `Hash(key) % S`. Load-balanced (even under
+/// zipfian skew, hot keys spread across partitions), zero metadata, and no
+/// read amplification because partitions never overlap.
+pub struct HashPartitioner {
+    n: usize,
+}
+
+impl HashPartitioner {
+    /// Creates a partitioner over `n` shards.
+    pub fn new(n: usize) -> HashPartitioner {
+        HashPartitioner { n: n.max(1) }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn shard_of(&self, key: &[u8]) -> usize {
+        (fnv1a64(key) % self.n as u64) as usize
+    }
+
+    fn partitions(&self) -> usize {
+        self.n
+    }
+}
+
+/// Alternative partitioning by sorted key ranges (mentioned in §4.2 as a
+/// configurable strategy for workloads whose access pattern matches known
+/// ranges). `boundaries` are the split points: shard `i` owns keys in
+/// `[boundaries[i-1], boundaries[i])`.
+pub struct RangePartitioner {
+    boundaries: Vec<Vec<u8>>,
+}
+
+impl RangePartitioner {
+    /// Creates a partitioner with the given split points (sorted, then
+    /// deduplicated: a repeated boundary would describe an empty,
+    /// unreachable partition and inflate `partitions()` past what
+    /// `shard_of` can ever return).
+    pub fn new(mut boundaries: Vec<Vec<u8>>) -> RangePartitioner {
+        boundaries.sort();
+        boundaries.dedup();
+        RangePartitioner { boundaries }
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn shard_of(&self, key: &[u8]) -> usize {
+        self.boundaries.partition_point(|b| b.as_slice() <= key)
+    }
+
+    fn partitions(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// The versioned shard → worker map
+// ---------------------------------------------------------------------
+
+/// One immutable, epoch-stamped `shard → worker` assignment. Never
+/// mutated in place: migrations build a successor with
+/// [`ShardMap::with_owner`] and publish it through the [`MapCell`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    epoch: u64,
+    owner: Vec<u32>,
+}
+
+impl ShardMap {
+    /// The initial round-robin assignment: shard `i` belongs to worker
+    /// `i % workers`. With `shards == workers` this is the identity map
+    /// (the paper's static layout).
+    pub fn initial(shards: usize, workers: usize) -> ShardMap {
+        let workers = workers.max(1) as u32;
+        ShardMap {
+            epoch: 1,
+            owner: (0..shards.max(1) as u32).map(|s| s % workers).collect(),
+        }
+    }
+
+    /// The map's version. Strictly increasing across publishes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The worker owning `shard`.
+    pub fn owner(&self, shard: usize) -> usize {
+        self.owner[shard] as usize
+    }
+
+    /// A successor map (epoch + 1) with `shard` reassigned to `worker`.
+    pub fn with_owner(&self, shard: usize, worker: usize) -> ShardMap {
+        let mut owner = self.owner.clone();
+        owner[shard] = worker as u32;
+        ShardMap {
+            epoch: self.epoch + 1,
+            owner,
+        }
+    }
+
+    /// The shards currently assigned to `worker`.
+    pub fn shards_of(&self, worker: usize) -> Vec<usize> {
+        (0..self.owner.len())
+            .filter(|s| self.owner[*s] as usize == worker)
+            .collect()
+    }
+}
+
+/// The cell the submit path reads the current [`ShardMap`] from.
+///
+/// Readers [`pin`](MapCell::pin) the map — an uncontended read-lock plus
+/// one `Arc` clone — and hold the pin only across their queue pushes.
+/// The pin count doubles as the epoch fence: after
+/// [`publish`](MapCell::publish), [`quiesce`](MapCell::quiesce) waits for
+/// every pin of the displaced map to drop, which proves no push routed
+/// under the old epoch is still in flight. Pins must not be cloned or
+/// parked long-term, or migrations stall (they never deadlock: workers
+/// keep draining regardless).
+pub struct MapCell {
+    current: RwLock<Arc<ShardMap>>,
+}
+
+impl MapCell {
+    /// Wraps the initial map.
+    pub fn new(map: ShardMap) -> MapCell {
+        MapCell {
+            current: RwLock::new(Arc::new(map)),
+        }
+    }
+
+    /// Pins the current map: routing decisions made against the returned
+    /// snapshot stay fenced until it is dropped.
+    pub fn pin(&self) -> Arc<ShardMap> {
+        self.current.read().clone()
+    }
+
+    /// The current owner of `shard`, without retaining a pin. Use only
+    /// where a stale answer is acceptable (re-route, metrics).
+    pub fn owner(&self, shard: usize) -> usize {
+        self.current.read().owner(shard)
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch()
+    }
+
+    /// Atomically replaces the map, returning the displaced version for
+    /// [`MapCell::quiesce`].
+    pub fn publish(&self, next: Arc<ShardMap>) -> Arc<ShardMap> {
+        std::mem::replace(&mut *self.current.write(), next)
+    }
+
+    /// Blocks until every outstanding pin of `old` has dropped. On
+    /// return, every request routed under `old`'s epoch has finished its
+    /// queue push — the fence a handoff marker relies on.
+    pub fn quiesce(old: Arc<ShardMap>) {
+        // The count can only fall: the cell no longer hands out clones of
+        // `old`, and pins are never cloned. Yield rather than spin — on a
+        // uniprocessor the pinning thread needs the core to finish its
+        // push.
+        let mut rounds = 0u32;
+        while Arc::strong_count(&old) > 1 {
+            rounds += 1;
+            if rounds < 64 {
+                std::thread::yield_now();
+            } else {
+                // A pinner blocked in a full-queue push can hold its pin
+                // for a while; nap instead of burning the core it needs.
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-shard service gauges
+// ---------------------------------------------------------------------
+
+/// Counters one shard's executing worker publishes and the balancer
+/// consumes. Lives for the store's lifetime; follows the shard across
+/// migrations (the counters are cumulative, owner is a gauge).
+#[derive(Default)]
+pub struct ShardStats {
+    /// Requests executed against this shard.
+    pub ops: AtomicU64,
+    /// Nanoseconds of worker service time spent on this shard.
+    pub busy_ns: AtomicU64,
+    /// The worker currently owning the shard.
+    pub owner: AtomicUsize,
+}
+
+impl ShardStats {
+    /// Records one executed batch.
+    pub fn record(&self, ops: u64, busy: Duration) {
+        self.ops.fetch_add(ops, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add(busy.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handoff depot
+// ---------------------------------------------------------------------
+
+/// Worker-local state that travels with a shard during a handoff: the
+/// parked streaming-scan cursors. The engine handle itself never moves —
+/// every worker can reach every engine through the shared directory;
+/// ownership is only the *right* to execute against it.
+pub(crate) struct Parcel {
+    pub scans: ScanTable,
+}
+
+/// Phases of one in-flight handoff, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandoffPhase {
+    /// Map published, fence draining; the source has not yet packaged.
+    Fencing,
+    /// The source deposited the parcel and signalled the target.
+    Deposited,
+}
+
+#[derive(Default)]
+struct DepotInner {
+    parcels: HashMap<u64, Parcel>,
+    phases: HashMap<u64, HandoffPhase>,
+    /// Handoffs that ended without an install (target queue closed).
+    aborted: u64,
+    /// Completed installs.
+    installed: u64,
+}
+
+/// Side-channel for shard handoffs. The *ordering* of a handoff rides
+/// the worker queues (the `HandoffOut` / `ShardInstall` markers); the
+/// depot only ferries the non-clonable parcel between the two worker
+/// threads and lets the migrator await settlement.
+pub(crate) struct HandoffDepot {
+    inner: Mutex<DepotInner>,
+    cv: Condvar,
+}
+
+impl HandoffDepot {
+    pub fn new() -> HandoffDepot {
+        HandoffDepot {
+            inner: Mutex::new(DepotInner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Marks a handoff of `shard` as started. Errors if one is already in
+    /// flight (the migrator serializes, so this is a logic guard).
+    pub fn begin(&self, shard: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.phases.contains_key(&shard) {
+            return Err(Error::Engine(format!(
+                "shard {shard} already has a handoff in flight"
+            )));
+        }
+        inner.phases.insert(shard, HandoffPhase::Fencing);
+        Ok(())
+    }
+
+    /// Source side: parks the parcel for the target to collect.
+    pub fn deposit(&self, shard: u64, parcel: Parcel) {
+        let mut inner = self.inner.lock();
+        inner.parcels.insert(shard, parcel);
+        inner.phases.insert(shard, HandoffPhase::Deposited);
+    }
+
+    /// Target side: collects the parcel (if the source deposited one).
+    pub fn take(&self, shard: u64) -> Option<Parcel> {
+        self.inner.lock().parcels.remove(&shard)
+    }
+
+    /// Target side: the shard is installed; wake the migrator.
+    pub fn complete(&self, shard: u64) {
+        let mut inner = self.inner.lock();
+        inner.phases.remove(&shard);
+        inner.installed += 1;
+        self.cv.notify_all();
+    }
+
+    /// Ends a handoff without an install (target queue closed during
+    /// shutdown). Drops the parcel, releasing any parked cursors.
+    pub fn abort(&self, shard: u64) {
+        let mut inner = self.inner.lock();
+        inner.parcels.remove(&shard);
+        if inner.phases.remove(&shard).is_some() {
+            inner.aborted += 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Migrator side: blocks until the handoff of `shard` settles
+    /// (installed or aborted). Returns `false` on timeout.
+    pub fn wait_settled(&self, shard: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        while inner.phases.contains_key(&shard) {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cv.wait_for(&mut inner, deadline - now);
+        }
+        true
+    }
+
+    /// Completed installs so far (the migration counter).
+    pub fn installed(&self) -> u64 {
+        self.inner.lock().installed
+    }
+
+    /// Handoffs that ended without an install.
+    pub fn aborted(&self) -> u64 {
+        self.inner.lock().aborted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_stable_and_in_range() {
+        let p = HashPartitioner::new(8);
+        assert_eq!(p.partitions(), 8);
+        for i in 0..1000 {
+            let key = format!("user{i}");
+            let s = p.shard_of(key.as_bytes());
+            assert!(s < 8);
+            assert_eq!(s, p.shard_of(key.as_bytes()), "routing must be stable");
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_balances_dense_keys() {
+        let p = HashPartitioner::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..80_000u64 {
+            counts[p.shard_of(format!("user{i:016}").as_bytes())] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min < min / 5, "imbalance: {counts:?}");
+    }
+
+    #[test]
+    fn hash_partitioner_balances_zipfian_hot_keys() {
+        // Even when requests are highly skewed toward a few keys, distinct
+        // hot keys spread across partitions (§4.2's claim).
+        let p = HashPartitioner::new(4);
+        let hot: Vec<usize> = (0..64)
+            .map(|i| p.shard_of(format!("hot{i}").as_bytes()))
+            .collect();
+        for s in 0..4 {
+            assert!(hot.contains(&s), "shard {s} got no hot keys");
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let p = HashPartitioner::new(0);
+        assert_eq!(p.partitions(), 1);
+        assert_eq!(p.shard_of(b"k"), 0);
+    }
+
+    #[test]
+    fn range_partitioner_routes_by_boundaries() {
+        let p = RangePartitioner::new(vec![b"g".to_vec(), b"p".to_vec()]);
+        assert_eq!(p.partitions(), 3);
+        assert_eq!(p.shard_of(b"apple"), 0);
+        assert_eq!(p.shard_of(b"g"), 1, "boundary belongs to the right");
+        assert_eq!(p.shard_of(b"monkey"), 1);
+        assert_eq!(p.shard_of(b"zebra"), 2);
+    }
+
+    #[test]
+    fn range_partitioner_sorts_boundaries() {
+        let p = RangePartitioner::new(vec![b"p".to_vec(), b"g".to_vec()]);
+        assert_eq!(p.shard_of(b"h"), 1);
+    }
+
+    #[test]
+    fn range_partitioner_dedups_duplicate_boundaries() {
+        // Regression: duplicate split points used to survive into the
+        // boundary list, creating empty partitions `[b, b)` that no key
+        // can route to while `partitions()` counted them — a mismatch
+        // that open-time validation would then reject for no user error.
+        let p = RangePartitioner::new(vec![
+            b"g".to_vec(),
+            b"g".to_vec(),
+            b"p".to_vec(),
+            b"g".to_vec(),
+        ]);
+        assert_eq!(p.partitions(), 3, "duplicates collapse");
+        let mut seen = std::collections::HashSet::new();
+        for key in [&b"a"[..], b"g", b"h", b"p", b"z"] {
+            seen.insert(p.shard_of(key));
+        }
+        assert_eq!(seen.len(), 3, "every partition is reachable");
+    }
+
+    #[test]
+    fn initial_map_is_round_robin_and_identity_when_square() {
+        let m = ShardMap::initial(8, 2);
+        assert_eq!(m.shards(), 8);
+        assert_eq!(m.epoch(), 1);
+        for s in 0..8 {
+            assert_eq!(m.owner(s), s % 2);
+        }
+        assert_eq!(m.shards_of(0), vec![0, 2, 4, 6]);
+        let id = ShardMap::initial(4, 4);
+        for s in 0..4 {
+            assert_eq!(id.owner(s), s, "shards == workers is the paper's layout");
+        }
+    }
+
+    #[test]
+    fn with_owner_bumps_epoch_and_keeps_the_rest() {
+        let m = ShardMap::initial(4, 2);
+        let n = m.with_owner(3, 0);
+        assert_eq!(n.epoch(), m.epoch() + 1);
+        assert_eq!(n.owner(3), 0);
+        for s in 0..3 {
+            assert_eq!(n.owner(s), m.owner(s));
+        }
+    }
+
+    #[test]
+    fn map_cell_publish_and_quiesce() {
+        let cell = MapCell::new(ShardMap::initial(4, 2));
+        let pin = cell.pin();
+        assert_eq!(pin.epoch(), 1);
+        let displaced = cell.publish(Arc::new(pin.with_owner(0, 1)));
+        assert_eq!(cell.epoch(), 2);
+        assert_eq!(cell.owner(0), 1);
+        // quiesce must block while `pin` is live; release it from a
+        // helper thread and verify quiesce returns.
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let g = gate.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            g.store(true, Ordering::SeqCst);
+            drop(pin);
+        });
+        MapCell::quiesce(displaced);
+        assert!(gate.load(Ordering::SeqCst), "quiesce returned before the pin dropped");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn depot_roundtrip_and_settlement() {
+        let depot = HandoffDepot::new();
+        depot.begin(3).unwrap();
+        assert!(depot.begin(3).is_err(), "double handoff rejected");
+        depot.deposit(3, Parcel { scans: ScanTable::default() });
+        assert!(depot.take(3).is_some());
+        assert!(depot.take(3).is_none(), "parcel collected once");
+        let waiter = {
+            let depot = Arc::new(depot);
+            let d = depot.clone();
+            let h = std::thread::spawn(move || d.wait_settled(3, Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(10));
+            depot.complete(3);
+            assert_eq!(depot.installed(), 1);
+            h
+        };
+        assert!(waiter.join().unwrap(), "settled, not timed out");
+    }
+
+    #[test]
+    fn depot_abort_releases_waiters() {
+        let depot = Arc::new(HandoffDepot::new());
+        depot.begin(1).unwrap();
+        let d = depot.clone();
+        let h = std::thread::spawn(move || d.wait_settled(1, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        depot.abort(1);
+        assert!(h.join().unwrap());
+        assert_eq!(depot.aborted(), 1);
+        assert_eq!(depot.installed(), 0);
+    }
+
+    #[test]
+    fn depot_wait_times_out() {
+        let depot = HandoffDepot::new();
+        depot.begin(9).unwrap();
+        assert!(!depot.wait_settled(9, Duration::from_millis(30)));
+    }
+}

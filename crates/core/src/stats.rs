@@ -19,10 +19,34 @@ pub struct WorkerSnapshot {
     pub scan_resumes: u64,
     /// Cursors currently parked on the worker.
     pub active_scans: u64,
+    /// Shards this worker currently owns.
+    pub shards_owned: u64,
+    /// Shards handed away (this worker was a migration source).
+    pub handoffs_out: u64,
+    /// Shards installed (this worker was a migration target).
+    pub handoffs_in: u64,
+    /// Requests held for a shard whose install marker had not yet
+    /// arrived, then replayed at install.
+    pub stashed: u64,
+    /// Stale-epoch requests forwarded to the current owner (should stay
+    /// zero unless an external caller parks a map pin across a
+    /// migration).
+    pub rerouted: u64,
     /// Useful processing time.
     pub busy: Duration,
     /// Current queue depth.
     pub queue_depth: usize,
+}
+
+/// Snapshot of one shard's cumulative load and current placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Requests executed against this shard.
+    pub ops: u64,
+    /// Worker service time spent on this shard.
+    pub busy: Duration,
+    /// The worker currently owning the shard.
+    pub owner: usize,
 }
 
 /// Snapshot of the whole store.
@@ -30,6 +54,10 @@ pub struct WorkerSnapshot {
 pub struct StoreSnapshot {
     /// Per-worker counters.
     pub workers: Vec<WorkerSnapshot>,
+    /// Per-shard load and ownership.
+    pub shards: Vec<ShardSnapshot>,
+    /// Completed shard-ownership migrations since open.
+    pub migrations: u64,
     /// Wall time since open.
     pub uptime: Duration,
     /// Approximate resident memory across engines.
@@ -72,38 +100,80 @@ impl StoreSnapshot {
             .map(|w| (w.busy.as_secs_f64() / wall).min(1.0))
             .collect()
     }
+
+    /// Busiest-to-idlest worker ratio by busy time — the skew gauge the
+    /// rebalancing benchmark reports. 1.0 is perfectly even; large
+    /// values mean some workers saturate while others idle. Workers
+    /// with (near-)zero busy time clamp to the measurement floor so an
+    /// idle store reports 1.0, not infinity.
+    pub fn busy_spread(&self) -> f64 {
+        let floor = 1e-6;
+        let busy: Vec<f64> = self
+            .workers
+            .iter()
+            .map(|w| w.busy.as_secs_f64().max(floor))
+            .collect();
+        match (
+            busy.iter().cloned().reduce(f64::max),
+            busy.iter().cloned().reduce(f64::min),
+        ) {
+            (Some(max), Some(min)) => max / min,
+            _ => 1.0,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn worker(ops: u64, batches: u64, merged_ops: u64, busy: Duration) -> WorkerSnapshot {
+        WorkerSnapshot {
+            ops,
+            batches,
+            merged_ops,
+            scans: 0,
+            scan_chunks: 0,
+            scan_resumes: 0,
+            active_scans: 0,
+            shards_owned: 1,
+            handoffs_out: 0,
+            handoffs_in: 0,
+            stashed: 0,
+            rerouted: 0,
+            busy,
+            queue_depth: 0,
+        }
+    }
+
     fn snap() -> StoreSnapshot {
         StoreSnapshot {
             workers: vec![
                 WorkerSnapshot {
-                    ops: 100,
-                    batches: 25,
-                    merged_ops: 80,
                     scans: 2,
                     scan_chunks: 6,
                     scan_resumes: 4,
                     active_scans: 1,
-                    busy: Duration::from_millis(500),
-                    queue_depth: 0,
+                    ..worker(100, 25, 80, Duration::from_millis(500))
                 },
                 WorkerSnapshot {
-                    ops: 60,
-                    batches: 15,
-                    merged_ops: 40,
-                    scans: 0,
-                    scan_chunks: 0,
-                    scan_resumes: 0,
-                    active_scans: 0,
-                    busy: Duration::from_millis(250),
                     queue_depth: 3,
+                    ..worker(60, 15, 40, Duration::from_millis(250))
                 },
             ],
+            shards: vec![
+                ShardSnapshot {
+                    ops: 100,
+                    busy: Duration::from_millis(500),
+                    owner: 0,
+                },
+                ShardSnapshot {
+                    ops: 60,
+                    busy: Duration::from_millis(250),
+                    owner: 1,
+                },
+            ],
+            migrations: 0,
             uptime: Duration::from_secs(1),
             mem_usage: 1024,
         }
@@ -121,14 +191,23 @@ mod tests {
     }
 
     #[test]
+    fn busy_spread_is_max_over_min() {
+        let s = snap();
+        assert!((s.busy_spread() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_snapshot_is_zero() {
         let s = StoreSnapshot {
             workers: vec![],
+            shards: vec![],
+            migrations: 0,
             uptime: Duration::from_secs(1),
             mem_usage: 0,
         };
         assert_eq!(s.total_ops(), 0);
         assert_eq!(s.avg_batch_size(), 0.0);
         assert_eq!(s.merge_ratio(), 0.0);
+        assert_eq!(s.busy_spread(), 1.0);
     }
 }

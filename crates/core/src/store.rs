@@ -1,6 +1,16 @@
-//! The p2KVS store: accessing layer + workers + transactions.
+//! The p2KVS store: accessing layer + shard map + workers + transactions.
+//!
+//! Since the two-level refactor (DESIGN.md §9) the store opens `S`
+//! virtual shards — engine instances with their own WAL/MemTable —
+//! behind `N` workers. Keys route `key → shard` through the
+//! [`Partitioner`] and `shard → worker` through the live, epoch-stamped
+//! [`crate::shard::ShardMap`]; the optional background balancer migrates
+//! shard *ownership* (queue redirection, never data) when per-shard load
+//! skews. `shards == workers` with the balancer off reproduces the
+//! paper's static one-instance-per-worker layout exactly.
 
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -8,40 +18,63 @@ use p2kvs_obs::{
     labeled, MetricsRegistry, MetricsSnapshot, PeriodicTask, TraceEvent, TraceRing, WorkerLifecycle,
 };
 
+use crate::balance::{plan_moves, BalancePolicy};
 use crate::engine::{EngineFactory, GsnFilter, KvsEngine};
 use crate::error::{Error, Result};
-use crate::router::{HashPartitioner, Partitioner};
 use crate::scan::StoreIter;
-use crate::stats::{StoreSnapshot, WorkerSnapshot};
+use crate::shard::{HashPartitioner, MapCell, Partitioner, ShardMap};
+use crate::stats::{ShardSnapshot, StoreSnapshot, WorkerSnapshot};
 use crate::txn::TxnManager;
 use crate::types::{Op, Request, Response, WriteOp};
-use crate::worker::{WorkerHandle, WorkerStats};
+use crate::worker::{ShardRuntime, WorkerHandle, WorkerStats};
 
-/// How SCAN sizes the opening per-instance quota (§4.4).
+/// How SCAN sizes the opening per-shard quota (§4.4).
 ///
 /// Both strategies now run over the same streaming cursor machinery
 /// ([`crate::scan::StoreIter`]) and are therefore always exact: the
-/// strategy only decides how much each instance is asked for in the
+/// strategy only decides how much each shard is asked for in the
 /// *first* chunk, trading read amplification (`ParallelFull` reads up to
-/// `N×` the requested entries up front) against extra cursor round trips
-/// (`Adaptive` starts near `count / N` and pulls more chunks only from
-/// the instances that still contribute).
+/// `S×` the requested entries up front) against extra cursor round trips
+/// (`Adaptive` starts near `count / S` and pulls more chunks only from
+/// the shards that still contribute).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanStrategy {
-    /// Ask every instance for the full scan size in the opening chunk —
+    /// Ask every shard for the full scan size in the opening chunk —
     /// the paper's default parallelizing approach.
     ParallelFull,
-    /// Ask each instance for `count / N` plus a margin, refilling lazily
+    /// Ask each shard for `count / S` plus a margin, refilling lazily
     /// — the ablation variant trading round trips for read
     /// amplification.
     Adaptive,
 }
 
+/// How long a migration waits for the handoff markers to settle before
+/// reporting failure (they ride ordinary worker queues, so this only
+/// fires if a worker is wedged).
+const HANDOFF_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Framework configuration.
 #[derive(Clone)]
 pub struct P2KvsOptions {
-    /// Number of workers / engine instances (the paper defaults to 8).
+    /// Number of worker threads (the paper defaults to 8).
     pub workers: usize,
+    /// Number of virtual shards (engine instances, each with its own
+    /// WAL/MemTable). `0` means auto: `4 × workers` when no custom
+    /// partitioner is supplied, else the partitioner's `partitions()`.
+    /// The count is baked into the on-disk layout (`instance-{s}`
+    /// directories) — reopen an existing store with the same value.
+    pub shards: usize,
+    /// Custom `key → shard` routing. `None` uses `Hash(key) % shards`.
+    /// `partitions()` must equal the shard count or `open` rejects the
+    /// configuration.
+    pub partitioner: Option<Arc<dyn Partitioner>>,
+    /// When set, a background balancer samples per-shard service time at
+    /// this interval and migrates shard ownership off overloaded workers
+    /// (the skew-aware rebalancer, DESIGN.md §9). `None` keeps the
+    /// initial round-robin assignment forever.
+    pub balance_interval: Option<Duration>,
+    /// Tunables for the rebalancing decision.
+    pub balance: BalancePolicy,
     /// OBM batch bound `M` (32 in the paper); 1 disables merging.
     pub batch_max: usize,
     /// Capacity of each worker's request ring, rounded up to a power of
@@ -81,6 +114,10 @@ impl Default for P2KvsOptions {
     fn default() -> Self {
         P2KvsOptions {
             workers: 8,
+            shards: 0,
+            partitioner: None,
+            balance_interval: None,
+            balance: BalancePolicy::default(),
             batch_max: 32,
             queue_capacity: crate::queue::DEFAULT_QUEUE_CAPACITY,
             obm: true,
@@ -97,10 +134,22 @@ impl Default for P2KvsOptions {
 }
 
 impl P2KvsOptions {
-    /// Convenience: `n` workers, everything else default.
+    /// Convenience: `n` workers, everything else default (so `4n`
+    /// shards and no balancer).
     pub fn with_workers(n: usize) -> P2KvsOptions {
         P2KvsOptions {
             workers: n,
+            ..P2KvsOptions::default()
+        }
+    }
+
+    /// The paper's static layout: `n` workers, exactly one shard per
+    /// worker, balancer off. The shard map is the identity and stays
+    /// that way — byte-for-byte the pre-refactor behavior.
+    pub fn paper_layout(n: usize) -> P2KvsOptions {
+        P2KvsOptions {
+            workers: n,
+            shards: n.max(1),
             ..P2KvsOptions::default()
         }
     }
@@ -111,22 +160,26 @@ impl P2KvsOptions {
 struct ObsShared<E: KvsEngine> {
     registry: Arc<MetricsRegistry>,
     trace: Arc<TraceRing>,
-    engines: Vec<Arc<E>>,
+    runtime: Arc<ShardRuntime<E>>,
     worker_stats: Vec<Arc<WorkerStats>>,
-    queues: Vec<Arc<crate::queue::RequestQueue>>,
     opened: Instant,
 }
 
 impl<E: KvsEngine> ObsShared<E> {
     /// Samples everything that is not recorded inline — worker counters,
-    /// queue depths, store gauges, engine-internal metrics — into the
-    /// registry, then snapshots it.
+    /// queue depths, per-shard gauges, engine-internal metrics — into
+    /// the registry, then snapshots it.
     fn snapshot(&self) -> MetricsSnapshot {
         let reg = &self.registry;
-        for (i, (stats, queue)) in self.worker_stats.iter().zip(&self.queues).enumerate() {
+        let ordering = Ordering::Relaxed;
+        for (i, (stats, queue)) in self
+            .worker_stats
+            .iter()
+            .zip(&self.runtime.queues)
+            .enumerate()
+        {
             let w = i.to_string();
             let l = |base: &str| labeled(base, &[("worker", &w)]);
-            let ordering = std::sync::atomic::Ordering::Relaxed;
             reg.counter(&l("p2kvs_worker_ops_total"))
                 .store(stats.ops.load(ordering));
             reg.counter(&l("p2kvs_worker_batches_total"))
@@ -139,9 +192,21 @@ impl<E: KvsEngine> ObsShared<E> {
                 .store(stats.scan_chunks.load(ordering));
             reg.counter(&l("p2kvs_worker_scan_resumes_total"))
                 .store(stats.scan_resumes.load(ordering));
+            reg.counter(&l("p2kvs_worker_handoffs_out_total"))
+                .store(stats.handoffs_out.load(ordering));
+            reg.counter(&l("p2kvs_worker_handoffs_in_total"))
+                .store(stats.handoffs_in.load(ordering));
+            reg.counter(&l("p2kvs_worker_stashed_total"))
+                .store(stats.stashed.load(ordering));
+            reg.counter(&l("p2kvs_worker_rerouted_total"))
+                .store(stats.rerouted.load(ordering));
             reg.set_gauge(
                 &l("p2kvs_active_scans"),
                 stats.scans_active.load(ordering) as f64,
+            );
+            reg.set_gauge(
+                &l("p2kvs_shards_owned"),
+                stats.shards_owned.load(ordering) as f64,
             );
             reg.set_gauge(
                 &l("p2kvs_worker_busy_seconds"),
@@ -152,17 +217,38 @@ impl<E: KvsEngine> ObsShared<E> {
             // path.
             reg.set_gauge(&l("p2kvs_queue_depth"), queue.len() as f64);
         }
-        for (i, engine) in self.engines.iter().enumerate() {
+        for (s, stats) in self.runtime.shard_stats.iter().enumerate() {
+            let sh = s.to_string();
+            let l = |base: &str| labeled(base, &[("shard", &sh)]);
+            reg.counter(&l("p2kvs_shard_ops_total"))
+                .store(stats.ops.load(ordering));
+            reg.set_gauge(
+                &l("p2kvs_shard_busy_seconds"),
+                stats.busy_ns.load(ordering) as f64 / 1e9,
+            );
+            reg.set_gauge(&l("p2kvs_shard_owner"), stats.owner.load(ordering) as f64);
+        }
+        for (i, engine) in self.runtime.engines.iter().enumerate() {
             let inst = i.to_string();
             for (name, value) in engine.engine_metrics() {
                 reg.set_gauge(&labeled(&name, &[("instance", &inst)]), value);
             }
         }
         reg.set_gauge("p2kvs_workers", self.worker_stats.len() as f64);
+        reg.set_gauge("p2kvs_shards", self.runtime.engines.len() as f64);
+        reg.set_gauge("p2kvs_map_epoch", self.runtime.map.epoch() as f64);
+        reg.counter("p2kvs_migrations_total")
+            .store(self.runtime.depot.installed());
+        reg.counter("p2kvs_handoffs_aborted_total")
+            .store(self.runtime.depot.aborted());
         reg.set_gauge("p2kvs_uptime_seconds", self.opened.elapsed().as_secs_f64());
         reg.set_gauge(
             "p2kvs_mem_usage_bytes",
-            self.engines.iter().map(|e| e.mem_usage()).sum::<usize>() as f64,
+            self.runtime
+                .engines
+                .iter()
+                .map(|e| e.mem_usage())
+                .sum::<usize>() as f64,
         );
         reg.counter("p2kvs_slow_requests_total")
             .store(self.trace.total_recorded());
@@ -174,9 +260,9 @@ impl<E: KvsEngine> ObsShared<E> {
         let ops: u64 = self
             .worker_stats
             .iter()
-            .map(|s| s.ops.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|s| s.ops.load(Ordering::Relaxed))
             .sum();
-        let depth: usize = self.queues.iter().map(|q| q.len()).sum();
+        let depth: usize = self.runtime.queues.iter().map(|q| q.len()).sum();
         let write_p99 = snapshot
             .histograms_of("p2kvs_service_ns")
             .iter()
@@ -185,25 +271,126 @@ impl<E: KvsEngine> ObsShared<E> {
             .max()
             .unwrap_or(0);
         format!(
-            "[p2kvs-obs] uptime={:.1}s ops={} queue_depth={} slow_events={} worst_write_service_p99={:.1}us",
+            "[p2kvs-obs] uptime={:.1}s ops={} queue_depth={} migrations={} slow_events={} worst_write_service_p99={:.1}us",
             self.opened.elapsed().as_secs_f64(),
             ops,
             depth,
+            self.runtime.depot.installed(),
             self.trace.total_recorded(),
             write_p99 as f64 / 1e3,
         )
     }
 }
 
+/// State shared between the public migration API and the background
+/// balancer tick. The mutex serializes migrations store-wide — one
+/// epoch fence and one handoff in flight at a time — and guards the
+/// last-sample snapshot the tick differentiates against.
+struct BalanceShared<E: KvsEngine> {
+    runtime: Arc<ShardRuntime<E>>,
+    workers: usize,
+    policy: BalancePolicy,
+    state: parking_lot::Mutex<BalanceState>,
+}
+
+/// The balancer's memory between ticks: the previous cumulative
+/// per-shard busy-time sample, so each tick rebalances on the load of
+/// the *last interval*, not all of history.
+struct BalanceState {
+    last_busy_ns: Vec<u64>,
+}
+
+/// Migrates ownership of `shard` to `target` through the epoch-fenced
+/// handoff. Caller must hold the [`BalanceShared::state`] lock.
+///
+/// Protocol (DESIGN.md §9): publish the successor map → quiesce the
+/// displaced epoch's pins (after which no old-epoch push can still be in
+/// flight) → enqueue the `HandoffOut` marker on the source worker
+/// (provably behind every old-epoch request for the shard) → the source
+/// packages the shard's cursors and enqueues `ShardInstall` on the
+/// target → wait for the depot to settle.
+fn migrate_locked<E: KvsEngine>(rt: &ShardRuntime<E>, shard: usize, target: usize) -> Result<()> {
+    let pin = rt.map.pin();
+    if shard >= pin.shards() {
+        return Err(Error::Config(format!(
+            "shard {shard} out of range: the store has {} shards",
+            pin.shards()
+        )));
+    }
+    if target >= rt.queues.len() {
+        return Err(Error::Config(format!(
+            "worker {target} out of range: the store has {} workers",
+            rt.queues.len()
+        )));
+    }
+    let source = pin.owner(shard);
+    if source == target {
+        return Ok(());
+    }
+    rt.depot.begin(shard as u64)?;
+    let displaced = rt.map.publish(Arc::new(pin.with_owner(shard, target)));
+    // Our own pin references the displaced map; drop it before fencing
+    // or quiesce waits on ourselves.
+    drop(pin);
+    MapCell::quiesce(displaced);
+    let (req, done) = Request::sync(Op::HandoffOut {
+        shard: shard as u64,
+    });
+    if rt.queues[source].push(req.on_shard(shard as u64)).is_err() {
+        // Source queue closed mid-shutdown: settle the depot so nothing
+        // waits on a phase that cannot advance.
+        rt.depot.abort(shard as u64);
+        return Err(Error::Closed);
+    }
+    let _ = done.wait();
+    if !rt.depot.wait_settled(shard as u64, HANDOFF_TIMEOUT) {
+        return Err(Error::Engine(format!(
+            "handoff of shard {shard} did not settle within {HANDOFF_TIMEOUT:?}"
+        )));
+    }
+    rt.shard_stats[shard].owner.store(target, Ordering::Relaxed);
+    Ok(())
+}
+
+/// One balancer tick: sample per-shard busy time, difference against the
+/// previous sample, plan moves, execute them. Returns how many
+/// migrations were applied.
+fn rebalance_tick<E: KvsEngine>(b: &BalanceShared<E>) -> Result<usize> {
+    let mut st = b.state.lock();
+    let rt = &b.runtime;
+    let busy: Vec<u64> = rt
+        .shard_stats
+        .iter()
+        .map(|s| s.busy_ns.load(Ordering::Relaxed))
+        .collect();
+    let delta: Vec<u64> = busy
+        .iter()
+        .zip(&st.last_busy_ns)
+        .map(|(now, last)| now.saturating_sub(*last))
+        .collect();
+    st.last_busy_ns = busy;
+    let pin = rt.map.pin();
+    let moves = plan_moves(&pin, b.workers, &delta, &b.policy);
+    drop(pin);
+    let mut applied = 0;
+    for (shard, target) in moves {
+        migrate_locked(rt, shard, target)?;
+        applied += 1;
+    }
+    Ok(applied)
+}
+
 /// A p2KVS store over engine type `E`.
 pub struct P2Kvs<E: KvsEngine> {
-    // Declared before `workers` so the reporter thread stops before the
+    // Declared before `workers` so the background tasks stop before the
     // workers are joined on drop.
     reporter: Option<PeriodicTask>,
+    balancer: Option<PeriodicTask>,
     obs: Arc<ObsShared<E>>,
-    engines: Vec<Arc<E>>,
+    balance: Arc<BalanceShared<E>>,
+    runtime: Arc<ShardRuntime<E>>,
     workers: Vec<WorkerHandle>,
-    partitioner: Box<dyn Partitioner>,
+    partitioner: Arc<dyn Partitioner>,
     txn: TxnManager,
     opts: P2KvsOptions,
     opened: Instant,
@@ -211,15 +398,38 @@ pub struct P2Kvs<E: KvsEngine> {
 
 impl<E: KvsEngine> P2Kvs<E> {
     /// Opens (or recovers) a store under `dir`, creating one engine
-    /// instance per worker via `factory`.
+    /// instance per **shard** via `factory`.
     ///
     /// Recovery order (§4.5): read the transaction commit log first, then
     /// reopen every instance with a GSN filter that drops batches of
     /// transactions that never committed.
+    ///
+    /// Returns [`Error::Config`] when a custom partitioner's
+    /// `partitions()` disagrees with the shard count — routing through a
+    /// mismatched partitioner would index out of bounds on the first
+    /// request, so the mismatch is rejected here.
     pub fn open<F>(factory: F, dir: impl Into<PathBuf>, opts: P2KvsOptions) -> Result<P2Kvs<E>>
     where
         F: EngineFactory<Engine = E>,
     {
+        let n = opts.workers.max(1);
+        let shards = match (opts.shards, &opts.partitioner) {
+            (0, Some(p)) => p.partitions(),
+            (0, None) => 4 * n,
+            (s, _) => s,
+        }
+        .max(1);
+        let partitioner: Arc<dyn Partitioner> = opts
+            .partitioner
+            .clone()
+            .unwrap_or_else(|| Arc::new(HashPartitioner::new(shards)));
+        if partitioner.partitions() != shards {
+            return Err(Error::Config(format!(
+                "partitioner covers {} partitions but the store opens {} shards",
+                partitioner.partitions(),
+                shards
+            )));
+        }
         let dir = dir.into();
         let env = factory.env();
         env.create_dir_all(&dir)?;
@@ -229,18 +439,35 @@ impl<E: KvsEngine> P2Kvs<E> {
             let recovered = recovered.clone();
             Arc::new(move |gsn| recovered.should_replay(gsn))
         };
-        let n = opts.workers.max(1);
         let registry = Arc::new(MetricsRegistry::new());
         let trace = Arc::new(TraceRing::new(opts.trace_capacity));
         let slow_ns = opts
             .slow_request_threshold
             .as_nanos()
             .min(u128::from(u64::MAX)) as u64;
-        let mut engines = Vec::with_capacity(n);
+        let mut engines = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let instance_dir = dir.join(format!("instance-{s}"));
+            engines.push(Arc::new(factory.open(&instance_dir, Some(filter.clone()))?));
+        }
+        let queues: Vec<Arc<crate::queue::RequestQueue>> = (0..n)
+            .map(|_| {
+                Arc::new(crate::queue::RequestQueue::with_capacity(
+                    opts.queue_capacity,
+                ))
+            })
+            .collect();
+        let runtime = Arc::new(ShardRuntime {
+            engines,
+            queues,
+            map: Arc::new(MapCell::new(ShardMap::initial(shards, n))),
+            depot: Arc::new(crate::shard::HandoffDepot::new()),
+            shard_stats: (0..shards)
+                .map(|_| Arc::new(crate::shard::ShardStats::default()))
+                .collect(),
+        });
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
-            let instance_dir = dir.join(format!("instance-{i}"));
-            let engine = Arc::new(factory.open(&instance_dir, Some(filter.clone()))?);
             let config = crate::worker::WorkerConfig {
                 batch_max: if opts.obm { opts.batch_max } else { 1 },
                 queue_capacity: opts.queue_capacity,
@@ -251,16 +478,14 @@ impl<E: KvsEngine> P2Kvs<E> {
             let lifecycle = opts
                 .metrics
                 .then(|| WorkerLifecycle::new(&registry, i, slow_ns, trace.clone()));
-            workers.push(WorkerHandle::spawn(i, engine.clone(), config, lifecycle));
-            engines.push(engine);
+            workers.push(WorkerHandle::spawn_in(i, runtime.clone(), config, lifecycle));
         }
         let opened = Instant::now();
         let obs = Arc::new(ObsShared {
             registry,
             trace,
-            engines: engines.clone(),
+            runtime: runtime.clone(),
             worker_stats: workers.iter().map(|w| w.stats.clone()).collect(),
-            queues: workers.iter().map(|w| w.queue.clone()).collect(),
             opened,
         });
         let reporter = opts.report_interval.map(|interval| {
@@ -270,26 +495,49 @@ impl<E: KvsEngine> P2Kvs<E> {
                 eprintln!("{}", obs.summary_line(&snapshot));
             })
         });
+        let balance = Arc::new(BalanceShared {
+            runtime: runtime.clone(),
+            workers: n,
+            policy: opts.balance,
+            state: parking_lot::Mutex::new(BalanceState {
+                last_busy_ns: vec![0; shards],
+            }),
+        });
+        let balancer = opts.balance_interval.map(|interval| {
+            let b = balance.clone();
+            PeriodicTask::spawn("p2kvs-balancer", interval, move || {
+                if let Err(e) = rebalance_tick(&b) {
+                    eprintln!("[p2kvs-balancer] tick failed: {e}");
+                }
+            })
+        });
         Ok(P2Kvs {
             reporter,
+            balancer,
             obs,
-            engines,
+            balance,
+            runtime,
             workers,
-            partitioner: Box::new(HashPartitioner::new(n)),
+            partitioner,
             txn,
             opts,
             opened,
         })
     }
 
-    /// Number of workers / instances.
+    /// Number of workers.
     pub fn workers(&self) -> usize {
         self.workers.len()
     }
 
-    /// The engine instances (inspection and tests).
+    /// Number of shards (engine instances).
+    pub fn shards(&self) -> usize {
+        self.runtime.engines.len()
+    }
+
+    /// The engine instances, indexed by shard (inspection and tests).
     pub fn engines(&self) -> &[Arc<E>] {
-        &self.engines
+        &self.runtime.engines
     }
 
     /// Per-worker counters (monitoring and benchmarks).
@@ -297,17 +545,54 @@ impl<E: KvsEngine> P2Kvs<E> {
         self.workers.iter().map(|w| w.stats.clone()).collect()
     }
 
-    fn submit(&self, worker: usize, op: Op) -> Result<Response> {
+    /// The current `shard → worker` assignment (a snapshot; migrations
+    /// replace it).
+    pub fn shard_owners(&self) -> Vec<usize> {
+        let pin = self.runtime.map.pin();
+        (0..pin.shards()).map(|s| pin.owner(s)).collect()
+    }
+
+    /// The shard map's current epoch. Bumps by one per migration.
+    pub fn map_epoch(&self) -> u64 {
+        self.runtime.map.epoch()
+    }
+
+    /// Completed ownership migrations since open.
+    pub fn migrations(&self) -> u64 {
+        self.runtime.depot.installed()
+    }
+
+    /// Migrates ownership of `shard` to `target` through the
+    /// epoch-fenced handoff (manual override of the balancer; also the
+    /// test hook). Blocks until the handoff settles. Per-key issue
+    /// order and scan cursors survive the move; no data moves.
+    pub fn migrate_shard(&self, shard: usize, target: usize) -> Result<()> {
+        let _serialize = self.balance.state.lock();
+        migrate_locked(&self.runtime, shard, target)
+    }
+
+    /// Runs one balancer tick right now (regardless of
+    /// `balance_interval`), returning how many migrations it applied.
+    pub fn rebalance_once(&self) -> Result<usize> {
+        rebalance_tick(&self.balance)
+    }
+
+    fn submit_to_shard(&self, shard: usize, op: Op) -> Result<Response> {
         let (req, done) = Request::sync(op);
-        self.workers[worker]
-            .queue
-            .push(req)
-            .map_err(|_| Error::Closed)?;
+        {
+            // Pin only across the push: the pin is the epoch fence, and
+            // parking it across `wait` would stall migrations.
+            let pin = self.runtime.map.pin();
+            self.workers[pin.owner(shard)]
+                .queue
+                .push(req.on_shard(shard as u64))
+                .map_err(|_| Error::Closed)?;
+        }
         done.wait()
     }
 
     fn submit_to_key(&self, key: &[u8], op: Op) -> Result<Response> {
-        self.submit(self.partitioner.worker_of(key), op)
+        self.submit_to_shard(self.partitioner.shard_of(key), op)
     }
 
     /// Inserts `key -> value` (blocking).
@@ -336,11 +621,12 @@ impl<E: KvsEngine> P2Kvs<E> {
             key: key.to_vec(),
             value: value.to_vec(),
         };
-        let worker = self.partitioner.worker_of(key);
+        let shard = self.partitioner.shard_of(key);
         let req = Request::asynchronous(op, Box::new(move |r| cb(r.map(|_| ()))));
-        self.workers[worker]
+        let pin = self.runtime.map.pin();
+        self.workers[pin.owner(shard)]
             .queue
-            .push(req)
+            .push(req.on_shard(shard as u64))
             .map_err(|_| Error::Closed)
     }
 
@@ -360,18 +646,27 @@ impl<E: KvsEngine> P2Kvs<E> {
         }
     }
 
-    /// Batched lookups: requests are enqueued to all owning workers first,
-    /// then awaited, so OBM can merge them per worker.
+    /// Batched lookups: requests are enqueued to all owning workers
+    /// first (under one map pin, so a concurrent migration cannot split
+    /// the batch across epochs), then awaited, so OBM can merge them per
+    /// worker.
     pub fn get_many(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
         let mut completions = Vec::with_capacity(keys.len());
         let mut push_err = None;
-        for key in keys {
-            let (req, done) = Request::sync(Op::Get { key: key.clone() });
-            match self.workers[self.partitioner.worker_of(key)].queue.push(req) {
-                Ok(()) => completions.push(done),
-                Err(_) => {
-                    push_err = Some(Error::Closed);
-                    break;
+        {
+            let pin = self.runtime.map.pin();
+            for key in keys {
+                let shard = self.partitioner.shard_of(key);
+                let (req, done) = Request::sync(Op::Get { key: key.clone() });
+                match self.workers[pin.owner(shard)]
+                    .queue
+                    .push(req.on_shard(shard as u64))
+                {
+                    Ok(()) => completions.push(done),
+                    Err(_) => {
+                        push_err = Some(Error::Closed);
+                        break;
+                    }
                 }
             }
         }
@@ -393,30 +688,34 @@ impl<E: KvsEngine> P2Kvs<E> {
             .collect()
     }
 
-    /// Applies `ops` atomically across instances (§4.5).
+    /// Applies `ops` atomically across shards (§4.5).
     ///
-    /// Single-instance batches use the engine's atomic WriteBatch
-    /// directly. Cross-instance batches get a GSN: sub-batches are
+    /// Single-shard batches use the engine's atomic WriteBatch
+    /// directly. Cross-shard batches get a GSN: sub-batches are
     /// dispatched in parallel, and the commit record is persisted only
-    /// after every sub-batch is durable; a crash in between is rolled back
-    /// at recovery.
+    /// after every sub-batch is durable; a crash in between is rolled
+    /// back at recovery. Two shards on the same worker still count as
+    /// cross-shard — they are separate engines with separate WALs.
     pub fn write_batch(&self, ops: Vec<WriteOp>) -> Result<()> {
         if ops.is_empty() {
             return Ok(());
         }
-        let mut per_worker: Vec<Vec<WriteOp>> = (0..self.workers()).map(|_| Vec::new()).collect();
+        let mut per_shard: Vec<Vec<WriteOp>> = (0..self.shards()).map(|_| Vec::new()).collect();
         for op in ops {
-            per_worker[self.partitioner.worker_of(op.key())].push(op);
+            // `partitions() == shards` is validated at open, so this
+            // index cannot go out of bounds even under a custom
+            // partitioner.
+            per_shard[self.partitioner.shard_of(op.key())].push(op);
         }
-        let involved: Vec<usize> = (0..self.workers())
-            .filter(|w| !per_worker[*w].is_empty())
+        let involved: Vec<usize> = (0..self.shards())
+            .filter(|s| !per_shard[*s].is_empty())
             .collect();
         if involved.len() == 1 {
-            let w = involved[0];
-            return match self.submit(
-                w,
+            let s = involved[0];
+            return match self.submit_to_shard(
+                s,
                 Op::TxnBatch {
-                    ops: std::mem::take(&mut per_worker[w]),
+                    ops: std::mem::take(&mut per_shard[s]),
                     gsn: 0,
                 },
             )? {
@@ -427,16 +726,19 @@ impl<E: KvsEngine> P2Kvs<E> {
         let gsn = self.txn.begin()?;
         let mut completions = Vec::with_capacity(involved.len());
         let mut push_err = None;
-        for &w in &involved {
-            let (req, done) = Request::sync(Op::TxnBatch {
-                ops: std::mem::take(&mut per_worker[w]),
-                gsn,
-            });
-            match self.workers[w].queue.push(req) {
-                Ok(()) => completions.push(done),
-                Err(_) => {
-                    push_err = Some(Error::Closed);
-                    break;
+        {
+            let pin = self.runtime.map.pin();
+            for &s in &involved {
+                let (req, done) = Request::sync(Op::TxnBatch {
+                    ops: std::mem::take(&mut per_shard[s]),
+                    gsn,
+                });
+                match self.workers[pin.owner(s)].queue.push(req.on_shard(s as u64)) {
+                    Ok(()) => completions.push(done),
+                    Err(_) => {
+                        push_err = Some(Error::Closed);
+                        break;
+                    }
                 }
             }
         }
@@ -464,15 +766,15 @@ impl<E: KvsEngine> P2Kvs<E> {
         }
     }
 
-    /// The opening per-instance chunk quota for a `count`-entry scan
+    /// The opening per-shard chunk quota for a `count`-entry scan
     /// under the configured [`ScanStrategy`]. Follow-up chunks always
     /// use `scan_chunk_entries`.
     fn first_chunk_quota(&self, count: usize) -> usize {
         match self.opts.scan_strategy {
             ScanStrategy::ParallelFull => count,
             ScanStrategy::Adaptive => {
-                let n = self.workers();
-                (count / n + count / (2 * n).max(1) + 4).min(count)
+                let s = self.shards();
+                (count / s + count / (2 * s).max(1) + 4).min(count)
             }
         }
     }
@@ -480,12 +782,14 @@ impl<E: KvsEngine> P2Kvs<E> {
     /// A streaming, globally sorted iterator over the whole store.
     ///
     /// Entries are pulled lazily in bounded chunks (one engine cursor
-    /// per instance, K-way merged — see [`crate::scan::StoreIter`]), so
+    /// per shard, K-way merged — see [`crate::scan::StoreIter`]), so
     /// iteration interleaves with concurrent point traffic instead of
-    /// head-of-line-blocking it. Consistency is per instance: each
+    /// head-of-line-blocking it. Consistency is per shard: each
     /// engine cursor is snapshot-consistent when the engine supports
     /// native cursors (`Capabilities::native_cursor`, e.g. lsmkv) and
-    /// monotonic read-committed otherwise (see `DESIGN.md` §8).
+    /// monotonic read-committed otherwise (see `DESIGN.md` §8). Open
+    /// iterators survive shard migrations: their parked cursors travel
+    /// with the shard.
     pub fn iter(&self) -> Result<StoreIter<'_>> {
         self.iter_from(b"")
     }
@@ -494,6 +798,8 @@ impl<E: KvsEngine> P2Kvs<E> {
     pub fn iter_from(&self, start: &[u8]) -> Result<StoreIter<'_>> {
         StoreIter::open(
             &self.workers,
+            &self.runtime.map,
+            self.shards(),
             start,
             None,
             self.opts.scan_chunk_entries,
@@ -506,6 +812,8 @@ impl<E: KvsEngine> P2Kvs<E> {
     pub fn iter_range(&self, begin: &[u8], end: &[u8]) -> Result<StoreIter<'_>> {
         StoreIter::open(
             &self.workers,
+            &self.runtime.map,
+            self.shards(),
             begin,
             Some(end),
             self.opts.scan_chunk_entries,
@@ -514,7 +822,7 @@ impl<E: KvsEngine> P2Kvs<E> {
         )
     }
 
-    /// RANGE `[begin, end)`: per-instance bounded cursors, K-way merged
+    /// RANGE `[begin, end)`: per-shard bounded cursors, K-way merged
     /// (partitions are disjoint, so this is exact). Materializes the
     /// result; use [`P2Kvs::iter_range`] to stream instead.
     pub fn range(&self, begin: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
@@ -532,7 +840,7 @@ impl<E: KvsEngine> P2Kvs<E> {
     /// SCAN: up to `count` entries with keys `>= start`.
     ///
     /// Always exact: the [`ScanStrategy`] only sizes the opening
-    /// per-instance chunk; if the merge needs more from some instance,
+    /// per-shard chunk; if the merge needs more from some shard,
     /// its cursor is simply pulled again (no quota-and-retry rounds).
     pub fn scan(&self, start: &[u8], count: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         if count == 0 {
@@ -542,6 +850,8 @@ impl<E: KvsEngine> P2Kvs<E> {
         }
         let mut iter = StoreIter::open(
             &self.workers,
+            &self.runtime.map,
+            self.shards(),
             start,
             None,
             self.first_chunk_quota(count),
@@ -551,9 +861,9 @@ impl<E: KvsEngine> P2Kvs<E> {
         iter.next_chunk(count)
     }
 
-    /// Durability barrier across all instances.
+    /// Durability barrier across all shards.
     pub fn sync(&self) -> Result<()> {
-        for e in &self.engines {
+        for e in &self.runtime.engines {
             e.sync()?;
         }
         Ok(())
@@ -561,39 +871,41 @@ impl<E: KvsEngine> P2Kvs<E> {
 
     /// Point-in-time statistics.
     pub fn snapshot(&self) -> StoreSnapshot {
+        let ordering = Ordering::Relaxed;
         StoreSnapshot {
             workers: self
                 .workers
                 .iter()
                 .map(|w| WorkerSnapshot {
-                    ops: w.stats.ops.load(std::sync::atomic::Ordering::Relaxed),
-                    batches: w.stats.batches.load(std::sync::atomic::Ordering::Relaxed),
-                    merged_ops: w
-                        .stats
-                        .merged_ops
-                        .load(std::sync::atomic::Ordering::Relaxed),
-                    scans: w
-                        .stats
-                        .scans_opened
-                        .load(std::sync::atomic::Ordering::Relaxed),
-                    scan_chunks: w
-                        .stats
-                        .scan_chunks
-                        .load(std::sync::atomic::Ordering::Relaxed),
-                    scan_resumes: w
-                        .stats
-                        .scan_resumes
-                        .load(std::sync::atomic::Ordering::Relaxed),
-                    active_scans: w
-                        .stats
-                        .scans_active
-                        .load(std::sync::atomic::Ordering::Relaxed),
+                    ops: w.stats.ops.load(ordering),
+                    batches: w.stats.batches.load(ordering),
+                    merged_ops: w.stats.merged_ops.load(ordering),
+                    scans: w.stats.scans_opened.load(ordering),
+                    scan_chunks: w.stats.scan_chunks.load(ordering),
+                    scan_resumes: w.stats.scan_resumes.load(ordering),
+                    active_scans: w.stats.scans_active.load(ordering),
+                    shards_owned: w.stats.shards_owned.load(ordering),
+                    handoffs_out: w.stats.handoffs_out.load(ordering),
+                    handoffs_in: w.stats.handoffs_in.load(ordering),
+                    stashed: w.stats.stashed.load(ordering),
+                    rerouted: w.stats.rerouted.load(ordering),
                     busy: w.stats.busy.busy(),
                     queue_depth: w.queue.len(),
                 })
                 .collect(),
+            shards: self
+                .runtime
+                .shard_stats
+                .iter()
+                .map(|s| ShardSnapshot {
+                    ops: s.ops.load(ordering),
+                    busy: Duration::from_nanos(s.busy_ns.load(ordering)),
+                    owner: s.owner.load(ordering),
+                })
+                .collect(),
+            migrations: self.runtime.depot.installed(),
             uptime: self.opened.elapsed(),
-            mem_usage: self.engines.iter().map(|e| e.mem_usage()).sum(),
+            mem_usage: self.runtime.engines.iter().map(|e| e.mem_usage()).sum(),
         }
     }
 
@@ -604,8 +916,9 @@ impl<E: KvsEngine> P2Kvs<E> {
     }
 
     /// Full metrics snapshot: framework counters and histograms, live
-    /// queue-depth gauges, and per-instance engine metrics (`engine_*`),
-    /// ready for [`MetricsSnapshot::render_prometheus`] /
+    /// queue-depth gauges, per-shard load/ownership gauges, and
+    /// per-instance engine metrics (`engine_*`), ready for
+    /// [`MetricsSnapshot::render_prometheus`] /
     /// [`MetricsSnapshot::render_json`].
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.obs.snapshot()
@@ -621,10 +934,11 @@ impl<E: KvsEngine> P2Kvs<E> {
         &self.opts
     }
 
-    /// Closes the store: stops the reporter, drains queues, joins
-    /// workers, drops engines.
+    /// Closes the store: stops the reporter and balancer, drains
+    /// queues, joins workers, drops engines.
     pub fn close(mut self) {
         self.reporter.take();
+        self.balancer.take();
         for w in &mut self.workers {
             w.shutdown();
         }

@@ -80,6 +80,16 @@ pub enum Op {
     /// A transaction sub-batch carrying a Global Sequence Number. Never
     /// merged with other requests by OBM.
     TxnBatch { ops: Vec<WriteOp>, gsn: u64 },
+    /// Handoff marker (migration protocol, DESIGN.md §9): tells the
+    /// owning worker to package `shard` — flush what the FIFO guarantees
+    /// is the last old-epoch work, deposit the shard's parked scan
+    /// cursors in the handoff depot, and forward a [`Op::ShardInstall`]
+    /// to the new owner. Internal: never produced by the public API.
+    HandoffOut { shard: u64 },
+    /// Second half of a handoff: the target worker collects the parcel
+    /// from the depot, installs the shard, and replays any requests it
+    /// stashed while the shard was in flight. Internal.
+    ShardInstall { shard: u64 },
 }
 
 /// OBM request classes (Algorithm 1 merges only same-class neighbours).
@@ -122,7 +132,9 @@ impl Op {
             Op::ScanOpen { .. }
             | Op::ScanNext { .. }
             | Op::ScanClose { .. }
-            | Op::TxnBatch { .. } => OpClass::Solo,
+            | Op::TxnBatch { .. }
+            | Op::HandoffOut { .. }
+            | Op::ShardInstall { .. } => OpClass::Solo,
         }
     }
 }
@@ -301,6 +313,12 @@ impl SyncWaiter {
 pub struct Request {
     pub op: Op,
     pub completion: Completion,
+    /// The virtual shard this request targets (0 for ops that are not
+    /// keyed, e.g. scans fanned out per shard set it to their shard).
+    /// Workers use it to route between owned engines, OBM merges only
+    /// same-shard neighbours, and a worker that no longer owns the shard
+    /// re-routes by it.
+    pub shard: u64,
     /// Nanosecond timestamp when the request entered the queue (for queue
     /// wait accounting).
     pub enqueued: std::time::Instant,
@@ -334,6 +352,7 @@ impl Request {
             Request {
                 op,
                 completion: Completion::Sync(slot.clone()),
+                shard: 0,
                 enqueued: std::time::Instant::now(),
             },
             SyncWaiter { slot },
@@ -345,8 +364,15 @@ impl Request {
         Request {
             op,
             completion: Completion::Async(cb),
+            shard: 0,
             enqueued: std::time::Instant::now(),
         }
+    }
+
+    /// Sets the target shard (builder style).
+    pub fn on_shard(mut self, shard: u64) -> Request {
+        self.shard = shard;
+        self
     }
 
     /// Completes the request with `result`.

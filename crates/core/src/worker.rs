@@ -1,10 +1,27 @@
-//! Worker threads: one engine instance each, drained with OBM.
+//! Worker threads: a dynamic set of owned shards each, drained with OBM.
 //!
-//! A worker owns one KVS instance and is pinned to one core (§4.1). Its
-//! loop is Algorithm 1: dequeue a batch of consecutive same-type requests,
-//! then execute it as one engine call — `write_batch` for writes,
-//! `multiget` for reads — falling back to per-request calls when the
-//! engine lacks the capability or the batch has a single element.
+//! A worker is pinned to one core (§4.1) and owns a *set of virtual
+//! shards* — engine instances reached through the shared directory in
+//! [`ShardRuntime`]. Its loop is Algorithm 1 generalized to many shards:
+//! dequeue a run of consecutive same-type requests, peel it into
+//! per-shard groups (a stable split — per-key order is per-shard, so
+//! regrouping across shards is invisible to callers), then execute each
+//! group as one engine call — `write_batch` for writes, `multiget` for
+//! reads — falling back to per-request calls when the engine lacks the
+//! capability or the group has a single element. With one shard per
+//! worker this is exactly the paper's layout.
+//!
+//! **Ownership migration** (DESIGN.md §9): two control markers ride the
+//! queues. `Op::HandoffOut` tells the old owner to package a shard —
+//! the epoch fence guarantees every request routed under the old map is
+//! already ahead of the marker in its FIFO, so by the time the marker is
+//! dequeued the shard's old-epoch work has fully executed. The source
+//! deposits the shard's parked scan cursors in the [`HandoffDepot`] and
+//! forwards `Op::ShardInstall` to the new owner, which collects the
+//! parcel, installs the shard, and replays any requests it had *stashed*
+//! (new-epoch requests that arrived before the install marker). The
+//! engine handle itself never moves — only the right to execute against
+//! it does.
 //!
 //! The steady-state loop performs **no per-iteration heap allocation**:
 //! the batch `Vec`, the lifecycle queue-wait scratch, and the merged-call
@@ -31,7 +48,9 @@ use p2kvs_obs::WorkerLifecycle;
 use p2kvs_util::timing::BusyClock;
 
 use crate::engine::{KvsEngine, ScanCursor};
+use crate::error::Error;
 use crate::queue::{RequestQueue, DEFAULT_QUEUE_CAPACITY};
+use crate::shard::{HandoffDepot, MapCell, Parcel, ShardMap, ShardStats};
 use crate::types::{Op, OpClass, Request, Response, WriteOp};
 
 /// Counters published by one worker.
@@ -53,6 +72,20 @@ pub struct WorkerStats {
     pub scan_resumes: AtomicU64,
     /// Cursors currently parked in the worker's table.
     pub scans_active: AtomicU64,
+    /// Shards currently owned (gauge).
+    pub shards_owned: AtomicU64,
+    /// Shards handed away (migrations where this worker was the source).
+    pub handoffs_out: AtomicU64,
+    /// Shards installed (migrations where this worker was the target).
+    pub handoffs_in: AtomicU64,
+    /// Requests held for a shard whose install marker had not yet
+    /// arrived, then replayed at install.
+    pub stashed: AtomicU64,
+    /// Stale-epoch requests forwarded to the current owner. The quiesce
+    /// fence makes this path unreachable from the store's own submit
+    /// paths; a nonzero value flags an external caller holding a map pin
+    /// across a migration.
+    pub rerouted: AtomicU64,
 }
 
 impl WorkerStats {
@@ -103,6 +136,27 @@ impl Default for WorkerConfig {
     }
 }
 
+/// Shared routing state every worker in a store references: the
+/// per-shard engine directory, every worker's queue, the live shard map,
+/// the handoff side-channel, and per-shard service gauges. Engines are
+/// reachable from every worker — "ownership" of a shard is the exclusive
+/// right to execute against its engine, tracked by the map and the
+/// workers' owned sets, never by which thread holds the handle.
+pub(crate) struct ShardRuntime<E> {
+    /// Engine instances, indexed by shard.
+    pub engines: Vec<Arc<E>>,
+    /// Every worker's queue, indexed by worker id (re-route and the
+    /// install half of a handoff need to address peers).
+    pub queues: Vec<Arc<RequestQueue>>,
+    /// The live, versioned `shard → worker` map.
+    pub map: Arc<MapCell>,
+    /// Ferries non-clonable per-shard state (parked scan cursors)
+    /// between the two workers of a handoff.
+    pub depot: Arc<HandoffDepot>,
+    /// Per-shard counters the balancer reads, indexed by shard.
+    pub shard_stats: Vec<Arc<ShardStats>>,
+}
+
 /// A running worker.
 pub struct WorkerHandle {
     /// The worker's request queue.
@@ -113,11 +167,10 @@ pub struct WorkerHandle {
 }
 
 impl WorkerHandle {
-    /// Spawns worker `id` over `engine`.
-    ///
-    /// When `lifecycle` is present the worker stamps every batch at
-    /// dequeue and completion, publishing queue-wait and service latency
-    /// histograms plus slow-request trace events.
+    /// Spawns a standalone worker `id` over a single engine — the
+    /// one-instance-per-worker special case (a private one-shard
+    /// runtime). The store uses [`WorkerHandle::spawn_in`]; this wrapper
+    /// serves tests and embedders that want one queue over one engine.
     pub fn spawn<E: KvsEngine>(
         id: usize,
         engine: Arc<E>,
@@ -125,45 +178,171 @@ impl WorkerHandle {
         lifecycle: Option<WorkerLifecycle>,
     ) -> WorkerHandle {
         let queue = Arc::new(RequestQueue::with_capacity(config.queue_capacity));
+        let runtime = Arc::new(ShardRuntime {
+            engines: vec![engine],
+            queues: vec![queue.clone()],
+            map: Arc::new(MapCell::new(ShardMap::initial(1, 1))),
+            depot: Arc::new(HandoffDepot::new()),
+            shard_stats: vec![Arc::new(ShardStats::default())],
+        });
+        WorkerHandle::spawn_inner(id, 0, runtime, queue, config, lifecycle)
+    }
+
+    /// Spawns worker `id` inside a shared [`ShardRuntime`]. The worker
+    /// drains `queue` (which must be `runtime.queues[id]`) and initially
+    /// owns the shards the runtime's map assigns to `id`.
+    ///
+    /// When `lifecycle` is present the worker stamps every batch at
+    /// dequeue and completion, publishing queue-wait and service latency
+    /// histograms plus slow-request trace events.
+    pub(crate) fn spawn_in<E: KvsEngine>(
+        id: usize,
+        runtime: Arc<ShardRuntime<E>>,
+        config: WorkerConfig,
+        lifecycle: Option<WorkerLifecycle>,
+    ) -> WorkerHandle {
+        let queue = runtime.queues[id].clone();
+        WorkerHandle::spawn_inner(id, id, runtime, queue, config, lifecycle)
+    }
+
+    fn spawn_inner<E: KvsEngine>(
+        name_id: usize,
+        windex: usize,
+        rt: Arc<ShardRuntime<E>>,
+        queue: Arc<RequestQueue>,
+        config: WorkerConfig,
+        lifecycle: Option<WorkerLifecycle>,
+    ) -> WorkerHandle {
         let stats = Arc::new(WorkerStats::default());
         let q = queue.clone();
         let s = stats.clone();
         let handle = std::thread::Builder::new()
-            .name(format!("p2kvs-worker-{id}"))
+            .name(format!("p2kvs-worker-{name_id}"))
             .spawn(move || {
                 if config.pin {
-                    p2kvs_util::affinity::pin_to_core(id);
+                    p2kvs_util::affinity::pin_to_core(name_id);
                 }
                 let max = config.batch_max.max(1);
                 // All loop state is allocated once and reused: the
                 // steady-state iteration touches no allocator.
                 let mut batch: Vec<Request> = Vec::with_capacity(max);
+                let mut group: Vec<Request> = Vec::with_capacity(max);
+                let mut spill: Vec<Request> = Vec::with_capacity(max);
                 let mut waits: Vec<u64> = Vec::with_capacity(max);
                 let mut scratch = BatchScratch::default();
+                // Shards this worker owns, each carrying its own parked
+                // scan cursors (the table travels with the shard).
+                let mut owned: HashMap<u64, ScanTable> = rt
+                    .map
+                    .pin()
+                    .shards_of(windex)
+                    .into_iter()
+                    .map(|sh| (sh as u64, ScanTable::default()))
+                    .collect();
+                s.shards_owned.store(owned.len() as u64, Ordering::Relaxed);
+                for sh in owned.keys() {
+                    rt.shard_stats[*sh as usize].owner.store(windex, Ordering::Relaxed);
+                }
+                // New-epoch requests for a shard whose install marker has
+                // not arrived yet, replayed FIFO at install.
+                let mut stash: HashMap<u64, Vec<Request>> = HashMap::new();
                 while q.pop_batch_into(max, &mut batch) {
-                    // Lifecycle stamps: queue wait ends at dequeue, service
-                    // covers dequeue -> completion (requests in one OBM
-                    // batch complete together).
-                    let dequeued = Instant::now();
-                    let class = batch[0].op.class();
-                    // "Scan active" means a parked cursor exists *before*
-                    // this batch: these are the point ops whose latency a
-                    // concurrent scan could have wrecked.
-                    let scan_active = !scratch.scans.is_empty();
-                    if lifecycle.is_some() {
-                        waits.clear();
-                        waits.extend(batch.iter().map(|r| {
-                            dequeued.saturating_duration_since(r.enqueued).as_nanos() as u64
-                        }));
-                    }
-                    s.busy
-                        .time(|| execute_batch(&*engine, &mut batch, &s, &mut scratch, &config));
-                    if let Some(lc) = &lifecycle {
-                        let service_ns = dequeued.elapsed().as_nanos() as u64;
-                        lc.observe(class.index(), &waits, service_ns);
-                        if scan_active && class != OpClass::Solo {
-                            lc.observe_point_during_scan(waits.len(), service_ns);
+                    // Control markers are Solo-class: always a batch of 1.
+                    match batch[0].op {
+                        Op::HandoffOut { shard } => {
+                            let req = batch.pop().expect("solo batch");
+                            handoff_out(windex, &rt, &mut owned, &mut stash, &s, &config, shard);
+                            req.finish(Ok(Response::Done));
+                            continue;
                         }
+                        Op::ShardInstall { shard } => {
+                            let req = batch.pop().expect("solo batch");
+                            install_shard(windex, &rt, &mut owned, &mut stash, &s, &config, shard);
+                            req.finish(Ok(Response::Done));
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    // The drained run is same-class but may interleave
+                    // this worker's shards; peel it into per-shard
+                    // groups (a stable split, so per-key order — which
+                    // is per-shard — is untouched) and execute each as
+                    // one engine call. Without the split a worker owning
+                    // several shards would see alternating-shard runs
+                    // and OBM would degrade to singleton batches.
+                    while !batch.is_empty() {
+                        let shard = batch[0].shard;
+                        group.clear();
+                        if batch.iter().all(|r| r.shard == shard) {
+                            std::mem::swap(&mut group, &mut batch);
+                        } else {
+                            spill.clear();
+                            for req in batch.drain(..) {
+                                if req.shard == shard {
+                                    group.push(req);
+                                } else {
+                                    spill.push(req);
+                                }
+                            }
+                            std::mem::swap(&mut batch, &mut spill);
+                        }
+                        if !owned.contains_key(&shard) {
+                            // Not ours (anymore / yet): stash or forward.
+                            for req in group.drain(..) {
+                                reroute_or_stash(windex, &rt, &mut stash, &s, req);
+                            }
+                            continue;
+                        }
+                        // Lifecycle stamps: queue wait ends at dequeue,
+                        // service covers dequeue -> completion (requests
+                        // in one OBM batch complete together).
+                        let dequeued = Instant::now();
+                        let class = group[0].op.class();
+                        let n = group.len() as u64;
+                        // "Scan active" means a parked cursor exists
+                        // *before* this batch: these are the point ops
+                        // whose latency a concurrent scan could have
+                        // wrecked.
+                        let scan_active = owned.values().any(|t| !t.is_empty());
+                        if lifecycle.is_some() {
+                            waits.clear();
+                            waits.extend(group.iter().map(|r| {
+                                dequeued.saturating_duration_since(r.enqueued).as_nanos() as u64
+                            }));
+                        }
+                        let engine = &rt.engines[shard as usize];
+                        let scans = owned.get_mut(&shard).expect("ownership checked above");
+                        s.busy.time(|| {
+                            execute_batch(&**engine, &mut group, &s, &mut scratch, scans, &config)
+                        });
+                        rt.shard_stats[shard as usize].record(n, dequeued.elapsed());
+                        if let Some(lc) = &lifecycle {
+                            let service_ns = dequeued.elapsed().as_nanos() as u64;
+                            lc.observe(class.index(), &waits, service_ns);
+                            if scan_active && class != OpClass::Solo {
+                                lc.observe_point_during_scan(waits.len(), service_ns);
+                            }
+                        }
+                    }
+                }
+                // Queue closed and drained: an install marker can no
+                // longer arrive. If the parcel is already in the depot,
+                // finish the stashed requests ourselves; otherwise fail
+                // them — their store is shutting down.
+                for (shard, reqs) in stash.drain() {
+                    if let Some(parcel) = rt.depot.take(shard) {
+                        let mut scans = parcel.scans;
+                        s.ops.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+                        s.batches.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+                        for req in reqs {
+                            execute_one(&*rt.engines[shard as usize], req, &s, &mut scans, &config);
+                        }
+                        rt.depot.complete(shard);
+                    } else {
+                        for req in reqs {
+                            req.finish_err(&Error::Closed);
+                        }
+                        rt.depot.abort(shard);
                     }
                 }
             })
@@ -184,17 +363,119 @@ impl WorkerHandle {
     }
 }
 
+/// Source half of a migration: package `shard` and signal the target.
+/// Runs when the `HandoffOut` marker is dequeued — the epoch fence
+/// guarantees every old-epoch request for the shard is already executed.
+fn handoff_out<E: KvsEngine>(
+    windex: usize,
+    rt: &ShardRuntime<E>,
+    owned: &mut HashMap<u64, ScanTable>,
+    stash: &mut HashMap<u64, Vec<Request>>,
+    stats: &WorkerStats,
+    config: &WorkerConfig,
+    shard: u64,
+) {
+    let Some(scans) = owned.remove(&shard) else {
+        // Duplicate / stale marker for a shard we no longer own: settle
+        // so the migrator is not left waiting on a phase that will never
+        // advance.
+        rt.depot.abort(shard);
+        return;
+    };
+    stats.handoffs_out.fetch_add(1, Ordering::Relaxed);
+    stats.shards_owned.store(owned.len() as u64, Ordering::Relaxed);
+    stats.scans_active.fetch_sub(scans.len() as u64, Ordering::Relaxed);
+    rt.depot.deposit(shard, Parcel { scans });
+    let target = rt.map.owner(shard as usize);
+    if target == windex {
+        // The map points back at us (no-op migration): reinstall locally
+        // instead of a push-to-self, which could deadlock the consumer
+        // against its own full ring.
+        install_shard(windex, rt, owned, stash, stats, config, shard);
+        return;
+    }
+    let req = Request::asynchronous(Op::ShardInstall { shard }, Box::new(|_| {})).on_shard(shard);
+    if rt.queues[target].push(req).is_err() {
+        // Target queue closed (shutdown): drop the parcel — parked
+        // cursors release their snapshots — and settle the handoff.
+        rt.depot.abort(shard);
+    }
+}
+
+/// Target half of a migration: collect the parcel, own the shard, and
+/// replay stashed requests in arrival order.
+fn install_shard<E: KvsEngine>(
+    windex: usize,
+    rt: &ShardRuntime<E>,
+    owned: &mut HashMap<u64, ScanTable>,
+    stash: &mut HashMap<u64, Vec<Request>>,
+    stats: &WorkerStats,
+    config: &WorkerConfig,
+    shard: u64,
+) {
+    let scans = rt.depot.take(shard).map(|p| p.scans).unwrap_or_default();
+    stats.handoffs_in.fetch_add(1, Ordering::Relaxed);
+    stats.scans_active.fetch_add(scans.len() as u64, Ordering::Relaxed);
+    owned.insert(shard, scans);
+    stats.shards_owned.store(owned.len() as u64, Ordering::Relaxed);
+    rt.shard_stats[shard as usize].owner.store(windex, Ordering::Relaxed);
+    rt.depot.complete(shard);
+    if let Some(reqs) = stash.remove(&shard) {
+        let started = Instant::now();
+        let n = reqs.len() as u64;
+        stats.ops.fetch_add(n, Ordering::Relaxed);
+        stats.batches.fetch_add(n, Ordering::Relaxed);
+        let engine = &rt.engines[shard as usize];
+        let scans = owned.get_mut(&shard).expect("just installed");
+        for req in reqs {
+            execute_one(&**engine, req, stats, scans, config);
+        }
+        rt.shard_stats[shard as usize].record(n, started.elapsed());
+    }
+}
+
+/// Handles a request for a shard this worker does not own: stash it if
+/// the map says the shard is migrating *to* us, else forward it to the
+/// current owner.
+fn reroute_or_stash<E: KvsEngine>(
+    windex: usize,
+    rt: &ShardRuntime<E>,
+    stash: &mut HashMap<u64, Vec<Request>>,
+    stats: &WorkerStats,
+    req: Request,
+) {
+    let owner = rt.map.owner(req.shard as usize);
+    if owner == windex {
+        // We are the incoming owner; the install marker is still in
+        // flight. Holding the request (replayed FIFO at install)
+        // preserves arrival order.
+        stats.stashed.fetch_add(1, Ordering::Relaxed);
+        stash.entry(req.shard).or_default().push(req);
+    } else {
+        // Stale-epoch request — defensive only: the store's submit paths
+        // hold a map pin across their pushes, and the migrator publishes
+        // the HandoffOut marker only after those pins quiesce, so its
+        // own traffic can never land here.
+        stats.rerouted.fetch_add(1, Ordering::Relaxed);
+        if let Err(r) = rt.queues[owner].push(req) {
+            r.finish_err(&Error::Closed);
+        }
+    }
+}
+
 impl Drop for WorkerHandle {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-/// Parked streaming-scan cursors, keyed by the id handed to the client
-/// in [`Response::Chunk`]. Owned by the worker thread; dropped cursors
+/// Parked streaming-scan cursors of **one shard**, keyed by the id
+/// handed to the client in [`Response::Chunk`]. Lives on the owning
+/// worker's thread and travels with the shard during a handoff (ids are
+/// scoped per shard, so merged tables never collide); dropped cursors
 /// release their engine snapshots.
 #[derive(Default)]
-struct ScanTable {
+pub(crate) struct ScanTable {
     next_id: u64,
     cursors: HashMap<u64, ScanCursor>,
 }
@@ -209,24 +490,28 @@ impl ScanTable {
     fn is_empty(&self) -> bool {
         self.cursors.is_empty()
     }
+
+    fn len(&self) -> usize {
+        self.cursors.len()
+    }
 }
 
-/// Reusable buffers for merged engine calls, allocated once per worker,
-/// plus the worker's parked scan cursors.
+/// Reusable buffers for merged engine calls, allocated once per worker.
 #[derive(Default)]
 struct BatchScratch {
     ops: Vec<WriteOp>,
     keys: Vec<Vec<u8>>,
-    scans: ScanTable,
 }
 
 /// Executes one OBM batch against the engine, draining `batch` (its
-/// allocation is the caller's and is reused across calls).
+/// allocation is the caller's and is reused across calls). `scans` is
+/// the target shard's cursor table.
 fn execute_batch<E: KvsEngine>(
     engine: &E,
     batch: &mut Vec<Request>,
     stats: &WorkerStats,
     scratch: &mut BatchScratch,
+    scans: &mut ScanTable,
     config: &WorkerConfig,
 ) {
     let n = batch.len() as u64;
@@ -291,7 +576,7 @@ fn execute_batch<E: KvsEngine>(
         _ => {
             // Single request, or the engine lacks the batched fast path.
             for req in batch.drain(..) {
-                execute_one(engine, req, stats, &mut scratch.scans, config);
+                execute_one(engine, req, stats, scans, config);
             }
         }
     }
@@ -397,6 +682,12 @@ fn execute_one<E: KvsEngine>(
             execute_scan(engine, op, stats, scans, config)
         }
         Op::TxnBatch { ops, gsn } => engine.write_batch(&ops, gsn).map(|()| Response::Done),
+        // Control markers are intercepted by the worker loop before any
+        // routing decision; reaching this point means a caller injected
+        // one through a non-worker execution path.
+        Op::HandoffOut { .. } | Op::ShardInstall { .. } => {
+            Err(Error::Unsupported("handoff markers outside a worker loop"))
+        }
     };
     match completion {
         crate::types::Completion::Sync(c) => c.fulfill(result),
@@ -532,7 +823,8 @@ mod tests {
         let engine = NoCapsEngine::new();
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
-        execute_batch(&engine, &mut put_batch(8), &stats, &mut scratch, &test_config());
+        let mut scans = ScanTable::default();
+        execute_batch(&engine, &mut put_batch(8), &stats, &mut scratch, &mut scans, &test_config());
         assert_eq!(stats.ops.load(Ordering::Relaxed), 8);
         assert_eq!(stats.batches.load(Ordering::Relaxed), 1);
         assert_eq!(
@@ -548,7 +840,7 @@ mod tests {
                 .0
             })
             .collect();
-        execute_batch(&engine, &mut reads, &stats, &mut scratch, &test_config());
+        execute_batch(&engine, &mut reads, &stats, &mut scratch, &mut scans, &test_config());
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 0);
     }
 
@@ -558,7 +850,8 @@ mod tests {
         let engine = factory.open(Path::new("w-merged"), None).unwrap();
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
-        execute_batch(&engine, &mut put_batch(5), &stats, &mut scratch, &test_config());
+        let mut scans = ScanTable::default();
+        execute_batch(&engine, &mut put_batch(5), &stats, &mut scratch, &mut scans, &test_config());
         assert_eq!(stats.ops.load(Ordering::Relaxed), 5);
         assert_eq!(
             stats.merged_ops.load(Ordering::Relaxed),
@@ -566,7 +859,7 @@ mod tests {
             "batch-write engine merges the whole run"
         );
         // A single-request batch is never a merge.
-        execute_batch(&engine, &mut put_batch(1), &stats, &mut scratch, &test_config());
+        execute_batch(&engine, &mut put_batch(1), &stats, &mut scratch, &mut scans, &test_config());
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 5);
     }
 
@@ -587,6 +880,7 @@ mod tests {
         });
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
+        let mut scans = ScanTable::default();
         let (mut batch, waiters): (Vec<_>, Vec<_>) = (0..8)
             .map(|i| {
                 Request::sync(Op::Put {
@@ -595,7 +889,7 @@ mod tests {
                 })
             })
             .unzip();
-        execute_batch(&engine, &mut batch, &stats, &mut scratch, &test_config());
+        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config());
         assert!(batch.is_empty(), "every request was completed");
         for (i, w) in waiters.into_iter().enumerate() {
             let err = w.wait().expect_err("every merged request must observe the engine error");
@@ -653,9 +947,10 @@ mod tests {
         let engine = NoCapsEngine::new();
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
+        let mut scans = ScanTable::default();
         let mut batch = put_batch(8);
         let cap_before = batch.capacity();
-        execute_batch(&engine, &mut batch, &stats, &mut scratch, &test_config());
+        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config());
         assert!(batch.is_empty(), "batch is drained, not consumed");
         assert_eq!(batch.capacity(), cap_before, "allocation is retained");
     }

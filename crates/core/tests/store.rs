@@ -52,13 +52,18 @@ fn crud_roundtrip_across_partitions() {
     store.delete(b"key0100").unwrap();
     assert_eq!(store.get(b"key0100").unwrap(), None);
     assert_eq!(store.get(b"missing").unwrap(), None);
-    // Data really is spread across instances.
+    // Data really is spread across the shard instances (4 workers →
+    // 16 shards by default).
     let populated = store
         .engines()
         .iter()
         .filter(|e| e.visible_sequence() > 0)
         .count();
-    assert_eq!(populated, 4, "every instance should own some keys");
+    assert_eq!(
+        populated,
+        store.shards(),
+        "every shard instance should own some keys"
+    );
 }
 
 #[test]
@@ -498,7 +503,11 @@ fn scan_metrics_surface_in_snapshots() {
                 .unwrap()
         })
         .sum();
-    assert_eq!(scans, 2, "one stream opened per worker");
+    assert_eq!(
+        scans,
+        store.shards() as u64,
+        "one stream opened per shard"
+    );
     assert!(chunks > scans, "8-entry chunks over 200 keys need resumes");
     wait_no_active_scans(&store);
     let snap = store.metrics_snapshot();
@@ -591,7 +600,7 @@ fn uncommitted_transaction_rolls_back_at_recovery() {
             "committed transaction must survive"
         );
     }
-    for i in 0..4 {
+    for i in 0..store.shards() {
         assert_eq!(
             store.get(format!("ghost{i}").as_bytes()).unwrap(),
             None,
@@ -871,6 +880,195 @@ fn metrics_disabled_store_still_snapshots() {
     assert!(snap.histograms_of("p2kvs_queue_wait_ns").is_empty());
     assert!(snap.counter("p2kvs_worker_ops_total{worker=\"0\"}").is_some());
     assert!(store.recent_slow_requests(4).is_empty());
+}
+
+#[test]
+fn mismatched_partitioner_is_rejected_at_open() {
+    // Regression: a custom partitioner whose partitions() disagrees
+    // with the shard count used to index workers out of bounds on the
+    // first submit; it must be a config error at open instead.
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.shards = 4;
+    opts.partitioner = Some(Arc::new(p2kvs::HashPartitioner::new(3)));
+    match P2Kvs::open(lsm_factory(), "p2-mismatch", opts) {
+        Err(p2kvs::Error::Config(msg)) => {
+            assert!(msg.contains('3') && msg.contains('4'), "diagnostic: {msg}");
+        }
+        Err(other) => panic!("expected a config error, got {other:?}"),
+        Ok(_) => panic!("mismatched partitioner must not open"),
+    }
+    // A matching custom partitioner opens fine and derives the shard
+    // count when `shards` is left at auto.
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.partitioner = Some(Arc::new(p2kvs::HashPartitioner::new(6)));
+    let store = P2Kvs::open(lsm_factory(), "p2-custom", opts).unwrap();
+    assert_eq!(store.shards(), 6);
+    store.put(b"k", b"v").unwrap();
+    assert_eq!(store.get(b"k").unwrap().unwrap(), b"v");
+}
+
+#[test]
+fn paper_layout_is_identity_and_static() {
+    let mut opts = P2KvsOptions::paper_layout(4);
+    opts.pin_workers = false;
+    let store = P2Kvs::open(lsm_factory(), "p2-paper", opts).unwrap();
+    assert_eq!(store.shards(), 4);
+    assert_eq!(store.shard_owners(), vec![0, 1, 2, 3]);
+    assert_eq!(store.map_epoch(), 1);
+    for i in 0..200 {
+        store.put(format!("k{i}").as_bytes(), b"v").unwrap();
+    }
+    assert_eq!(store.map_epoch(), 1, "no balancer, no migrations");
+    assert_eq!(store.migrations(), 0);
+}
+
+#[test]
+fn migrate_shard_moves_ownership_without_moving_data() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    let store = P2Kvs::open(lsm_factory(), "p2-mig", opts).unwrap();
+    let mut expected = std::collections::BTreeMap::new();
+    for i in 0..400 {
+        let k = format!("mig{i:04}");
+        store.put(k.as_bytes(), format!("{i}").as_bytes()).unwrap();
+        expected.insert(k.into_bytes(), format!("{i}").into_bytes());
+    }
+    let owners = store.shard_owners();
+    let epoch = store.map_epoch();
+    // Move every shard the other way, one at a time.
+    for (s, &o) in owners.iter().enumerate() {
+        store.migrate_shard(s, 1 - o).unwrap();
+    }
+    assert_eq!(store.migrations(), owners.len() as u64);
+    assert_eq!(store.map_epoch(), epoch + owners.len() as u64);
+    let flipped: Vec<usize> = owners.iter().map(|o| 1 - o).collect();
+    assert_eq!(store.shard_owners(), flipped);
+    // Same-owner migration is a no-op, not a deadlock.
+    store.migrate_shard(0, flipped[0]).unwrap();
+    // Every key reads back byte-identical through the new owners, and
+    // writes keep landing.
+    for (k, v) in &expected {
+        assert_eq!(store.get(k).unwrap().unwrap(), *v);
+    }
+    for i in 0..100 {
+        let k = format!("post{i:03}");
+        store.put(k.as_bytes(), b"after").unwrap();
+        assert_eq!(store.get(k.as_bytes()).unwrap().unwrap(), b"after");
+    }
+    // Out-of-range arguments are config errors, not panics.
+    assert!(matches!(
+        store.migrate_shard(store.shards(), 0),
+        Err(p2kvs::Error::Config(_))
+    ));
+    assert!(matches!(
+        store.migrate_shard(0, 99),
+        Err(p2kvs::Error::Config(_))
+    ));
+    let snap = store.snapshot();
+    let outs: u64 = snap.workers.iter().map(|w| w.handoffs_out).sum();
+    let ins: u64 = snap.workers.iter().map(|w| w.handoffs_in).sum();
+    assert_eq!(outs, owners.len() as u64);
+    assert_eq!(ins, owners.len() as u64);
+    store.close();
+}
+
+#[test]
+fn open_scan_survives_shard_migration() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.scan_chunk_entries = 16; // force resumes after the handoff
+    let store = P2Kvs::open(lsm_factory(), "p2-migscan", opts).unwrap();
+    for i in 0..600 {
+        store
+            .put(format!("ms{i:04}").as_bytes(), format!("{i}").as_bytes())
+            .unwrap();
+    }
+    let mut iter = store.iter().unwrap();
+    let mut seen = iter.next_chunk(50).unwrap();
+    // Consolidate every shard onto worker 0 while cursors are parked.
+    for s in 0..store.shards() {
+        store.migrate_shard(s, 0).unwrap();
+    }
+    // The parked cursors travelled with their shards; the scan resumes
+    // against the new owner and stays exact.
+    loop {
+        let chunk = iter.next_chunk(64).unwrap();
+        if chunk.is_empty() {
+            break;
+        }
+        seen.extend(chunk);
+    }
+    assert_eq!(seen.len(), 600);
+    assert!(seen.windows(2).all(|w| w[0].0 < w[1].0), "globally sorted");
+    for (i, (k, v)) in seen.iter().enumerate() {
+        assert_eq!(k, format!("ms{i:04}").as_bytes());
+        assert_eq!(v, format!("{i}").as_bytes());
+    }
+    drop(iter);
+    wait_no_active_scans(&store);
+    store.close();
+}
+
+#[test]
+fn rebalance_moves_hot_shards_off_a_saturated_worker() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    let store = P2Kvs::open(lsm_factory(), "p2-rebal", opts).unwrap();
+    // Default layout: 8 shards round-robin, worker 0 owns {0,2,4,6}.
+    // Drive all load at two shards of worker 0 so the planner has a
+    // movable candidate (a single hot shard can never improve the max).
+    let p = p2kvs::HashPartitioner::new(store.shards());
+    use p2kvs::Partitioner;
+    let hot: Vec<String> = (0..200_000)
+        .map(|i| format!("hot{i}"))
+        .filter(|k| {
+            let s = p.shard_of(k.as_bytes());
+            s == 0 || s == 2
+        })
+        .take(4000)
+        .collect();
+    for k in &hot {
+        store.put(k.as_bytes(), b"v").unwrap();
+    }
+    let moved = store.rebalance_once().unwrap();
+    assert!(moved >= 1, "skewed load must trigger a migration");
+    assert_eq!(store.migrations(), moved as u64);
+    let owners = store.shard_owners();
+    assert!(
+        owners[0] == 1 || owners[2] == 1,
+        "a hot shard moved to the idle worker: {owners:?}"
+    );
+    // Byte-identical reads after the move.
+    for k in hot.iter().step_by(17) {
+        assert_eq!(store.get(k.as_bytes()).unwrap().unwrap(), b"v");
+    }
+    // A balanced store does not oscillate: repeated ticks with no new
+    // load settle to zero moves.
+    let mut last = moved;
+    for _ in 0..4 {
+        last = store.rebalance_once().unwrap();
+    }
+    assert_eq!(last, 0, "idle ticks must not keep migrating");
+    store.close();
+}
+
+#[test]
+fn background_balancer_runs_and_stops() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.balance_interval = Some(std::time::Duration::from_millis(25));
+    let store = P2Kvs::open(lsm_factory(), "p2-bal-bg", opts).unwrap();
+    for i in 0..500 {
+        store.put(format!("bg{i:03}").as_bytes(), b"v").unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    for i in 0..500 {
+        assert_eq!(store.get(format!("bg{i:03}").as_bytes()).unwrap().unwrap(), b"v");
+    }
+    // Closing must stop the balancer thread promptly (no hang).
+    store.close();
 }
 
 #[test]

@@ -219,9 +219,23 @@ pub fn engine_options(env: EnvRef) -> lsmkv::Options {
 }
 
 /// Store options for the matrix: [`WORKERS`] instances, no core pinning
-/// (CI runners), no metrics sampling overhead.
+/// (CI runners), no metrics sampling overhead. Uses the paper layout
+/// (`shards == workers`, no balancer) so engine dir `instance-{i}`
+/// holds exactly partition `i` of the store's own `HashPartitioner` —
+/// [`unfiltered_partial_txn`] relies on that mapping.
 pub fn store_options() -> P2KvsOptions {
+    let mut o = P2KvsOptions::paper_layout(WORKERS);
+    o.pin_workers = false;
+    o.metrics = false;
+    o
+}
+
+/// Store options for the migration matrix: shards decoupled from
+/// workers (`2×` [`WORKERS`]) so ownership handoffs are meaningful;
+/// balancer off — the driver migrates at deterministic points instead.
+pub fn migration_store_options() -> P2KvsOptions {
     let mut o = P2KvsOptions::with_workers(WORKERS);
+    o.shards = 2 * WORKERS;
     o.pin_workers = false;
     o.metrics = false;
     o
@@ -244,7 +258,7 @@ fn txn_keys(round: usize) -> Vec<Vec<u8>> {
         let keys: Vec<Vec<u8>> = (0..TXN_KEYS)
             .map(|j| format!("txn-{round}-{salt}-{j}").into_bytes())
             .collect();
-        let spanned: HashSet<usize> = keys.iter().map(|k| part.worker_of(k)).collect();
+        let spanned: HashSet<usize> = keys.iter().map(|k| part.shard_of(k)).collect();
         if spanned.len() >= 2 {
             return keys;
         }
@@ -256,6 +270,19 @@ fn txn_keys(round: usize) -> Vec<Vec<u8>> {
 /// write and every ack. The op sequence depends only on `seed`; after a
 /// crash fires, the remaining ops simply come back as errors (unacked).
 pub fn run_workload(store: &P2Kvs<lsmkv::Db>, seed: u64) -> Oracle {
+    run_workload_hooked(store, seed, |_, _| {})
+}
+
+/// Like [`run_workload`] but invoking `hook(round, store)` at the end
+/// of every round — the migration matrix uses it to hand shard
+/// ownership between workers in the middle of the stream of acked
+/// writes. The hook does not touch the RNG, so the op sequence stays
+/// identical to the hook-free run.
+pub fn run_workload_hooked(
+    store: &P2Kvs<lsmkv::Db>,
+    seed: u64,
+    mut hook: impl FnMut(usize, &P2Kvs<lsmkv::Db>),
+) -> Oracle {
     let mut rng = Rng::new(seed);
     let mut oracle = Oracle::default();
     let mut op_no: u64 = 0;
@@ -317,6 +344,7 @@ pub fn run_workload(store: &P2Kvs<lsmkv::Db>, seed: u64) -> Oracle {
             oracle.record(k, Some(v.clone()), acked);
         }
         oracle.txns.push(TxnRecord { keys, values, acked });
+        hook(round, store);
     }
     oracle
 }
@@ -381,6 +409,61 @@ pub fn run_crash_point(seed: u64, point: u64) -> CrashPointOutcome {
     CrashPointOutcome { point, crashed, violations }
 }
 
+/// Crash-matrix variant exercising the epoch-fenced handoff: the store
+/// opens with shards decoupled from workers
+/// ([`migration_store_options`]) and every round ends with a
+/// deterministic shard migration, so sampled sync points land before,
+/// during, and after handoffs. Recovery reopens under a fresh
+/// (round-robin) map — durability must not depend on which worker
+/// happened to own a shard at the crash.
+pub fn run_crash_point_with_migration(seed: u64, point: u64) -> CrashPointOutcome {
+    let faulty = Arc::new(FaultyEnv::over_mem());
+    let env: EnvRef = faulty.clone();
+    faulty.set_plan(FaultPlan {
+        crash_at_sync: Some(point),
+        torn_tail: (point % 17) as usize,
+        ..FaultPlan::default()
+    });
+    let open = |env: &EnvRef| {
+        P2Kvs::open(
+            LsmFactory::new(engine_options(env.clone())),
+            "db",
+            migration_store_options(),
+        )
+    };
+    let oracle = match open(&env) {
+        // A crash with a small `point` fires during store creation.
+        Err(_) => Oracle::default(),
+        Ok(store) => {
+            let shards = store.shards();
+            let oracle = run_workload_hooked(&store, seed, |round, st| {
+                // Walk a different shard across the workers each round.
+                // After the crash fires the handoff marker push fails —
+                // ignore it, the remaining workload ops fail the same
+                // way.
+                let _ = st.migrate_shard(round % shards, (round + 1) % WORKERS);
+            });
+            store.close();
+            oracle
+        }
+    };
+    let crashed = faulty.crashed();
+    faulty.heal();
+    let store = match open(&env) {
+        Ok(s) => s,
+        Err(e) => {
+            return CrashPointOutcome {
+                point,
+                crashed,
+                violations: vec![format!("recovery failed to reopen the store: {e}")],
+            }
+        }
+    };
+    let violations = oracle.check(|k| store.get(k).expect("post-recovery read"));
+    store.close();
+    CrashPointOutcome { point, crashed, violations }
+}
+
 /// The sampled crash points for a space of `total` sync points: every one
 /// of the first 160, then a stride over the rest. Dense early coverage
 /// catches creation/metadata crashes; the stride keeps the matrix bounded
@@ -428,7 +511,7 @@ pub fn unfiltered_partial_txn(seed: u64, point: u64) -> Option<(usize, usize)> {
     for txn in oracle.txns.iter().filter(|t| !t.acked) {
         let mut present = 0;
         for (k, v) in txn.keys.iter().zip(&txn.values) {
-            let db = match &dbs[part.worker_of(k)] {
+            let db = match &dbs[part.shard_of(k)] {
                 Some(db) => db,
                 None => continue,
             };
@@ -585,7 +668,7 @@ mod tests {
         let part = HashPartitioner::new(WORKERS);
         for round in 0..ROUNDS {
             let keys = txn_keys(round);
-            let spanned: HashSet<usize> = keys.iter().map(|k| part.worker_of(k)).collect();
+            let spanned: HashSet<usize> = keys.iter().map(|k| part.shard_of(k)).collect();
             assert!(spanned.len() >= 2, "round {round}");
         }
     }
@@ -617,6 +700,46 @@ mod tests {
     fn a_few_crash_points_recover_cleanly() {
         for point in [3, 40, 120] {
             let out = run_crash_point(7, point);
+            assert!(out.crashed, "point {point} did not fire");
+            assert!(out.violations.is_empty(), "point {point}: {:?}", out.violations);
+        }
+    }
+
+    #[test]
+    fn migration_workload_stays_consistent_without_faults() {
+        let faulty = Arc::new(FaultyEnv::over_mem());
+        let env: EnvRef = faulty.clone();
+        let store = P2Kvs::open(
+            LsmFactory::new(engine_options(env.clone())),
+            "db",
+            migration_store_options(),
+        )
+        .unwrap();
+        let shards = store.shards();
+        let oracle = run_workload_hooked(&store, 7, |round, st| {
+            st.migrate_shard(round % shards, (round + 1) % WORKERS).unwrap();
+        });
+        assert!(store.migrations() >= 1, "at least one real handoff happened");
+        assert!(oracle.txns.iter().all(|t| t.acked));
+        let v = oracle.check(|k| store.get(k).unwrap());
+        assert!(v.is_empty(), "{v:?}");
+        store.close();
+        // The state survives a reopen under a fresh round-robin map.
+        let store = P2Kvs::open(
+            LsmFactory::new(engine_options(env.clone())),
+            "db",
+            migration_store_options(),
+        )
+        .unwrap();
+        let v = oracle.check(|k| store.get(k).unwrap());
+        assert!(v.is_empty(), "{v:?}");
+        store.close();
+    }
+
+    #[test]
+    fn migration_crash_points_recover_cleanly() {
+        for point in [25, 90, 170] {
+            let out = run_crash_point_with_migration(11, point);
             assert!(out.crashed, "point {point} did not fire");
             assert!(out.violations.is_empty(), "point {point}: {:?}", out.violations);
         }

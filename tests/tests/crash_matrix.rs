@@ -16,7 +16,8 @@
 //! --test crash_matrix`.
 
 use p2kvs_integration_tests::crash::{
-    dry_run_sync_points, run_crash_point, sample_points, unfiltered_partial_txn,
+    dry_run_sync_points, run_crash_point, run_crash_point_with_migration, sample_points,
+    unfiltered_partial_txn,
 };
 
 /// Default seed; override with `P2KVS_CRASH_SEED` to explore.
@@ -64,6 +65,44 @@ fn crash_matrix_recovers_at_every_sampled_sync_point() {
     // merges a few more group commits than the dry run; the bulk must.
     assert!(
         crashed >= 200,
+        "only {crashed} of {} sampled points actually crashed (seed {seed})",
+        points.len()
+    );
+}
+
+/// The handoff matrix: the same oracle discipline, but the store opens
+/// with shards decoupled from workers and every workload round ends
+/// with an epoch-fenced shard migration, so sampled crash points land
+/// before, during, and after handoffs. Recovery reopens under a fresh
+/// round-robin map — no acked write may depend on which worker owned a
+/// shard when the power failed. Sampled at a stride to bound CI time.
+#[test]
+fn crash_matrix_recovers_across_shard_migrations() {
+    let seed = seed();
+    let total = dry_run_sync_points(seed);
+    // The migration store opens twice as many instances, so its sync
+    // numbering shifts relative to the dry run; a stride over the dry
+    // run's range still covers creation, handoff, and steady state.
+    let points: Vec<u64> = (1..=total).step_by(5).collect();
+    let mut crashed = 0usize;
+    let mut failures = Vec::new();
+    for &point in &points {
+        let out = run_crash_point_with_migration(seed, point);
+        if out.crashed {
+            crashed += 1;
+        }
+        for v in out.violations {
+            failures.push(format!("seed {seed}, sync point {point} (migration): {v}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} recovery violations under migration:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    assert!(
+        crashed >= points.len() / 2,
         "only {crashed} of {} sampled points actually crashed (seed {seed})",
         points.len()
     );
