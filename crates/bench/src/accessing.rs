@@ -358,14 +358,12 @@ pub fn speedup_at(results: &[FanInResult], threads: usize) -> f64 {
 /// Renders results as the `BENCH_accessing.json` artifact.
 pub fn render_json(results: &[FanInResult], ops_per_thread: usize, batch_max: usize) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"accessing\",\n");
-    let unix = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    s.push_str(&format!("  \"generated_unix\": {unix},\n"));
-    s.push_str(&format!("  \"ops_per_thread\": {ops_per_thread},\n"));
-    s.push_str(&format!("  \"batch_max\": {batch_max},\n"));
+    s.push_str(
+        &crate::artifact::RunMeta::new("accessing", 0)
+            .num("ops_per_thread", ops_per_thread)
+            .num("batch_max", batch_max)
+            .render(),
+    );
     s.push_str(&format!(
         "  \"speedup_ring_vs_mutex_at_8_threads\": {:.3},\n",
         speedup_at(results, 8)

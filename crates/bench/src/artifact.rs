@@ -1,4 +1,5 @@
-//! Per-run metrics JSON artifacts.
+//! Per-run metrics JSON artifacts and the shared run metadata every
+//! `BENCH_*.json` artifact embeds.
 //!
 //! When `P2KVS_METRICS_DIR` is set, every p2KVS store the harness closes
 //! writes its final [`MetricsSnapshot`] there as
@@ -7,12 +8,26 @@
 //! snapshot: framework counters, queue-wait/service histograms, queue
 //! depths, and per-instance `engine_*` metrics — enough to audit any
 //! throughput or latency number the run printed.
+//!
+//! The benchmark artifacts (`BENCH_accessing.json`, `BENCH_scan.json`,
+//! `BENCH_skew.json`, `BENCH_trace.json`) additionally open with a
+//! [`RunMeta`] header — schema version, bench id, timestamp, seed, git
+//! revision when discoverable, and the run's configuration knobs — so
+//! every artifact is self-describing: a number in CI can always be traced
+//! back to the exact code revision and parameters that produced it.
+//! [`validate_schema`] checks that contract and is unit-tested against
+//! all four artifact renderers.
 
+use std::fmt::Display;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use p2kvs_obs::MetricsSnapshot;
+
+/// Version of the shared artifact envelope. Bump when the meta header or
+/// a required top-level key changes shape.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Environment variable naming the artifact directory; unset (or empty)
 /// disables artifact writing.
@@ -47,9 +62,291 @@ pub fn maybe_write(snapshot: &MetricsSnapshot) -> Option<PathBuf> {
     Some(path)
 }
 
+/// The self-describing header every `BENCH_*.json` artifact opens with.
+///
+/// Built by the bench that owns the artifact, rendered by
+/// [`RunMeta::render`] as the first keys of the top-level JSON object:
+/// `bench`, `schema_version`, `generated_unix`, `seed`, `git_rev`
+/// (`null` when the build is not inside a git checkout), and a `config`
+/// object holding the run's knobs (op counts, thread counts, sample
+/// rates, ...).
+pub struct RunMeta {
+    bench: String,
+    seed: u64,
+    /// Keys paired with pre-rendered JSON value tokens.
+    config: Vec<(String, String)>,
+}
+
+impl RunMeta {
+    /// Starts a header for the bench `bench` run with `seed` (0 for
+    /// seedless deterministic workloads).
+    pub fn new(bench: &str, seed: u64) -> RunMeta {
+        RunMeta { bench: bench.to_string(), seed, config: Vec::new() }
+    }
+
+    /// Adds a numeric (or boolean — any bare-token) config knob.
+    pub fn num(mut self, key: &str, value: impl Display) -> RunMeta {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a string config knob (quoted in the JSON).
+    pub fn text(mut self, key: &str, value: &str) -> RunMeta {
+        self.config
+            .push((key.to_string(), format!("\"{}\"", value.replace('"', "'"))));
+        self
+    }
+
+    /// Renders the header as the leading lines of a two-space-indented
+    /// JSON object body (trailing comma included — summary keys follow).
+    pub fn render(&self) -> String {
+        let unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let rev = git_rev().map_or("null".to_string(), |r| format!("\"{r}\""));
+        let config: Vec<String> = self
+            .config
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!(
+            "  \"bench\": \"{}\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \
+             \"generated_unix\": {unix},\n  \"seed\": {},\n  \"git_rev\": {rev},\n  \
+             \"config\": {{{}}},\n",
+            self.bench,
+            self.seed,
+            config.join(", "),
+        )
+    }
+}
+
+/// Best-effort current git revision: walks up from the working directory
+/// to the nearest `.git`, follows `HEAD` one level of indirection, and
+/// returns the 40-hex commit id. `None` outside a checkout (artifacts
+/// then record `git_rev: null`) — a bench must never fail over this.
+pub fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+            let head = head.trim();
+            let id = match head.strip_prefix("ref: ") {
+                None => head.to_string(),
+                Some(refname) => match std::fs::read_to_string(git.join(refname)) {
+                    Ok(id) => id.trim().to_string(),
+                    // Ref may live only in packed-refs.
+                    Err(_) => {
+                        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+                        packed
+                            .lines()
+                            .find(|l| l.ends_with(refname))
+                            .and_then(|l| l.split_ascii_whitespace().next())?
+                            .to_string()
+                    }
+                },
+            };
+            return (id.len() == 40 && id.bytes().all(|b| b.is_ascii_hexdigit()))
+                .then_some(id);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Validates the shared `BENCH_*.json` envelope: structurally balanced
+/// JSON (string-aware brace/bracket scan) carrying every required
+/// [`RunMeta`] key with the right value shape, plus a `results` array.
+/// Returns the violations found; empty = conforming.
+pub fn validate_schema(json: &str) -> Vec<String> {
+    let mut v = Vec::new();
+
+    // Structural scan: braces/brackets balanced outside string literals.
+    let (mut depth, mut brackets) = (0i64, 0i64);
+    let (mut in_str, mut escaped) = (false, false);
+    for c in json.chars() {
+        match (in_str, escaped, c) {
+            (true, true, _) => escaped = false,
+            (true, false, '\\') => escaped = true,
+            (true, false, '"') => in_str = false,
+            (true, ..) => {}
+            (false, _, '"') => in_str = true,
+            (false, _, '{') => depth += 1,
+            (false, _, '}') => depth -= 1,
+            (false, _, '[') => brackets += 1,
+            (false, _, ']') => brackets -= 1,
+            _ => {}
+        }
+        if depth < 0 || brackets < 0 {
+            v.push("unbalanced closers".into());
+            return v;
+        }
+    }
+    if depth != 0 || brackets != 0 || in_str {
+        v.push(format!(
+            "unbalanced document (brace depth {depth}, bracket depth {brackets}, in_str {in_str})"
+        ));
+    }
+
+    // Required keys, each with a shape sniff on the first value char.
+    let shape_of = |key: &str| -> Option<char> {
+        let at = json.find(&format!("\"{key}\":"))?;
+        json[at + key.len() + 3..].trim_start().chars().next()
+    };
+    let mut expect = |key: &str, ok: &dyn Fn(char) -> bool, want: &str| match shape_of(key) {
+        None => v.push(format!("missing required key \"{key}\"")),
+        Some(c) if !ok(c) => {
+            v.push(format!("key \"{key}\" should be {want}, starts with {c:?}"))
+        }
+        Some(_) => {}
+    };
+    expect("bench", &|c| c == '"', "a string");
+    expect("generated_unix", &|c| c.is_ascii_digit(), "a number");
+    expect("seed", &|c| c.is_ascii_digit(), "a number");
+    expect("git_rev", &|c| c == '"' || c == 'n', "a string or null");
+    expect("config", &|c| c == '{', "an object");
+    expect("results", &|c| c == '[', "an array");
+    if !json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")) {
+        v.push(format!("missing or stale schema_version (want {SCHEMA_VERSION})"));
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_meta_renders_required_keys_and_validates() {
+        let meta = RunMeta::new("unit", 42)
+            .num("threads", 8)
+            .num("identical", true)
+            .text("profile", "optane");
+        let doc = format!("{{\n{}  \"results\": []\n}}\n", meta.render());
+        assert!(doc.contains("\"bench\": \"unit\""), "{doc}");
+        assert!(doc.contains("\"seed\": 42"));
+        assert!(doc.contains("\"threads\": 8"));
+        assert!(doc.contains("\"identical\": true"));
+        assert!(doc.contains("\"profile\": \"optane\""));
+        let violations = validate_schema(&doc);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn validate_schema_catches_missing_keys_and_imbalance() {
+        let v = validate_schema("{\"bench\": \"x\"}");
+        assert!(v.iter().any(|m| m.contains("\"seed\"")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("schema_version")), "{v:?}");
+        let v = validate_schema("{\"a\": [1, 2}");
+        assert!(v.iter().any(|m| m.contains("unbalanced")), "{v:?}");
+        // Braces inside string literals must not confuse the scan.
+        let meta = RunMeta::new("b{r[ace", 1).text("k", "}}]]");
+        let doc = format!("{{\n{}  \"results\": []\n}}\n", meta.render());
+        assert!(validate_schema(&doc).is_empty());
+    }
+
+    #[test]
+    fn git_rev_is_stable_within_a_checkout() {
+        // In a checkout both calls agree on a 40-hex id; outside one,
+        // both are None — either way the function must be deterministic.
+        assert_eq!(git_rev(), git_rev());
+        if let Some(rev) = git_rev() {
+            assert_eq!(rev.len(), 40);
+        }
+    }
+
+    /// The schema contract, checked against all four `BENCH_*.json`
+    /// renderers with synthetic results (no benchmark execution).
+    #[test]
+    fn all_four_bench_artifacts_conform_to_schema() {
+        let accessing = crate::accessing::render_json(
+            &[crate::accessing::FanInResult {
+                queue: "ring",
+                mode: "pipelined",
+                window: 16,
+                threads: 8,
+                ops: 1000,
+                elapsed_secs: 0.5,
+                ops_per_sec: 2000.0,
+                avg_batch: 3.5,
+                p50_rt_ns: 900,
+                p99_rt_ns: 4000,
+            }],
+            1000,
+            32,
+        );
+        let scan = crate::scaninterf::render_json(
+            &[crate::scaninterf::InterfResult {
+                config: "chunked",
+                chunk_entries: 256,
+                p50_get_idle_ns: 800,
+                p99_get_idle_ns: 2000,
+                p50_get_scan_ns: 900,
+                p99_get_scan_ns: 3000,
+                gets_during_scan: 500,
+                scans_completed: 2,
+                scan_entries_per_sec: 1e5,
+                scan_chunks: 40,
+                scan_resumes: 38,
+            }],
+            100_000,
+            100,
+            true,
+        );
+        let skew = crate::skew::render_json(
+            &[crate::skew::SkewResult {
+                config: "balanced",
+                workers: 4,
+                shards: 16,
+                migrations: 3,
+                ops: 1000,
+                wall_secs: 0.5,
+                throughput_ops_sec: 2000.0,
+                p50_get_ns: 900,
+                p99_get_ns: 4000,
+                worker_ops: vec![250, 250, 250, 250],
+                ops_spread: 1.0,
+                busy_spread: 1.1,
+            }],
+            2000,
+            true,
+            7,
+        );
+        let trace = crate::traceov::render_json(
+            &crate::traceov::TraceOvSummary {
+                results: vec![crate::traceov::TraceOvResult {
+                    config: "sampled",
+                    trace_sample: 64,
+                    round: 0,
+                    ops: 1000,
+                    wall_secs: 0.5,
+                    throughput_ops_sec: 2000.0,
+                    read_checksum: 42,
+                    spans_recorded: 9,
+                }],
+                best_disabled: 2040.0,
+                best_sampled: 2000.0,
+                overhead_pct: 1.96,
+                within_budget: true,
+            },
+            4,
+            1000,
+            100,
+            7,
+            true,
+        );
+        for (name, doc) in [
+            ("accessing", &accessing),
+            ("scan", &scan),
+            ("skew", &skew),
+            ("trace", &trace),
+        ] {
+            let v = validate_schema(doc);
+            assert!(v.is_empty(), "BENCH_{name}.json schema: {v:?}\n{doc}");
+        }
+    }
 
     #[test]
     fn writes_labeled_artifact_when_enabled() {

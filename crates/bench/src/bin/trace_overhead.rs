@@ -1,0 +1,58 @@
+//! Standalone trace-overhead benchmark: the accessing pipeline with
+//! span tracing disabled versus the default 1-in-64 sample rate,
+//! writing `BENCH_trace.json`.
+//!
+//! ```text
+//! cargo run -p p2kvs-bench --release --bin trace_overhead
+//! ```
+//!
+//! The artifact lands in `$P2KVS_METRICS_DIR` when set, the working
+//! directory otherwise; op counts scale with `P2KVS_SCALE` and the seed
+//! comes from `P2KVS_TRACE_SEED` (default fixed). **Exits non-zero when
+//! the overhead exceeds the 5% budget** — the `trace-overhead` CI job
+//! is exactly this binary.
+
+use p2kvs_bench::traceov;
+
+fn main() -> std::io::Result<()> {
+    let path = traceov::artifact_path();
+    let summary = traceov::run_default(&path)?;
+
+    let rows: Vec<Vec<String>> = summary
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                r.trace_sample.to_string(),
+                r.round.to_string(),
+                p2kvs_bench::kqps(r.throughput_ops_sec),
+                format!("{:016x}", r.read_checksum),
+                r.spans_recorded.to_string(),
+            ]
+        })
+        .collect();
+    p2kvs_bench::print_table(
+        "span tracing overhead: disabled vs default 1/64 sampling",
+        &["config", "sample", "round", "kops/s", "read_checksum", "spans"],
+        &rows,
+    );
+    println!(
+        "\nbest disabled: {:.1} kops/s, best sampled: {:.1} kops/s, overhead {:.2}% (budget {}%)",
+        summary.best_disabled / 1e3,
+        summary.best_sampled / 1e3,
+        summary.overhead_pct,
+        traceov::OVERHEAD_BUDGET_PCT,
+    );
+    println!("wrote {}", path.display());
+
+    if !summary.within_budget {
+        eprintln!(
+            "FAIL: tracing overhead {:.2}% exceeds the {}% budget",
+            summary.overhead_pct,
+            traceov::OVERHEAD_BUDGET_PCT
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -15,6 +15,7 @@ pub mod figures;
 pub mod scaninterf;
 pub mod setups;
 pub mod skew;
+pub mod traceov;
 
 /// Returns `n` scaled by `P2KVS_SCALE` (min 1).
 pub fn scaled(n: u64) -> u64 {

@@ -219,14 +219,12 @@ pub fn render_json(
     identical: bool,
 ) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"scan_interference\",\n");
-    let unix = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    s.push_str(&format!("  \"generated_unix\": {unix},\n"));
-    s.push_str(&format!("  \"entries\": {entries},\n"));
-    s.push_str(&format!("  \"value_bytes\": {value_bytes},\n"));
+    s.push_str(
+        &crate::artifact::RunMeta::new("scan_interference", 0)
+            .num("entries", entries)
+            .num("value_bytes", value_bytes)
+            .render(),
+    );
     s.push_str(&format!(
         "  \"scan_results_identical\": {identical},\n"
     ));

@@ -368,17 +368,20 @@ pub fn throughput_improvement(results: &[SkewResult]) -> f64 {
 }
 
 /// Renders the `BENCH_skew.json` artifact.
-pub fn render_json(results: &[SkewResult], keys_per_tenant: u64, identical: bool) -> String {
+pub fn render_json(
+    results: &[SkewResult],
+    keys_per_tenant: u64,
+    identical: bool,
+    seed: u64,
+) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"skew_rebalance\",\n");
-    let unix = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    s.push_str(&format!("  \"generated_unix\": {unix},\n"));
-    s.push_str(&format!("  \"tenants\": {TENANTS},\n"));
-    s.push_str(&format!("  \"theta\": {THETA},\n"));
-    s.push_str(&format!("  \"keys_per_tenant\": {keys_per_tenant},\n"));
+    s.push_str(
+        &crate::artifact::RunMeta::new("skew_rebalance", seed)
+            .num("tenants", TENANTS)
+            .num("theta", THETA)
+            .num("keys_per_tenant", keys_per_tenant)
+            .render(),
+    );
     s.push_str(&format!("  \"reads_identical\": {identical},\n"));
     s.push_str(&format!(
         "  \"spread_improvement\": {:.3},\n",
@@ -455,7 +458,7 @@ pub fn run_default(path: &Path) -> std::io::Result<Vec<SkewResult>> {
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, render_json(&results, keys_per_tenant, identical))?;
+    std::fs::write(path, render_json(&results, keys_per_tenant, identical, seed))?;
     Ok(results)
 }
 
@@ -506,9 +509,11 @@ mod tests {
         assert!(bal.migrations >= 1, "skewed warmup must trigger moves");
         assert!(stat.ops > 0 && bal.ops > 0);
         assert!(stat.p50_get_ns <= stat.p99_get_ns);
-        let json = render_json(&[stat, bal], 50, true);
+        let json = render_json(&[stat, bal], 50, true, 7);
         assert!(json.contains("\"bench\": \"skew_rebalance\""));
         assert!(json.contains("\"config\": \"balanced\""));
         assert!(json.contains("spread_improvement"));
+        let v = crate::artifact::validate_schema(&json);
+        assert!(v.is_empty(), "{v:?}");
     }
 }

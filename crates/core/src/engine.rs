@@ -32,6 +32,41 @@ pub struct Capabilities {
 /// Predicate deciding whether a GSN-tagged batch replays at recovery.
 pub type GsnFilter = Arc<dyn Fn(u64) -> bool + Send + Sync>;
 
+/// Cumulative engine phase clocks, nanoseconds since instance open.
+///
+/// A worker samples these around an engine call and attributes the
+/// deltas as nested phase spans of a sampled request (WAL append,
+/// memtable insert, read path). Engines without an internal breakdown
+/// report all zeros and the trace simply shows the undivided engine
+/// span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnginePhases {
+    /// Time spent appending to the write-ahead log.
+    pub wal_ns: u64,
+    /// Time spent inserting into the memtable.
+    pub memtable_ns: u64,
+    /// Time spent in the read path (memtable probe + table lookups).
+    pub read_ns: u64,
+}
+
+/// A background-job notification from an engine instance, forwarded to
+/// the framework's flight recorder. Delivered on the engine's background
+/// thread with no engine lock held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A memtable flush is starting; `bytes` is the memtable footprint.
+    FlushStart { bytes: u64 },
+    /// A flush finished, writing `bytes` to L0 (0 on failure).
+    FlushFinish { bytes: u64 },
+    /// A compaction is starting at `level`, reading `bytes`.
+    CompactionStart { level: u32, bytes: u64 },
+    /// A compaction at `level` finished, producing `bytes` (0 on failure).
+    CompactionFinish { level: u32, bytes: u64 },
+}
+
+/// Observer for [`EngineEvent`]s.
+pub type EngineEventHook = Arc<dyn Fn(&EngineEvent) + Send + Sync>;
+
 /// One bounded slice of a streaming scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanChunk {
@@ -204,6 +239,17 @@ pub trait KvsEngine: Send + Sync + 'static {
     fn engine_metrics(&self) -> Vec<(String, f64)> {
         Vec::new()
     }
+
+    /// Cumulative phase clocks for trace attribution
+    /// ([`EnginePhases`]); the default reports no breakdown.
+    fn phase_clocks(&self) -> EnginePhases {
+        EnginePhases::default()
+    }
+
+    /// Subscribes the flight recorder to this instance's background-job
+    /// events. The default (engines without background jobs, or without
+    /// the plumbing) never delivers anything.
+    fn install_event_hook(&self, _hook: EngineEventHook) {}
 }
 
 /// Opens engine instances, one per worker.
@@ -344,6 +390,44 @@ impl KvsEngine for lsmkv::Db {
 
     fn engine_metrics(&self) -> Vec<(String, f64)> {
         self.stats().metrics()
+    }
+
+    fn phase_clocks(&self) -> EnginePhases {
+        let stats = self.stats();
+        EnginePhases {
+            wal_ns: stats.breakdown.wal.sum_ns(),
+            memtable_ns: stats.breakdown.memtable.sum_ns(),
+            read_ns: stats.read_path.sum_ns(),
+        }
+    }
+
+    fn install_event_hook(&self, hook: EngineEventHook) {
+        lsmkv::Db::install_event_hook(
+            self,
+            Arc::new(move |ev| {
+                let mapped = match *ev {
+                    lsmkv::DbEvent::FlushStart { bytes } => EngineEvent::FlushStart { bytes },
+                    lsmkv::DbEvent::FlushFinish { bytes, ok } => EngineEvent::FlushFinish {
+                        bytes: if ok { bytes } else { 0 },
+                    },
+                    lsmkv::DbEvent::CompactionStart { level, input_bytes } => {
+                        EngineEvent::CompactionStart {
+                            level,
+                            bytes: input_bytes,
+                        }
+                    }
+                    lsmkv::DbEvent::CompactionFinish {
+                        level,
+                        output_bytes,
+                        ok,
+                    } => EngineEvent::CompactionFinish {
+                        level,
+                        bytes: if ok { output_bytes } else { 0 },
+                    },
+                };
+                hook(&mapped);
+            }),
+        );
     }
 }
 
@@ -799,6 +883,40 @@ mod tests {
         );
         let (all, _) = drain_cursor(&db, b"", None, 2);
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn lsm_event_hook_and_phase_clocks_surface() {
+        use std::sync::Mutex;
+        let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+        let mut opts = lsmkv::Options::rocksdb_like(env);
+        opts.memtable_size = 1 << 10; // flush after ~a dozen writes
+        let db = LsmFactory::new(opts).open(Path::new("ev1"), None).unwrap();
+        let seen: Arc<Mutex<Vec<EngineEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        KvsEngine::install_event_hook(&db, Arc::new(move |ev| sink.lock().unwrap().push(*ev)));
+        for i in 0..64 {
+            KvsEngine::put(&db, format!("k{i:03}").as_bytes(), &vec![b'v'; 64]).unwrap();
+        }
+        db.flush().unwrap();
+        KvsEngine::get(&db, b"k000").unwrap();
+        let events = seen.lock().unwrap().clone();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, EngineEvent::FlushStart { bytes } if *bytes > 0)),
+            "no FlushStart in {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, EngineEvent::FlushFinish { bytes } if *bytes > 0)),
+            "no FlushFinish in {events:?}"
+        );
+        let phases = db.phase_clocks();
+        assert!(phases.wal_ns > 0, "WAL clock advanced");
+        assert!(phases.memtable_ns > 0, "memtable clock advanced");
+        assert!(phases.read_ns > 0, "read clock advanced");
     }
 
     #[test]

@@ -72,14 +72,19 @@ pub mod types;
 pub mod worker;
 
 pub use balance::BalancePolicy;
-pub use engine::{Capabilities, EngineFactory, KvsEngine};
+pub use engine::{
+    Capabilities, EngineEvent, EngineEventHook, EngineFactory, EnginePhases, KvsEngine,
+};
 pub use error::{Error, Result};
 pub use scan::StoreIter;
 pub use shard::{HashPartitioner, Partitioner, RangePartitioner, ShardMap};
-pub use store::{P2Kvs, P2KvsOptions, ScanStrategy};
+pub use store::{P2Kvs, P2KvsOptions, ScanStrategy, StoreIntrospection, WorkerView};
 pub use types::{Op, Response, WriteOp};
 
 // The observability layer (re-exported so store users can consume
 // snapshots and traces without depending on `p2kvs-obs` directly).
 pub use p2kvs_obs as obs;
-pub use p2kvs_obs::{MetricsRegistry, MetricsSnapshot, TraceEvent};
+pub use p2kvs_obs::{
+    Journal, JournalKind, JournalRecord, MetricsRegistry, MetricsSnapshot, SpanKind, SpanRecord,
+    SpanRing, TraceCtx, TraceEvent,
+};

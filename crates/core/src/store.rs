@@ -9,17 +9,19 @@
 //! skews. `shards == workers` with the balancer off reproduces the
 //! paper's static one-instance-per-worker layout exactly.
 
+use std::cell::Cell;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use p2kvs_obs::{
-    labeled, MetricsRegistry, MetricsSnapshot, PeriodicTask, TraceEvent, TraceRing, WorkerLifecycle,
+    labeled, parse_journal, Journal, JournalKind, JournalRecord, MetricsRegistry, MetricsSnapshot,
+    PeriodicTask, SpanRecord, SpanRing, TraceCtx, TraceEvent, TraceRing, WorkerLifecycle,
 };
 
 use crate::balance::{plan_moves, BalancePolicy};
-use crate::engine::{EngineFactory, GsnFilter, KvsEngine};
+use crate::engine::{EngineEvent, EngineFactory, GsnFilter, KvsEngine};
 use crate::error::{Error, Result};
 use crate::scan::StoreIter;
 use crate::shard::{HashPartitioner, MapCell, Partitioner, ShardMap};
@@ -108,6 +110,26 @@ pub struct P2KvsOptions {
     /// When set, a background reporter thread logs a one-line metrics
     /// summary to stderr at this interval.
     pub report_interval: Option<Duration>,
+    /// Causal-trace sampling rate: one in `trace_sample` requests
+    /// carries a trace id from enqueue through the worker, the engine
+    /// call, and device I/O, leaving a completed span tree in the span
+    /// ring (see [`P2Kvs::export_trace`]). `0` disables tracing
+    /// entirely; sampled requests cost a handful of clock reads, the
+    /// rest pay one branch.
+    pub trace_sample: u64,
+    /// Capacity of the completed-span ring (oldest spans are
+    /// overwritten).
+    pub trace_span_capacity: usize,
+    /// Whether the flight recorder runs: a monotonically sequenced
+    /// journal of control-plane events (handoffs, balancer moves,
+    /// flush/compaction, fault firings, scan lifecycle) persisted to
+    /// `FLIGHT.log` under the store directory and recovered — gap-free —
+    /// across restarts and crashes. Independent of `metrics`: the
+    /// recorder documents *what the store did*, not how fast.
+    pub flight_recorder: bool,
+    /// In-memory ring capacity of the flight recorder (the persisted
+    /// log is unbounded within the store's lifetime).
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for P2KvsOptions {
@@ -129,8 +151,21 @@ impl Default for P2KvsOptions {
             slow_request_threshold: Duration::from_millis(1),
             trace_capacity: 256,
             report_interval: None,
+            trace_sample: 64,
+            trace_span_capacity: 4096,
+            flight_recorder: true,
+            flight_recorder_capacity: 256,
         }
     }
+}
+
+std::thread_local! {
+    /// Set while the flight recorder's sink is appending to `FLIGHT.log`.
+    /// The journal's own I/O flows through the same (possibly
+    /// fault-injecting) env as everything else, so a fault fired *by a
+    /// journal append* must not be journaled: the fault hook would
+    /// re-enter the sink on the same thread and deadlock on its locks.
+    static IN_JOURNAL_SINK: Cell<bool> = const { Cell::new(false) };
 }
 
 impl P2KvsOptions {
@@ -252,6 +287,35 @@ impl<E: KvsEngine> ObsShared<E> {
         );
         reg.counter("p2kvs_slow_requests_total")
             .store(self.trace.total_recorded());
+        // Device-level counters mirrored from the storage env, so the
+        // whole stack — framework, engines, device — reads out of one
+        // registry (and one Prometheus scrape).
+        if let Some(env) = &self.runtime.env {
+            let io = env.io_stats();
+            reg.counter("p2kvs_device_bytes_written_total")
+                .store(io.bytes_written);
+            reg.counter("p2kvs_device_bytes_read_total")
+                .store(io.bytes_read);
+            reg.counter("p2kvs_device_write_ops_total").store(io.write_ops);
+            reg.counter("p2kvs_device_read_ops_total").store(io.read_ops);
+            reg.counter("p2kvs_device_syncs_total").store(io.syncs);
+            reg.counter("p2kvs_device_wal_bytes_total").store(io.wal_bytes);
+            reg.counter("p2kvs_device_flush_bytes_total")
+                .store(io.flush_bytes);
+            reg.counter("p2kvs_device_compaction_bytes_total")
+                .store(io.compaction_bytes);
+            reg.set_gauge("p2kvs_device_busy_seconds", io.busy_ns as f64 / 1e9);
+            if let Some(u) = env.device_utilization() {
+                reg.set_gauge("p2kvs_device_utilization", u);
+            }
+        }
+        if let Some(ring) = &self.runtime.spans {
+            reg.counter("p2kvs_trace_spans_total")
+                .store(ring.total_recorded());
+        }
+        if let Some(j) = &self.runtime.journal {
+            reg.counter("p2kvs_flight_records_total").store(j.last_seq());
+        }
         reg.snapshot()
     }
 
@@ -375,9 +439,65 @@ fn rebalance_tick<E: KvsEngine>(b: &BalanceShared<E>) -> Result<usize> {
     let mut applied = 0;
     for (shard, target) in moves {
         migrate_locked(rt, shard, target)?;
+        if let Some(j) = &rt.journal {
+            // The busy-ns delta is the evidence the decision was made on.
+            j.record(
+                JournalKind::BalanceMove,
+                shard as u64,
+                target as u64,
+                delta[shard],
+                0,
+            );
+        }
         applied += 1;
     }
     Ok(applied)
+}
+
+/// A live, structured view of the store's control plane — the shard
+/// map, every worker's ownership and load, the balancer's last
+/// interval, and the observability subsystems' own state. Cheap to
+/// take: a map pin plus relaxed counter reads.
+#[derive(Debug, Clone)]
+pub struct StoreIntrospection {
+    /// Current shard-map epoch (bumps once per migration).
+    pub map_epoch: u64,
+    /// `shard → worker` assignment under the current map.
+    pub shard_owners: Vec<usize>,
+    /// Per-worker live view.
+    pub workers: Vec<WorkerView>,
+    /// Completed ownership migrations since open.
+    pub migrations: u64,
+    /// Whether the background balancer is running.
+    pub balancer_active: bool,
+    /// The balancer's tunables.
+    pub balance_policy: BalancePolicy,
+    /// Per-shard busy-ns at the balancer's last sample (its decision
+    /// baseline).
+    pub last_sample_busy_ns: Vec<u64>,
+    /// Device service-capacity utilization, when the env models one.
+    pub device_utilization: Option<f64>,
+    /// Completed causal-trace spans recorded so far.
+    pub trace_spans_recorded: u64,
+    /// Highest flight-recorder sequence number assigned.
+    pub flight_last_seq: u64,
+    /// Time since open.
+    pub uptime: Duration,
+}
+
+/// One worker's slice of [`StoreIntrospection`].
+#[derive(Debug, Clone)]
+pub struct WorkerView {
+    /// Worker index.
+    pub worker: usize,
+    /// Shards the current map assigns to this worker.
+    pub shards: Vec<usize>,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Scan cursors currently parked on this worker.
+    pub active_scans: u64,
+    /// Cumulative useful processing time.
+    pub busy: Duration,
 }
 
 /// A p2KVS store over engine type `E`.
@@ -394,6 +514,10 @@ pub struct P2Kvs<E: KvsEngine> {
     txn: TxnManager,
     opts: P2KvsOptions,
     opened: Instant,
+    /// Monotone submission counter driving 1-in-N trace sampling.
+    trace_seq: AtomicU64,
+    /// Flight-recorder records recovered from `FLIGHT.log` at open.
+    recovered_flight: Vec<JournalRecord>,
 }
 
 impl<E: KvsEngine> P2Kvs<E> {
@@ -450,6 +574,90 @@ impl<E: KvsEngine> P2Kvs<E> {
             let instance_dir = dir.join(format!("instance-{s}"));
             engines.push(Arc::new(factory.open(&instance_dir, Some(filter.clone()))?));
         }
+        let spans = (opts.trace_sample > 0)
+            .then(|| Arc::new(SpanRing::new(opts.trace_span_capacity)));
+        // Flight recorder: recover the persisted journal (its longest
+        // valid prefix — a crash may leave a torn tail), continue the
+        // sequence from the recovered maximum, and persist every new
+        // record as it happens. The file is rewritten from the valid
+        // prefix so a torn tail never sits in front of new records.
+        let flight_path = dir.join("FLIGHT.log");
+        let mut recovered_flight: Vec<JournalRecord> = Vec::new();
+        let journal = if opts.flight_recorder {
+            if env.exists(&flight_path) {
+                let data = p2kvs_storage::env::read_all(&*env, &flight_path)?;
+                recovered_flight = parse_journal(&data);
+            }
+            let last = recovered_flight.last().map(|r| r.seq).unwrap_or(0);
+            let j = Arc::new(Journal::new(opts.flight_recorder_capacity, last));
+            j.seed(&recovered_flight);
+            let mut file = env.new_writable(&flight_path)?;
+            for r in &recovered_flight {
+                file.append(r.encode().as_bytes())?;
+            }
+            file.sync()?;
+            let file = parking_lot::Mutex::new(file);
+            j.set_sink(Box::new(move |rec, durable| {
+                IN_JOURNAL_SINK.with(|f| f.set(true));
+                {
+                    let mut file = file.lock();
+                    // Errors are swallowed by design: the recorder must
+                    // keep working (in memory) on a crashed or failing
+                    // env — that is exactly when its evidence matters.
+                    let _ = file.append(rec.encode().as_bytes());
+                    if durable {
+                        let _ = file.sync();
+                    }
+                }
+                IN_JOURNAL_SINK.with(|f| f.set(false));
+            }));
+            Some(j)
+        } else {
+            None
+        };
+        if let Some(j) = &journal {
+            // Fault firings from the (fault-injecting) env land in the
+            // journal: a = discriminant, b = fault point, c = torn bytes.
+            let jh = j.clone();
+            env.install_fault_hook(Arc::new(move |ev| {
+                if IN_JOURNAL_SINK.with(|f| f.get()) {
+                    return;
+                }
+                use p2kvs_storage::FaultEvent;
+                let (d, n, torn) = match ev {
+                    FaultEvent::FailedAppend { n, .. } => (1, *n, 0),
+                    FaultEvent::FailedSync { n, .. } => (2, *n, 0),
+                    FaultEvent::FailedRead { n, .. } => (3, *n, 0),
+                    FaultEvent::Crash { n, torn, .. } => (4, *n, *torn as u64),
+                };
+                jh.record(JournalKind::FaultFired, d, n, torn, 0);
+            }));
+            // Engine background events: a = instance, b = level, c = bytes.
+            for (i, engine) in engines.iter().enumerate() {
+                let jh = j.clone();
+                let inst = i as u64;
+                engine.install_event_hook(Arc::new(move |ev| {
+                    let (kind, level, bytes) = match *ev {
+                        EngineEvent::FlushStart { bytes } => (JournalKind::FlushStart, 0, bytes),
+                        EngineEvent::FlushFinish { bytes } => (JournalKind::FlushFinish, 0, bytes),
+                        EngineEvent::CompactionStart { level, bytes } => {
+                            (JournalKind::CompactionStart, level as u64, bytes)
+                        }
+                        EngineEvent::CompactionFinish { level, bytes } => {
+                            (JournalKind::CompactionFinish, level as u64, bytes)
+                        }
+                    };
+                    jh.record(kind, inst, level, bytes, 0);
+                }));
+            }
+            j.record(
+                JournalKind::StoreOpen,
+                shards as u64,
+                n as u64,
+                recovered_flight.len() as u64,
+                0,
+            );
+        }
         let queues: Vec<Arc<crate::queue::RequestQueue>> = (0..n)
             .map(|_| {
                 Arc::new(crate::queue::RequestQueue::with_capacity(
@@ -465,6 +673,9 @@ impl<E: KvsEngine> P2Kvs<E> {
             shard_stats: (0..shards)
                 .map(|_| Arc::new(crate::shard::ShardStats::default()))
                 .collect(),
+            spans,
+            journal,
+            env: Some(env.clone()),
         });
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
@@ -522,7 +733,24 @@ impl<E: KvsEngine> P2Kvs<E> {
             txn,
             opts,
             opened,
+            trace_seq: AtomicU64::new(0),
+            recovered_flight,
         })
+    }
+
+    /// Assigns the next trace context: every `trace_sample`-th
+    /// submission gets a fresh nonzero id, the rest ride untraced.
+    fn next_trace(&self) -> TraceCtx {
+        if self.runtime.spans.is_none() {
+            return TraceCtx::NONE;
+        }
+        let sample = self.opts.trace_sample.max(1);
+        let n = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        if n % sample == 0 {
+            TraceCtx { id: n / sample + 1 }
+        } else {
+            TraceCtx::NONE
+        }
     }
 
     /// Number of workers.
@@ -585,7 +813,7 @@ impl<E: KvsEngine> P2Kvs<E> {
             let pin = self.runtime.map.pin();
             self.workers[pin.owner(shard)]
                 .queue
-                .push(req.on_shard(shard as u64))
+                .push(req.on_shard(shard as u64).traced(self.next_trace()))
                 .map_err(|_| Error::Closed)?;
         }
         done.wait()
@@ -626,7 +854,7 @@ impl<E: KvsEngine> P2Kvs<E> {
         let pin = self.runtime.map.pin();
         self.workers[pin.owner(shard)]
             .queue
-            .push(req.on_shard(shard as u64))
+            .push(req.on_shard(shard as u64).traced(self.next_trace()))
             .map_err(|_| Error::Closed)
     }
 
@@ -660,7 +888,7 @@ impl<E: KvsEngine> P2Kvs<E> {
                 let (req, done) = Request::sync(Op::Get { key: key.clone() });
                 match self.workers[pin.owner(shard)]
                     .queue
-                    .push(req.on_shard(shard as u64))
+                    .push(req.on_shard(shard as u64).traced(self.next_trace()))
                 {
                     Ok(()) => completions.push(done),
                     Err(_) => {
@@ -733,7 +961,10 @@ impl<E: KvsEngine> P2Kvs<E> {
                     ops: std::mem::take(&mut per_shard[s]),
                     gsn,
                 });
-                match self.workers[pin.owner(s)].queue.push(req.on_shard(s as u64)) {
+                match self.workers[pin.owner(s)]
+                    .queue
+                    .push(req.on_shard(s as u64).traced(self.next_trace()))
+                {
                     Ok(()) => completions.push(done),
                     Err(_) => {
                         push_err = Some(Error::Closed);
@@ -759,6 +990,9 @@ impl<E: KvsEngine> P2Kvs<E> {
         match first_err {
             None => {
                 self.txn.commit(gsn)?;
+                if let Some(j) = &self.runtime.journal {
+                    j.record(JournalKind::TxnCommit, involved.len() as u64, 0, 0, gsn);
+                }
                 Ok(())
             }
             // No commit record: recovery rolls every sub-batch back.
@@ -929,6 +1163,98 @@ impl<E: KvsEngine> P2Kvs<E> {
         self.obs.trace.recent(n)
     }
 
+    /// Completed causal-trace spans, sorted by start time. Each sampled
+    /// request contributes a span tree: `queue_wait` →
+    /// `obm_batch`(batch id + merged-run size) → `engine` →
+    /// WAL/MemTable/read phases → `device_io`.
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.runtime
+            .spans
+            .as_ref()
+            .map(|r| r.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Exports the span ring plus the flight recorder's recent records
+    /// as Chrome-trace / Perfetto JSON (load it at `ui.perfetto.dev` or
+    /// `chrome://tracing`). Spans render as duration events grouped by
+    /// worker; journal records as instant events on a control track.
+    pub fn export_trace(&self) -> String {
+        let spans = self.trace_spans();
+        let journal = self
+            .runtime
+            .journal
+            .as_ref()
+            .map(|j| j.recent(usize::MAX))
+            .unwrap_or_default();
+        p2kvs_obs::export_chrome_trace(&spans, &journal)
+    }
+
+    /// The flight recorder's most recent `n` records, oldest first
+    /// (spanning the last crash/restart boundary: the in-memory ring is
+    /// seeded from the recovered log at open).
+    pub fn flight_records(&self, n: usize) -> Vec<JournalRecord> {
+        self.runtime
+            .journal
+            .as_ref()
+            .map(|j| j.recent(n))
+            .unwrap_or_default()
+    }
+
+    /// Every record recovered from `FLIGHT.log` at open — the previous
+    /// incarnation's journal, surviving crash (minus a torn tail).
+    pub fn recovered_flight_records(&self) -> &[JournalRecord] {
+        &self.recovered_flight
+    }
+
+    /// A live, structured control-plane view: shard map + epoch,
+    /// per-worker shard sets, queue depths and active scans, balancer
+    /// state, and device utilization.
+    pub fn introspect(&self) -> StoreIntrospection {
+        let ordering = Ordering::Relaxed;
+        let pin = self.runtime.map.pin();
+        let shard_owners: Vec<usize> = (0..pin.shards()).map(|s| pin.owner(s)).collect();
+        let workers = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| WorkerView {
+                worker: i,
+                shards: pin.shards_of(i),
+                queue_depth: w.queue.len(),
+                active_scans: w.stats.scans_active.load(ordering),
+                busy: w.stats.busy.busy(),
+            })
+            .collect();
+        StoreIntrospection {
+            map_epoch: pin.epoch(),
+            shard_owners,
+            workers,
+            migrations: self.runtime.depot.installed(),
+            balancer_active: self.balancer.is_some(),
+            balance_policy: self.balance.policy,
+            last_sample_busy_ns: self.balance.state.lock().last_busy_ns.clone(),
+            device_utilization: self
+                .runtime
+                .env
+                .as_ref()
+                .and_then(|e| e.device_utilization()),
+            trace_spans_recorded: self
+                .runtime
+                .spans
+                .as_ref()
+                .map(|r| r.total_recorded())
+                .unwrap_or(0),
+            flight_last_seq: self
+                .runtime
+                .journal
+                .as_ref()
+                .map(|j| j.last_seq())
+                .unwrap_or(0),
+            uptime: self.opened.elapsed(),
+        }
+    }
+
     /// Framework options in effect.
     pub fn options(&self) -> &P2KvsOptions {
         &self.opts
@@ -936,11 +1262,28 @@ impl<E: KvsEngine> P2Kvs<E> {
 
     /// Closes the store: stops the reporter and balancer, drains
     /// queues, joins workers, drops engines.
-    pub fn close(mut self) {
+    pub fn close(self) {
+        drop(self);
+    }
+}
+
+impl<E: KvsEngine> Drop for P2Kvs<E> {
+    fn drop(&mut self) {
         self.reporter.take();
         self.balancer.take();
         for w in &mut self.workers {
             w.shutdown();
+        }
+        if let Some(j) = &self.runtime.journal {
+            // Workers are joined: StoreClose is the journal's last word.
+            j.record(
+                JournalKind::StoreClose,
+                self.runtime.engines.len() as u64,
+                self.workers.len() as u64,
+                0,
+                0,
+            );
+            j.clear_sink();
         }
     }
 }

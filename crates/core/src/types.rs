@@ -322,6 +322,10 @@ pub struct Request {
     /// Nanosecond timestamp when the request entered the queue (for queue
     /// wait accounting).
     pub enqueued: std::time::Instant,
+    /// Trace identity ([`TraceCtx::NONE`] for the unsampled majority).
+    /// A single `Copy` word, so carrying it keeps the submit and consume
+    /// paths allocation-free.
+    pub trace: p2kvs_obs::TraceCtx,
 }
 
 impl std::fmt::Debug for Request {
@@ -354,6 +358,7 @@ impl Request {
                 completion: Completion::Sync(slot.clone()),
                 shard: 0,
                 enqueued: std::time::Instant::now(),
+                trace: p2kvs_obs::TraceCtx::NONE,
             },
             SyncWaiter { slot },
         )
@@ -366,12 +371,19 @@ impl Request {
             completion: Completion::Async(cb),
             shard: 0,
             enqueued: std::time::Instant::now(),
+            trace: p2kvs_obs::TraceCtx::NONE,
         }
     }
 
     /// Sets the target shard (builder style).
     pub fn on_shard(mut self, shard: u64) -> Request {
         self.shard = shard;
+        self
+    }
+
+    /// Sets the trace context (builder style).
+    pub fn traced(mut self, trace: p2kvs_obs::TraceCtx) -> Request {
+        self.trace = trace;
         self
     }
 

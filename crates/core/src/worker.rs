@@ -44,10 +44,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use p2kvs_obs::WorkerLifecycle;
+use p2kvs_obs::{Journal, JournalKind, SpanKind, SpanRecord, SpanRing, WorkerLifecycle};
 use p2kvs_util::timing::BusyClock;
 
-use crate::engine::{KvsEngine, ScanCursor};
+use crate::engine::{EnginePhases, KvsEngine, ScanCursor};
 use crate::error::Error;
 use crate::queue::{RequestQueue, DEFAULT_QUEUE_CAPACITY};
 use crate::shard::{HandoffDepot, MapCell, Parcel, ShardMap, ShardStats};
@@ -155,6 +155,18 @@ pub(crate) struct ShardRuntime<E> {
     pub depot: Arc<HandoffDepot>,
     /// Per-shard counters the balancer reads, indexed by shard.
     pub shard_stats: Vec<Arc<ShardStats>>,
+    /// Causal-trace span sink shared by every worker. `None` disables
+    /// tracing entirely (workers skip even the sampling check's
+    /// bookkeeping beyond one branch per batch).
+    pub spans: Option<Arc<SpanRing>>,
+    /// The store's flight recorder: workers journal handoffs, installs
+    /// and scan lifecycle events into it.
+    pub journal: Option<Arc<Journal>>,
+    /// The storage env backing every engine instance, used to attribute
+    /// device I/O deltas to traced batches. Device counters are
+    /// env-global, so with concurrent workers the delta is an upper
+    /// bound on the batch's own I/O — good enough for a flame view.
+    pub env: Option<p2kvs_storage::EnvRef>,
 }
 
 /// A running worker.
@@ -184,6 +196,9 @@ impl WorkerHandle {
             map: Arc::new(MapCell::new(ShardMap::initial(1, 1))),
             depot: Arc::new(HandoffDepot::new()),
             shard_stats: vec![Arc::new(ShardStats::default())],
+            spans: None,
+            journal: None,
+            env: None,
         });
         WorkerHandle::spawn_inner(id, 0, runtime, queue, config, lifecycle)
     }
@@ -229,6 +244,11 @@ impl WorkerHandle {
                 let mut group: Vec<Request> = Vec::with_capacity(max);
                 let mut spill: Vec<Request> = Vec::with_capacity(max);
                 let mut waits: Vec<u64> = Vec::with_capacity(max);
+                // Sampled (trace_id, enqueue_us) pairs of the current
+                // group — preallocated so tracing stays off the
+                // allocator in steady state.
+                let mut traced: Vec<(u64, u64)> = Vec::with_capacity(max);
+                let mut batch_seq: u64 = 0;
                 let mut scratch = BatchScratch::default();
                 // Shards this worker owns, each carrying its own parked
                 // scan cursors (the table travels with the shard).
@@ -312,9 +332,57 @@ impl WorkerHandle {
                         }
                         let engine = &rt.engines[shard as usize];
                         let scans = owned.get_mut(&shard).expect("ownership checked above");
+                        // Collect the group's sampled requests. The
+                        // pre-call engine/device clocks are read only
+                        // when a sampled request is actually present,
+                        // so unsampled batches pay one branch.
+                        batch_seq += 1;
+                        traced.clear();
+                        let mut pre: Option<(EnginePhases, _)> = None;
+                        if let Some(ring) = rt.spans.as_deref() {
+                            for r in group.iter() {
+                                if r.trace.is_sampled() {
+                                    traced.push((r.trace.id, ring.stamp(r.enqueued)));
+                                }
+                            }
+                            if !traced.is_empty() {
+                                pre = Some((
+                                    engine.phase_clocks(),
+                                    rt.env.as_ref().map(|e| e.io_stats()),
+                                ));
+                            }
+                        }
+                        let t_call = Instant::now();
                         s.busy.time(|| {
-                            execute_batch(&**engine, &mut group, &s, &mut scratch, scans, &config)
+                            execute_batch(
+                                &**engine,
+                                &mut group,
+                                &s,
+                                &mut scratch,
+                                scans,
+                                &config,
+                                rt.journal.as_deref(),
+                            )
                         });
+                        if let (Some(ring), Some((pre_ph, pre_io))) = (rt.spans.as_deref(), pre) {
+                            let t_end = Instant::now();
+                            let io = pre_io
+                                .map(|p| (p, rt.env.as_ref().expect("pre_io implies env").io_stats()));
+                            record_batch_spans(
+                                ring,
+                                windex as u32,
+                                shard as u32,
+                                &traced,
+                                ring.stamp(dequeued),
+                                ring.stamp(t_call),
+                                ring.stamp(t_end),
+                                batch_seq,
+                                n as u32,
+                                class,
+                                (pre_ph, engine.phase_clocks()),
+                                io,
+                            );
+                        }
                         rt.shard_stats[shard as usize].record(n, dequeued.elapsed());
                         if let Some(lc) = &lifecycle {
                             let service_ns = dequeued.elapsed().as_nanos() as u64;
@@ -332,11 +400,26 @@ impl WorkerHandle {
                 for (shard, reqs) in stash.drain() {
                     if let Some(parcel) = rt.depot.take(shard) {
                         let mut scans = parcel.scans;
+                        // The source debited its scans_active gauge at
+                        // handoff; credit the parked cursors here before
+                        // executing, so a stashed ScanClose decrements a
+                        // gauge that was actually incremented instead of
+                        // underflowing to u64::MAX.
+                        s.scans_active.fetch_add(scans.len() as u64, Ordering::Relaxed);
                         s.ops.fetch_add(reqs.len() as u64, Ordering::Relaxed);
                         s.batches.fetch_add(reqs.len() as u64, Ordering::Relaxed);
                         for req in reqs {
-                            execute_one(&*rt.engines[shard as usize], req, &s, &mut scans, &config);
+                            execute_one(
+                                &*rt.engines[shard as usize],
+                                req,
+                                &s,
+                                &mut scans,
+                                &config,
+                                rt.journal.as_deref(),
+                            );
                         }
+                        // Whatever is still parked dies with the store.
+                        s.scans_active.fetch_sub(scans.len() as u64, Ordering::Relaxed);
                         rt.depot.complete(shard);
                     } else {
                         for req in reqs {
@@ -385,6 +468,9 @@ fn handoff_out<E: KvsEngine>(
     stats.handoffs_out.fetch_add(1, Ordering::Relaxed);
     stats.shards_owned.store(owned.len() as u64, Ordering::Relaxed);
     stats.scans_active.fetch_sub(scans.len() as u64, Ordering::Relaxed);
+    if let Some(j) = rt.journal.as_deref() {
+        j.record(JournalKind::HandoffOut, shard, windex as u64, scans.len() as u64, 0);
+    }
     rt.depot.deposit(shard, Parcel { scans });
     let target = rt.map.owner(shard as usize);
     if target == windex {
@@ -416,6 +502,9 @@ fn install_shard<E: KvsEngine>(
     let scans = rt.depot.take(shard).map(|p| p.scans).unwrap_or_default();
     stats.handoffs_in.fetch_add(1, Ordering::Relaxed);
     stats.scans_active.fetch_add(scans.len() as u64, Ordering::Relaxed);
+    if let Some(j) = rt.journal.as_deref() {
+        j.record(JournalKind::ShardInstall, shard, windex as u64, scans.len() as u64, 0);
+    }
     owned.insert(shard, scans);
     stats.shards_owned.store(owned.len() as u64, Ordering::Relaxed);
     rt.shard_stats[shard as usize].owner.store(windex, Ordering::Relaxed);
@@ -428,7 +517,7 @@ fn install_shard<E: KvsEngine>(
         let engine = &rt.engines[shard as usize];
         let scans = owned.get_mut(&shard).expect("just installed");
         for req in reqs {
-            execute_one(&**engine, req, stats, scans, config);
+            execute_one(&**engine, req, stats, scans, config, rt.journal.as_deref());
         }
         rt.shard_stats[shard as usize].record(n, started.elapsed());
     }
@@ -513,6 +602,7 @@ fn execute_batch<E: KvsEngine>(
     scratch: &mut BatchScratch,
     scans: &mut ScanTable,
     config: &WorkerConfig,
+    journal: Option<&Journal>,
 ) {
     let n = batch.len() as u64;
     stats.ops.fetch_add(n, Ordering::Relaxed);
@@ -576,7 +666,7 @@ fn execute_batch<E: KvsEngine>(
         _ => {
             // Single request, or the engine lacks the batched fast path.
             for req in batch.drain(..) {
-                execute_one(engine, req, stats, scans, config);
+                execute_one(engine, req, stats, scans, config, journal);
             }
         }
     }
@@ -589,10 +679,18 @@ fn execute_batch<E: KvsEngine>(
 fn execute_scan<E: KvsEngine>(
     engine: &E,
     op: Op,
+    shard: u64,
     stats: &WorkerStats,
     scans: &mut ScanTable,
     config: &WorkerConfig,
+    journal: Option<&Journal>,
 ) -> crate::error::Result<Response> {
+    // Flight-recorder shorthand: a = shard, b = cursor id.
+    let jrec = |kind: JournalKind, id: u64| {
+        if let Some(j) = journal {
+            j.record(kind, shard, id, 0, 0);
+        }
+    };
     let clamp = |limit: usize, max_bytes: usize| {
         (
             limit.min(config.scan_chunk_entries).max(1),
@@ -615,7 +713,9 @@ fn execute_scan<E: KvsEngine>(
                 None
             } else {
                 stats.scans_active.fetch_add(1, Ordering::Relaxed);
-                Some(scans.insert(cursor))
+                let id = scans.insert(cursor);
+                jrec(JournalKind::ScanOpen, id);
+                Some(id)
             };
             Ok(Response::Chunk {
                 entries: chunk.entries,
@@ -639,6 +739,7 @@ fn execute_scan<E: KvsEngine>(
                     let cursor = if chunk.done {
                         scans.cursors.remove(&id);
                         stats.scans_active.fetch_sub(1, Ordering::Relaxed);
+                        jrec(JournalKind::ScanClose, id);
                         None
                     } else {
                         Some(id)
@@ -651,6 +752,7 @@ fn execute_scan<E: KvsEngine>(
                 Err(e) => {
                     scans.cursors.remove(&id);
                     stats.scans_active.fetch_sub(1, Ordering::Relaxed);
+                    jrec(JournalKind::ScanClose, id);
                     Err(e)
                 }
             }
@@ -658,6 +760,7 @@ fn execute_scan<E: KvsEngine>(
         Op::ScanClose { cursor } => {
             if scans.cursors.remove(&cursor).is_some() {
                 stats.scans_active.fetch_sub(1, Ordering::Relaxed);
+                jrec(JournalKind::ScanClose, cursor);
             }
             Ok(Response::Done)
         }
@@ -672,14 +775,15 @@ fn execute_one<E: KvsEngine>(
     stats: &WorkerStats,
     scans: &mut ScanTable,
     config: &WorkerConfig,
+    journal: Option<&Journal>,
 ) {
-    let Request { op, completion, .. } = req;
+    let Request { op, completion, shard, .. } = req;
     let result = match op {
         Op::Put { key, value } => engine.put(&key, &value).map(|()| Response::Done),
         Op::Delete { key } => engine.delete(&key).map(|()| Response::Done),
         Op::Get { key } => engine.get(&key).map(Response::Value),
         op @ (Op::ScanOpen { .. } | Op::ScanNext { .. } | Op::ScanClose { .. }) => {
-            execute_scan(engine, op, stats, scans, config)
+            execute_scan(engine, op, shard, stats, scans, config, journal)
         }
         Op::TxnBatch { ops, gsn } => engine.write_batch(&ops, gsn).map(|()| Response::Done),
         // Control markers are intercepted by the worker loop before any
@@ -692,6 +796,106 @@ fn execute_one<E: KvsEngine>(
     match completion {
         crate::types::Completion::Sync(c) => c.fulfill(result),
         crate::types::Completion::Async(cb) => cb(result),
+    }
+}
+
+/// Records the span tree of one traced OBM batch: per sampled request a
+/// `queue_wait` span (enqueue → dequeue), an `obm_batch` span covering
+/// the whole merged call, an `engine` span for the engine call proper,
+/// engine-phase child spans synthesized from the instance's cumulative
+/// WAL/MemTable/read clocks (laid out sequentially from the call start
+/// and clamped into the engine window — the phases really do run in
+/// that order for a write group), and a `device_io` span from the env's
+/// busy/byte deltas.
+#[allow(clippy::too_many_arguments)]
+fn record_batch_spans(
+    ring: &SpanRing,
+    worker: u32,
+    shard: u32,
+    traced: &[(u64, u64)],
+    dequeued_us: u64,
+    call_us: u64,
+    end_us: u64,
+    batch_id: u64,
+    batch_size: u32,
+    class: OpClass,
+    phases: (EnginePhases, EnginePhases),
+    io: Option<(
+        p2kvs_storage::IoStatsSnapshot,
+        p2kvs_storage::IoStatsSnapshot,
+    )>,
+) {
+    let engine_dur = end_us.saturating_sub(call_us).max(1);
+    let (pre, post) = phases;
+    let phase_deltas = [
+        (SpanKind::PhaseWal, post.wal_ns.saturating_sub(pre.wal_ns)),
+        (
+            SpanKind::PhaseMemtable,
+            post.memtable_ns.saturating_sub(pre.memtable_ns),
+        ),
+        (SpanKind::PhaseRead, post.read_ns.saturating_sub(pre.read_ns)),
+    ];
+    let device = io.as_ref().map(|(pre_io, post_io)| {
+        (
+            post_io.busy_ns.saturating_sub(pre_io.busy_ns),
+            post_io.total_bytes().saturating_sub(pre_io.total_bytes()),
+        )
+    });
+    for &(trace_id, enq_us) in traced {
+        let base = SpanRecord {
+            trace_id,
+            kind: SpanKind::QueueWait,
+            worker,
+            shard,
+            start_us: enq_us,
+            dur_us: dequeued_us.saturating_sub(enq_us),
+            batch_id,
+            batch_size,
+            aux: 0,
+        };
+        ring.record(base);
+        ring.record(SpanRecord {
+            kind: SpanKind::Batch,
+            start_us: dequeued_us,
+            dur_us: end_us.saturating_sub(dequeued_us),
+            aux: class.index() as u64,
+            ..base
+        });
+        ring.record(SpanRecord {
+            kind: SpanKind::Engine,
+            start_us: call_us,
+            dur_us: engine_dur,
+            ..base
+        });
+        let mut offset = 0u64;
+        for (kind, delta_ns) in phase_deltas {
+            if delta_ns == 0 {
+                continue;
+            }
+            let remaining = engine_dur.saturating_sub(offset);
+            if remaining == 0 {
+                break;
+            }
+            let dur = (delta_ns / 1_000).clamp(1, remaining);
+            ring.record(SpanRecord {
+                kind,
+                start_us: call_us + offset,
+                dur_us: dur,
+                ..base
+            });
+            offset += dur;
+        }
+        if let Some((busy_ns, bytes)) = device {
+            if busy_ns > 0 || bytes > 0 {
+                ring.record(SpanRecord {
+                    kind: SpanKind::DeviceIo,
+                    start_us: call_us,
+                    dur_us: (busy_ns / 1_000).clamp(1, engine_dur),
+                    aux: bytes,
+                    ..base
+                });
+            }
+        }
     }
 }
 
@@ -824,7 +1028,7 @@ mod tests {
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
         let mut scans = ScanTable::default();
-        execute_batch(&engine, &mut put_batch(8), &stats, &mut scratch, &mut scans, &test_config());
+        execute_batch(&engine, &mut put_batch(8), &stats, &mut scratch, &mut scans, &test_config(), None);
         assert_eq!(stats.ops.load(Ordering::Relaxed), 8);
         assert_eq!(stats.batches.load(Ordering::Relaxed), 1);
         assert_eq!(
@@ -840,7 +1044,7 @@ mod tests {
                 .0
             })
             .collect();
-        execute_batch(&engine, &mut reads, &stats, &mut scratch, &mut scans, &test_config());
+        execute_batch(&engine, &mut reads, &stats, &mut scratch, &mut scans, &test_config(), None);
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 0);
     }
 
@@ -851,7 +1055,7 @@ mod tests {
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
         let mut scans = ScanTable::default();
-        execute_batch(&engine, &mut put_batch(5), &stats, &mut scratch, &mut scans, &test_config());
+        execute_batch(&engine, &mut put_batch(5), &stats, &mut scratch, &mut scans, &test_config(), None);
         assert_eq!(stats.ops.load(Ordering::Relaxed), 5);
         assert_eq!(
             stats.merged_ops.load(Ordering::Relaxed),
@@ -859,7 +1063,7 @@ mod tests {
             "batch-write engine merges the whole run"
         );
         // A single-request batch is never a merge.
-        execute_batch(&engine, &mut put_batch(1), &stats, &mut scratch, &mut scans, &test_config());
+        execute_batch(&engine, &mut put_batch(1), &stats, &mut scratch, &mut scans, &test_config(), None);
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 5);
     }
 
@@ -889,7 +1093,7 @@ mod tests {
                 })
             })
             .unzip();
-        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config());
+        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config(), None);
         assert!(batch.is_empty(), "every request was completed");
         for (i, w) in waiters.into_iter().enumerate() {
             let err = w.wait().expect_err("every merged request must observe the engine error");
@@ -950,7 +1154,7 @@ mod tests {
         let mut scans = ScanTable::default();
         let mut batch = put_batch(8);
         let cap_before = batch.capacity();
-        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config());
+        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config(), None);
         assert!(batch.is_empty(), "batch is drained, not consumed");
         assert_eq!(batch.capacity(), cap_before, "allocation is retained");
     }
@@ -1224,6 +1428,74 @@ mod tests {
         for c in completions {
             assert!(c.wait().is_ok(), "pending requests must complete");
         }
+    }
+
+    #[test]
+    fn shutdown_drain_credits_parcel_cursors_before_executing_stashed_closes() {
+        // Regression (scan-gauge audit): the shutdown drain used to
+        // execute stashed requests against a parcel's cursor table
+        // without crediting scans_active for the parked cursors it had
+        // just taken, so a stashed ScanClose racing a shard handoff
+        // drove the gauge to u64::MAX.
+        let factory = LsmFactory::new(lsmkv::Options::for_test());
+        let engine = Arc::new(factory.open(Path::new("w-drain-gauge"), None).unwrap());
+        for i in 0..8 {
+            KvsEngine::put(&*engine, format!("g{i}").as_bytes(), b"v").unwrap();
+        }
+        let queues: Vec<_> = (0..2)
+            .map(|_| Arc::new(RequestQueue::with_capacity(DEFAULT_QUEUE_CAPACITY)))
+            .collect();
+        let map = Arc::new(MapCell::new(ShardMap::initial(1, 2)));
+        let rt = Arc::new(ShardRuntime {
+            engines: vec![engine.clone()],
+            queues: queues.clone(),
+            map: map.clone(),
+            depot: Arc::new(HandoffDepot::new()),
+            shard_stats: vec![Arc::new(ShardStats::default())],
+            spans: None,
+            journal: None,
+            env: None,
+        });
+        // Worker 1 owns nothing under the initial map (shard 0 -> worker 0).
+        let mut w1 = WorkerHandle::spawn_in(1, rt.clone(), test_config(), None);
+        // Prove w1 is running under the old map: a request it does not
+        // own is rerouted to worker 0's queue, which the test drains by
+        // hand (there is no worker 0 thread).
+        let dummy = Request::asynchronous(
+            Op::Put {
+                key: b"dummy".to_vec(),
+                value: b"v".to_vec(),
+            },
+            Box::new(|_| {}),
+        )
+        .on_shard(0);
+        queues[1].push(dummy).ok().unwrap();
+        let mut rerouted = Vec::new();
+        assert!(
+            queues[0].pop_batch_into(1, &mut rerouted),
+            "w1 must reroute under the old map"
+        );
+        rerouted.remove(0).finish(Ok(Response::Done));
+        // Source half of a migration, by hand: park one cursor, deposit
+        // it, then point the map at worker 1. The install marker is
+        // never sent — exactly the window the shutdown drain covers.
+        let mut parked = ScanTable::default();
+        let cursor = engine.open_cursor(b"", None).unwrap();
+        let id = parked.insert(cursor);
+        rt.depot.begin(0).unwrap();
+        rt.depot.deposit(0, Parcel { scans: parked });
+        map.publish(Arc::new(map.pin().with_owner(0, 1)));
+        // w1 stashes the close (the map says w1, but no install arrived)…
+        let (req, done) = Request::sync(Op::ScanClose { cursor: id });
+        queues[1].push(req.on_shard(0)).ok().unwrap();
+        // …and the shutdown drain executes it against the parcel.
+        w1.shutdown();
+        assert_eq!(done.wait().unwrap(), Response::Done);
+        assert_eq!(
+            w1.stats.scans_active.load(Ordering::Relaxed),
+            0,
+            "a stashed ScanClose executed at drain must balance, not underflow, the gauge"
+        );
     }
 
     #[test]

@@ -1084,3 +1084,234 @@ fn reporter_thread_runs_and_stops() {
     // Closing must stop the reporter thread promptly (no hang, no panic).
     store.close();
 }
+
+// ---------------------------------------------------------------------
+// Causal tracing, the flight recorder, and live introspection
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_spans_form_nested_trees_and_export_chrome_json() {
+    use p2kvs::SpanKind;
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.trace_sample = 1; // sample every request
+    let store = P2Kvs::open(lsm_factory(), "p2-trace", opts).unwrap();
+    for i in 0..200 {
+        store.put(format!("t{i:03}").as_bytes(), b"v").unwrap();
+    }
+    for i in 0..50 {
+        store.get(format!("t{i:03}").as_bytes()).unwrap();
+    }
+    let spans = store.trace_spans();
+    assert!(!spans.is_empty(), "sample=1 must record spans");
+    let mut by_id: std::collections::HashMap<u64, Vec<&p2kvs::SpanRecord>> =
+        std::collections::HashMap::new();
+    for s in &spans {
+        by_id.entry(s.trace_id).or_default().push(s);
+    }
+    let mut full_chains = 0;
+    for tree in by_id.values() {
+        let find = |k: SpanKind| tree.iter().find(|s| s.kind == k);
+        let (Some(qw), Some(batch), Some(engine)) = (
+            find(SpanKind::QueueWait),
+            find(SpanKind::Batch),
+            find(SpanKind::Engine),
+        ) else {
+            continue; // ring overwrote part of this tree
+        };
+        full_chains += 1;
+        // Consistent nesting: the queue wait ends exactly where the OBM
+        // batch begins, and the engine call sits inside the batch span.
+        assert_eq!(
+            qw.start_us + qw.dur_us,
+            batch.start_us,
+            "queue_wait must end at dequeue"
+        );
+        assert!(batch.start_us <= engine.start_us, "engine starts inside the batch");
+        assert!(
+            engine.start_us + engine.dur_us <= batch.start_us + batch.dur_us + 1,
+            "engine ends inside the batch (±1us rounding)"
+        );
+        assert!(batch.batch_size >= 1, "merged-run size is recorded");
+        // Engine-phase children are clamped into the engine window.
+        for ph in tree.iter().filter(|s| {
+            matches!(
+                s.kind,
+                SpanKind::PhaseWal | SpanKind::PhaseMemtable | SpanKind::PhaseRead
+            )
+        }) {
+            assert!(ph.start_us >= engine.start_us);
+            assert!(ph.start_us + ph.dur_us <= engine.start_us + engine.dur_us);
+        }
+        for io in tree.iter().filter(|s| s.kind == SpanKind::DeviceIo) {
+            assert!(io.start_us >= engine.start_us);
+            assert!(io.start_us + io.dur_us <= engine.start_us + engine.dur_us);
+        }
+    }
+    assert!(full_chains >= 10, "only {full_chains} complete span trees");
+    assert!(
+        spans.iter().any(|s| s.kind == SpanKind::PhaseWal),
+        "writes must surface a WAL phase span"
+    );
+    assert!(
+        spans.iter().any(|s| s.kind == SpanKind::PhaseMemtable),
+        "writes must surface a MemTable phase span"
+    );
+    let json = store.export_trace();
+    assert!(json.starts_with("{\"traceEvents\":["), "chrome-trace envelope");
+    for needle in ["\"queue_wait\"", "\"obm_batch\"", "\"engine\"", "\"ph\":\"X\""] {
+        assert!(json.contains(needle), "export missing {needle}");
+    }
+    store.close();
+}
+
+#[test]
+fn trace_sampling_zero_disables_and_default_is_sparse() {
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    opts.trace_sample = 0;
+    let store = P2Kvs::open(lsm_factory(), "p2-trace-off", opts).unwrap();
+    for i in 0..100 {
+        store.put(format!("o{i}").as_bytes(), b"v").unwrap();
+    }
+    assert!(store.trace_spans().is_empty(), "sample=0 disables tracing");
+    // The export still carries flight-recorder instants, but no spans.
+    assert!(!store.export_trace().contains("\"ph\":\"X\""));
+    store.close();
+
+    // Default 1/64: some but far from all requests sampled.
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    let store = P2Kvs::open(lsm_factory(), "p2-trace-def", opts).unwrap();
+    for i in 0..640 {
+        store.put(format!("d{i}").as_bytes(), b"v").unwrap();
+    }
+    let ids: std::collections::HashSet<u64> =
+        store.trace_spans().iter().map(|s| s.trace_id).collect();
+    assert!(!ids.is_empty(), "1/64 sampling must trace something in 640 ops");
+    assert!(ids.len() <= 640 / 64 + 2, "sampled {} of 640", ids.len());
+    store.close();
+}
+
+#[test]
+fn introspection_reports_map_and_worker_state() {
+    let mut opts = P2KvsOptions::paper_layout(2);
+    opts.pin_workers = false;
+    let store = P2Kvs::open(lsm_factory(), "p2-intro", opts).unwrap();
+    for i in 0..100 {
+        store.put(format!("i{i}").as_bytes(), b"v").unwrap();
+    }
+    let view = store.introspect();
+    assert_eq!(view.shard_owners, vec![0, 1]);
+    assert_eq!(view.workers.len(), 2);
+    assert_eq!(view.workers[0].shards, vec![0]);
+    assert_eq!(view.workers[1].shards, vec![1]);
+    assert!(!view.balancer_active);
+    assert_eq!(view.migrations, 0);
+    let epoch0 = view.map_epoch;
+    store.migrate_shard(0, 1).unwrap();
+    let view = store.introspect();
+    assert_eq!(view.shard_owners, vec![1, 1], "the map reflects the migration");
+    assert!(view.map_epoch > epoch0, "migration bumps the epoch");
+    assert_eq!(view.workers[0].shards, Vec::<usize>::new());
+    assert_eq!(view.workers[1].shards, vec![0, 1]);
+    assert_eq!(view.migrations, 1);
+    assert!(view.flight_last_seq > 0, "the flight recorder saw the handoff");
+    assert!(view.trace_spans_recorded > 0, "default sampling recorded spans");
+    store.close();
+}
+
+#[test]
+fn flight_recorder_persists_and_recovers_gap_free() {
+    use p2kvs::JournalKind;
+    let engine_opts = lsmkv::Options::for_test();
+    let mut opts = P2KvsOptions::with_workers(2);
+    opts.pin_workers = false;
+    let store = P2Kvs::open(
+        LsmFactory::new(engine_opts.clone()),
+        "p2-flight",
+        opts.clone(),
+    )
+    .unwrap();
+    for i in 0..50 {
+        store.put(format!("f{i}").as_bytes(), b"v").unwrap();
+    }
+    store.migrate_shard(0, 1).unwrap();
+    store
+        .write_batch(vec![
+            WriteOp::Put { key: b"a".to_vec(), value: b"1".to_vec() },
+            WriteOp::Put { key: b"zz".to_vec(), value: b"2".to_vec() },
+        ])
+        .unwrap();
+    let live = store.flight_records(usize::MAX);
+    for kind in [JournalKind::StoreOpen, JournalKind::HandoffOut, JournalKind::ShardInstall] {
+        assert!(live.iter().any(|r| r.kind == kind), "live journal missing {kind:?}");
+    }
+    store.close();
+
+    // Reopen over the same env: the journal survives, gap-free, with
+    // open/close bracketing and the handoff evidence intact, and the
+    // new incarnation continues the sequence without reusing numbers.
+    let store2 = P2Kvs::open(LsmFactory::new(engine_opts), "p2-flight", opts).unwrap();
+    let recovered = store2.recovered_flight_records().to_vec();
+    assert!(!recovered.is_empty(), "FLIGHT.log must be recovered");
+    assert_eq!(
+        p2kvs::obs::sequence_gap(&recovered),
+        None,
+        "recovered journal must be gap-free"
+    );
+    for kind in [
+        JournalKind::StoreOpen,
+        JournalKind::StoreClose,
+        JournalKind::HandoffOut,
+        JournalKind::ShardInstall,
+        JournalKind::TxnCommit,
+    ] {
+        assert!(
+            recovered.iter().any(|r| r.kind == kind),
+            "recovered journal missing {kind:?}"
+        );
+    }
+    let last_recovered = recovered.last().unwrap().seq;
+    let all = store2.flight_records(usize::MAX);
+    let reopen = all
+        .iter()
+        .find(|r| r.kind == JournalKind::StoreOpen && r.seq > last_recovered)
+        .expect("the reopen is journaled");
+    assert_eq!(reopen.seq, last_recovered + 1, "sequence continues across restart");
+    assert_eq!(p2kvs::obs::sequence_gap(&all), None, "ring spans the restart seam");
+    store2.close();
+}
+
+#[test]
+fn scan_gauge_is_conserved_across_migration_and_iterator_drop() {
+    let mut opts = P2KvsOptions::paper_layout(2);
+    opts.pin_workers = false;
+    opts.scan_chunk_entries = 4;
+    let store = P2Kvs::open(lsm_factory(), "p2-scan-gauge", opts).unwrap();
+    for i in 0..200 {
+        store.put(format!("sg{i:03}").as_bytes(), b"v").unwrap();
+    }
+    let mut iter = store.iter().unwrap();
+    for _ in 0..3 {
+        iter.next_entry().unwrap().unwrap();
+    }
+    let active = |s: &P2Kvs<lsmkv::Db>| -> u64 {
+        s.snapshot().workers.iter().map(|w| w.active_scans).sum()
+    };
+    let parked = active(&store);
+    assert!(parked >= 1, "the streaming iterator parks cursors");
+    assert!(parked < 1 << 60, "gauge must never underflow");
+    // Ownership moves; the parked cursors travel and the gauge total is
+    // conserved — debited at the source exactly once, credited at the
+    // target exactly once.
+    store.migrate_shard(0, 1).unwrap();
+    store.migrate_shard(1, 0).unwrap();
+    assert_eq!(active(&store), parked, "migration conserves the scan gauge");
+    for _ in 0..3 {
+        iter.next_entry().unwrap().unwrap();
+    }
+    drop(iter);
+    wait_no_active_scans(&store);
+    store.close();
+}

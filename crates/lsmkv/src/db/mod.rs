@@ -42,6 +42,26 @@ use write_queue::{form_group, GroupSync, Phase, SignaledPhase, WriterSlot};
 /// replayed during recovery (the p2KVS transaction rollback hook, §4.5).
 pub type RecoveryFilter = Arc<dyn Fn(u64) -> bool + Send + Sync>;
 
+/// A background-job lifecycle notification, delivered from the background
+/// thread that runs the job to the hook installed via
+/// [`Db::install_event_hook`]. `Start` events fire before the job touches
+/// the device; `Finish` events fire after the version edit is applied and
+/// the state lock is released, so a hook may call back into the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbEvent {
+    /// A memtable flush is starting; `bytes` is the memtable footprint.
+    FlushStart { bytes: u64 },
+    /// A flush finished; `bytes` is the L0 output written (0 on failure).
+    FlushFinish { bytes: u64, ok: bool },
+    /// A compaction is starting at `level`, reading `input_bytes`.
+    CompactionStart { level: u32, input_bytes: u64 },
+    /// A compaction at `level` finished, producing `output_bytes`.
+    CompactionFinish { level: u32, output_bytes: u64, ok: bool },
+}
+
+/// Observer for [`DbEvent`]s (the p2KVS flight recorder subscribes here).
+pub type DbEventHook = Arc<dyn Fn(&DbEvent) + Send + Sync>;
+
 /// The WAL writer and its file number; touched only by the current group
 /// leader and by memtable switches (which the leader itself performs).
 struct LogState {
@@ -91,6 +111,8 @@ struct DbInner {
     skip_sync_on_drop: AtomicBool,
     /// Serializes garbage-collection passes.
     gc_mutex: Mutex<()>,
+    /// Background-job event observer (flight recorder), if installed.
+    event_hook: Mutex<Option<DbEventHook>>,
 }
 
 /// An LSM-tree database instance.
@@ -221,6 +243,7 @@ impl Db {
             recovered_max_gsn: AtomicU64::new(max_gsn),
             skip_sync_on_drop: AtomicBool::new(false),
             gc_mutex: Mutex::new(()),
+            event_hook: Mutex::new(None),
             opts,
             dir,
         });
@@ -354,12 +377,13 @@ impl Db {
 
     /// Point lookup honoring `opts` (snapshot, cache bypass).
     pub fn get_with(&self, opts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let t_read = Instant::now();
         DbStats::bump(&self.inner.stats.gets, 1);
         let snapshot = opts
             .snapshot
             .unwrap_or_else(|| self.inner.visible_seq.load(Ordering::Acquire));
         let (mem, imms, version) = self.inner.read_refs();
-        DbInner::get_in_refs(
+        let result = DbInner::get_in_refs(
             &self.inner,
             &mem,
             &imms,
@@ -367,7 +391,12 @@ impl Db {
             key,
             snapshot,
             opts.skip_cache,
-        )
+        );
+        self.inner
+            .stats
+            .read_path
+            .record(t_read.elapsed().as_nanos() as u64);
+        result
     }
 
     /// Batched point lookups (RocksDB `MultiGet` analogue). Results are in
@@ -387,12 +416,13 @@ impl Db {
             return keys.iter().map(|k| self.get_with(opts, k)).collect();
         }
         DbStats::bump(&self.inner.stats.multigets, 1);
+        let t_read = Instant::now();
         let snapshot = opts
             .snapshot
             .unwrap_or_else(|| self.inner.visible_seq.load(Ordering::Acquire));
         let (mem, imms, version) = self.inner.read_refs();
         let pool = self.inner.read_pool.as_ref();
-        match pool {
+        let result = match pool {
             Some(pool) if keys.len() >= 4 => {
                 let shared_keys: Arc<Vec<Vec<u8>>> = Arc::new(keys.to_vec());
                 let results: Arc<Vec<Mutex<std::result::Result<Option<Vec<u8>>, String>>>> = Arc::new(
@@ -449,7 +479,12 @@ impl Db {
                     )
                 })
                 .collect(),
-        }
+        };
+        self.inner
+            .stats
+            .read_path
+            .record(t_read.elapsed().as_nanos() as u64);
+        result
     }
 
     /// A forward iterator over live keys at the latest visible sequence.
@@ -550,6 +585,13 @@ impl Db {
     /// Cumulative statistics.
     pub fn stats(&self) -> &Arc<DbStats> {
         &self.inner.stats
+    }
+
+    /// Installs (replacing any previous) the background-job event
+    /// observer. Events are delivered from the background thread with no
+    /// engine lock held.
+    pub fn install_event_hook(&self, hook: DbEventHook) {
+        *self.inner.event_hook.lock() = Some(hook);
     }
 
     /// Engine options.
@@ -1017,6 +1059,15 @@ impl DbInner {
         }
     }
 
+    /// Delivers `ev` to the installed event hook, if any, with no engine
+    /// lock held (the hook clone is taken before the call).
+    fn fire_event(&self, ev: DbEvent) {
+        let hook = self.event_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(&ev);
+        }
+    }
+
     /// Background worker: flushes and compactions.
     fn background_loop(inner: Arc<DbInner>) {
         enum Work {
@@ -1086,12 +1137,20 @@ impl DbInner {
             };
             match work {
                 Work::Flush(wal_num, mem) => {
+                    inner.fire_event(DbEvent::FlushStart {
+                        bytes: mem.approximate_memory_usage() as u64,
+                    });
                     let t_job = Instant::now();
                     let result = flush_memtable(&ctx, &mem, &alloc);
                     inner.stats.bg_busy.record(t_job.elapsed().as_nanos() as u64);
+                    let mut finish = DbEvent::FlushFinish { bytes: 0, ok: false };
                     let mut state = inner.state.lock();
                     match result {
                         Ok(files) => {
+                            finish = DbEvent::FlushFinish {
+                                bytes: files.iter().map(|f| f.size).sum(),
+                                ok: true,
+                            };
                             let mut edit = VersionEdit::default();
                             for f in files {
                                 edit.added.push((0, f));
@@ -1118,17 +1177,38 @@ impl DbInner {
                     }
                     state.flush_active = false;
                     drop(state);
+                    inner.fire_event(finish);
                     inner.remove_obsolete_files();
                     inner.bg_cv.notify_all();
                 }
                 Work::Compact(task, version) => {
+                    let input_bytes: u64 = task
+                        .inputs
+                        .iter()
+                        .chain(task.next_inputs.iter())
+                        .map(|f| f.size)
+                        .sum();
+                    inner.fire_event(DbEvent::CompactionStart {
+                        level: task.level as u32,
+                        input_bytes,
+                    });
                     let smallest = inner.smallest_snapshot();
                     let t_job = Instant::now();
                     let result = run_compaction(&ctx, &task, &version, smallest, &alloc);
                     inner.stats.bg_busy.record(t_job.elapsed().as_nanos() as u64);
+                    let mut finish = DbEvent::CompactionFinish {
+                        level: task.level as u32,
+                        output_bytes: 0,
+                        ok: false,
+                    };
                     let mut state = inner.state.lock();
                     match result {
                         Ok(out) => {
+                            finish = DbEvent::CompactionFinish {
+                                level: task.level as u32,
+                                output_bytes: out.files.iter().map(|f| f.size).sum(),
+                                ok: true,
+                            };
                             let mut edit = VersionEdit::default();
                             for f in &task.inputs {
                                 edit.deleted.push((task.level, f.number));
@@ -1152,6 +1232,7 @@ impl DbInner {
                     }
                     state.compact_active = false;
                     drop(state);
+                    inner.fire_event(finish);
                     inner.remove_obsolete_files();
                     inner.bg_cv.notify_all();
                 }

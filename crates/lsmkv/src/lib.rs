@@ -35,7 +35,7 @@ pub mod version;
 pub mod wal;
 
 pub use batch::{BatchOp, WriteBatch};
-pub use db::{Db, DbIterator, Snapshot};
+pub use db::{Db, DbEvent, DbEventHook, DbIterator, Snapshot};
 pub use error::{Error, Result};
 pub use options::{CompactionStyle, Options, ReadOptions, SyncPolicy, WriteOptions};
 pub use stats::{DbStats, WriteBreakdown};

@@ -139,6 +139,10 @@ pub struct DbStats {
     pub stall_ns: AtomicU64,
     /// CPU time consumed by background flush/compaction jobs.
     pub bg_busy: LatencyAccumulator,
+    /// Read-path time (memtable probe + SST lookups) per `get`/`multiget`
+    /// call. The cumulative sum is the read-phase clock p2KVS samples
+    /// around an engine call to attribute trace time to the read path.
+    pub read_path: LatencyAccumulator,
 }
 
 impl DbStats {
@@ -187,6 +191,10 @@ impl DbStats {
             (
                 "engine_bg_busy_ns_total".to_string(),
                 self.bg_busy.sum_ns() as f64,
+            ),
+            (
+                "engine_read_ns_total".to_string(),
+                self.read_path.sum_ns() as f64,
             ),
         ]
     }

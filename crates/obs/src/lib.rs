@@ -19,18 +19,29 @@
 //! * [`snapshot`] — [`MetricsSnapshot`] with Prometheus-text and JSON
 //!   renderers (the JSON form is the `repro` per-run artifact).
 //! * [`reporter`] — [`PeriodicTask`], the optional stats-reporter thread.
+//! * [`span`] — causal span tracing: the sampled [`TraceCtx`] that rides
+//!   each request, fixed-capacity [`SpanRing`]s of completed
+//!   [`SpanRecord`]s, and the Chrome-trace/Perfetto JSON export.
+//! * [`journal`] — the system flight recorder: a bounded,
+//!   gap-free-sequenced [`Journal`] of control-plane events (handoffs,
+//!   balancer moves, compactions, fault firings) with a pluggable
+//!   persistence sink so the history survives crashes.
 //!
 //! The crate is dependency-free (std + `p2kvs-util`) and knows nothing
 //! about engines or the store; `p2kvs` threads it through the stack.
 
+pub mod journal;
 pub mod metrics;
 pub mod registry;
 pub mod reporter;
 pub mod snapshot;
+pub mod span;
 pub mod trace;
 
+pub use journal::{parse_journal, sequence_gap, Journal, JournalKind, JournalRecord};
 pub use metrics::{ConcurrentHistogram, Counter, Gauge};
 pub use registry::{labeled, MetricsRegistry};
 pub use reporter::PeriodicTask;
 pub use snapshot::{HistogramStats, MetricsSnapshot};
+pub use span::{export_chrome_trace, SpanKind, SpanRecord, SpanRing, TraceCtx};
 pub use trace::{TraceEvent, TraceRing, WorkerLifecycle, CLASS_LABELS};

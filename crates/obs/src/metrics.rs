@@ -192,4 +192,41 @@ mod tests {
         let h = ConcurrentHistogram::new();
         assert_eq!(h.snapshot().count(), 0);
     }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        // The sharded snapshot depends on merging log-bucketed counts
+        // being order-independent; check digests across groupings.
+        use crate::snapshot::HistogramStats;
+        let fill = |seed: u64, n: u64| {
+            let mut h = Histogram::new();
+            for i in 0..n {
+                h.record(seed.wrapping_mul(2654435761).wrapping_add(i * 37) % 1_000_000);
+            }
+            h
+        };
+        let (a, b, c) = (fill(1, 500), fill(2, 300), fill(3, 700));
+        // (a ⊕ b) ⊕ c
+        let mut left = Histogram::new();
+        left.merge(&a);
+        left.merge(&b);
+        let mut left_then_c = left;
+        left_then_c.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = Histogram::new();
+        bc.merge(&b);
+        bc.merge(&c);
+        let mut right = Histogram::new();
+        right.merge(&a);
+        right.merge(&bc);
+        // c ⊕ b ⊕ a (commuted)
+        let mut rev = Histogram::new();
+        rev.merge(&c);
+        rev.merge(&b);
+        rev.merge(&a);
+        let digest = |h: &Histogram| HistogramStats::from(h);
+        assert_eq!(digest(&left_then_c), digest(&right));
+        assert_eq!(digest(&left_then_c), digest(&rev));
+        assert_eq!(left_then_c.count(), 1500);
+    }
 }

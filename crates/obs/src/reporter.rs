@@ -89,6 +89,63 @@ mod tests {
     }
 
     #[test]
+    fn ticks_snapshot_a_registry_under_concurrent_mutation() {
+        use crate::registry::{labeled, MetricsRegistry};
+        let registry = Arc::new(MetricsRegistry::new());
+        let ticks = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        // Mutators: register fresh series and hammer existing handles
+        // while the reporter snapshots — the get-or-create lock and the
+        // snapshot path must coexist without deadlock or panic.
+        let mutators: Vec<_> = (0..3)
+            .map(|t| {
+                let reg = registry.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let w = (i % 17).to_string();
+                        reg.counter(&labeled("rep_ops_total", &[("worker", &w)])).inc();
+                        reg.histogram(&labeled("rep_lat_ns", &[("worker", &w)]))
+                            .record(t * 1000 + i);
+                        reg.set_gauge(&labeled("rep_depth", &[("worker", &w)]), i as f64);
+                        i += 1;
+                    }
+                    i
+                })
+            })
+            .collect();
+        let mut task = {
+            let reg = registry.clone();
+            let ticks = ticks.clone();
+            PeriodicTask::spawn("test-snap", Duration::from_millis(5), move || {
+                let snap = reg.snapshot();
+                // Sorted output and internally consistent counts.
+                assert!(snap.counters.windows(2).all(|w| w[0].0 <= w[1].0));
+                for (_, h) in &snap.histograms {
+                    assert!(h.min <= h.max || h.count == 0);
+                }
+                ticks.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(150));
+        stop.store(true, Ordering::Relaxed);
+        let recorded: u64 = mutators.into_iter().map(|m| m.join().unwrap()).sum();
+        task.stop();
+        assert!(ticks.load(Ordering::Relaxed) >= 3, "reporter ticked while mutated");
+        assert!(recorded > 0);
+        // Post-quiesce, the registry totals match what the mutators did.
+        let snap = registry.snapshot();
+        let total: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("rep_ops_total"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, recorded);
+    }
+
+    #[test]
     fn drop_joins_quickly() {
         let start = Instant::now();
         {

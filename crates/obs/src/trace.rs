@@ -206,6 +206,67 @@ mod tests {
     }
 
     #[test]
+    fn ring_at_capacity_keeps_newest_in_push_order() {
+        // Fill exactly to capacity, then keep pushing: every eviction
+        // must drop the oldest and the survivors stay in push order.
+        let ring = TraceRing::new(4);
+        for i in 0..4u64 {
+            ring.push(TraceEvent {
+                worker: 0,
+                class: 0,
+                queue_wait_ns: i,
+                service_ns: 0,
+                batch_size: 1,
+            });
+        }
+        for i in 4..20u64 {
+            ring.push(TraceEvent {
+                worker: 0,
+                class: 0,
+                queue_wait_ns: i,
+                service_ns: 0,
+                batch_size: 1,
+            });
+            let ids: Vec<u64> = ring.recent(4).iter().map(|e| e.queue_wait_ns).collect();
+            assert_eq!(ids, vec![i - 3, i - 2, i - 1, i], "after push {i}");
+            assert_eq!(ring.len(), 4);
+        }
+        assert_eq!(ring.total_recorded(), 20);
+        // `recent(n)` with n < len returns the newest n, still oldest
+        // first.
+        assert_eq!(
+            ring.recent(2).iter().map(|e| e.queue_wait_ns).collect::<Vec<_>>(),
+            vec![18, 19]
+        );
+    }
+
+    #[test]
+    fn ring_stays_bounded_under_concurrent_pushes() {
+        let ring = Arc::new(TraceRing::new(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        ring.push(TraceEvent {
+                            worker: t,
+                            class: 0,
+                            queue_wait_ns: i,
+                            service_ns: 0,
+                            batch_size: 1,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.total_recorded(), 2000);
+    }
+
+    #[test]
     fn lifecycle_records_per_class_and_traces_slow() {
         let registry = MetricsRegistry::new();
         let ring = Arc::new(TraceRing::new(8));

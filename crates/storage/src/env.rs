@@ -7,8 +7,15 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use crate::fault::FaultEvent;
 use crate::stats::IoStatsSnapshot;
+
+/// Observer invoked by fault-injecting environments whenever a planned
+/// fault fires (see [`crate::FaultyEnv`]). Called after the event is
+/// recorded, outside any internal lock, on the faulting thread.
+pub type FaultHook = Arc<dyn Fn(&FaultEvent) + Send + Sync>;
 
 /// An append-only file handle (WAL segment, SST under construction, ...).
 pub trait WritableFile: Send {
@@ -113,6 +120,19 @@ pub trait Env: Send + Sync {
 
     /// Point-in-time IO statistics for this environment.
     fn io_stats(&self) -> IoStatsSnapshot;
+
+    /// Registers an observer for injected-fault firings. The default is
+    /// a no-op: only fault-injecting environments ([`crate::FaultyEnv`])
+    /// produce events. Lets observability layers holding only an
+    /// `Arc<dyn Env>` subscribe without downcasting.
+    fn install_fault_hook(&self, _hook: FaultHook) {}
+
+    /// Fraction of the device's aggregate service capacity used since
+    /// creation, when this environment models a device
+    /// ([`crate::SimEnv`]); `None` for unmodeled environments.
+    fn device_utilization(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Reads the entire file at `path` into a `Vec<u8>`.

@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::env::{Env, RandomAccessFile, RandomRwFile, SequentialFile, WritableFile};
+use crate::env::{Env, FaultHook, RandomAccessFile, RandomRwFile, SequentialFile, WritableFile};
 use crate::mem::{MemEnv, MemFs};
 use crate::stats::IoStatsSnapshot;
 
@@ -79,6 +79,7 @@ struct FaultState {
     reads: AtomicU64,
     crashed: AtomicBool,
     events: Mutex<Vec<FaultEvent>>,
+    hook: Mutex<Option<FaultHook>>,
 }
 
 impl FaultState {
@@ -90,6 +91,19 @@ impl FaultState {
             reads: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
             events: Mutex::new(Vec::new()),
+            hook: Mutex::new(None),
+        }
+    }
+
+    /// Records a fired fault and notifies the observer. The hook runs
+    /// with no internal lock held (it may re-enter the env, e.g. a
+    /// flight recorder appending its own journal file), on the thread
+    /// whose operation faulted.
+    fn fire(&self, event: FaultEvent) {
+        self.events.lock().push(event.clone());
+        let hook = self.hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(&event);
         }
     }
 
@@ -119,7 +133,7 @@ impl FaultState {
         if plan.fail_append == Some(n) {
             plan.fail_append = None;
             drop(plan);
-            self.events.lock().push(FaultEvent::FailedAppend { n, path: path.to_path_buf() });
+            self.fire(FaultEvent::FailedAppend { n, path: path.to_path_buf() });
             return Err(self.injected_err("append", n, path));
         }
         Ok(())
@@ -132,7 +146,7 @@ impl FaultState {
         if plan.fail_read == Some(n) {
             plan.fail_read = None;
             drop(plan);
-            self.events.lock().push(FaultEvent::FailedRead { n, path: path.to_path_buf() });
+            self.fire(FaultEvent::FailedRead { n, path: path.to_path_buf() });
             return Err(self.injected_err("read", n, path));
         }
         Ok(())
@@ -154,13 +168,13 @@ impl FaultState {
             self.crashed.store(true, Ordering::Release);
             let torn = if torn_budget > 0 { fs.tear(path, torn_budget) } else { 0 };
             fs.power_failure();
-            self.events.lock().push(FaultEvent::Crash { n, path: path.to_path_buf(), torn });
+            self.fire(FaultEvent::Crash { n, path: path.to_path_buf(), torn });
             return Err(self.crashed_err());
         }
         if plan.fail_sync == Some(n) {
             plan.fail_sync = None;
             drop(plan);
-            self.events.lock().push(FaultEvent::FailedSync { n, path: path.to_path_buf() });
+            self.fire(FaultEvent::FailedSync { n, path: path.to_path_buf() });
             return Err(self.injected_err("sync", n, path));
         }
         Ok(())
@@ -403,6 +417,10 @@ impl Env for FaultyEnv {
     fn io_stats(&self) -> IoStatsSnapshot {
         self.inner.io_stats()
     }
+
+    fn install_fault_hook(&self, hook: FaultHook) {
+        *self.state.hook.lock() = Some(hook);
+    }
 }
 
 #[cfg(test)]
@@ -507,6 +525,47 @@ mod tests {
             }
             other => panic!("unexpected events: {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_hook_observes_firings_and_tolerates_reentry() {
+        let env = FaultyEnv::over_mem();
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            // The hook re-enters the env (like a flight recorder
+            // appending its journal) — must not deadlock, and its
+            // appends simply fail once the env is frozen.
+            let seen = seen.clone();
+            let hook_env: Arc<dyn Env> = Arc::new(FaultyEnv {
+                inner: env.inner.clone(),
+                fs: env.fs.clone(),
+                state: env.state.clone(),
+            });
+            env.install_fault_hook(Arc::new(move |e| {
+                let name = match e {
+                    FaultEvent::FailedAppend { .. } => "append",
+                    FaultEvent::FailedSync { .. } => "sync",
+                    FaultEvent::FailedRead { .. } => "read",
+                    FaultEvent::Crash { .. } => "crash",
+                };
+                // Re-entry through the same env's counters.
+                if let Ok(mut f) = hook_env.new_appendable(Path::new("hook.log")) {
+                    let _ = f.append(name.as_bytes());
+                }
+                seen.lock().push(name.to_string());
+            }));
+        }
+        env.set_plan(FaultPlan {
+            fail_append: Some(1),
+            crash_at_sync: Some(1),
+            ..Default::default()
+        });
+        let mut w = env.new_writable(Path::new("f")).unwrap();
+        assert!(w.append(b"x").is_err()); // append #1 injected
+        w.append(b"x").unwrap();
+        assert!(w.sync().is_err()); // sync #1 -> crash (env frozen)
+        assert_eq!(seen.lock().clone(), vec!["append", "crash"]);
+        assert_eq!(env.events().len(), 2, "hook saw exactly the recorded events");
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod stats;
 pub mod stdfs;
 
 pub use device::{DeviceModel, DeviceProfile};
-pub use env::{Env, RandomAccessFile, RandomRwFile, SequentialFile, WritableFile};
+pub use env::{Env, FaultHook, RandomAccessFile, RandomRwFile, SequentialFile, WritableFile};
 pub use fault::{FaultEvent, FaultPlan, FaultyEnv};
 pub use mem::{MemEnv, MemFs};
 pub use sim::SimEnv;

@@ -130,6 +130,10 @@ impl Env for SimEnv {
     fn io_stats(&self) -> IoStatsSnapshot {
         self.inner.io_stats()
     }
+
+    fn device_utilization(&self) -> Option<f64> {
+        Some(SimEnv::device_utilization(self))
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ use std::time::Duration;
 
 use lsmkv::SyncPolicy;
 use p2kvs::engine::LsmFactory;
-use p2kvs::{HashPartitioner, P2Kvs, P2KvsOptions, Partitioner, WriteOp};
+use p2kvs::{HashPartitioner, JournalKind, P2Kvs, P2KvsOptions, Partitioner, WriteOp};
 use p2kvs_storage::{EnvRef, FaultPlan, FaultyEnv};
 use p2kvs_util::hash::mix64;
 
@@ -369,6 +369,39 @@ pub struct CrashPointOutcome {
     pub crashed: bool,
     /// Oracle violations found in the recovered store; empty = pass.
     pub violations: Vec<String>,
+    /// Flight-recorder records recovery parsed back out of `FLIGHT.log`.
+    /// Usually positive (the creation-time `StoreOpen` is synced); zero
+    /// only when the crash landed inside the journal's own first syncs.
+    pub recovered_flight: usize,
+}
+
+/// Flight-recorder checks for a recovered store: the journal parsed back
+/// from `FLIGHT.log` must be a gap-free sequence rooted at the store's
+/// very first record (its creation-time [`JournalKind::StoreOpen`]). A
+/// crash may cost unsynced *suffix* records — the torn tail — but must
+/// never punch a hole in the middle or lose the head once later records
+/// survived.
+pub fn flight_journal_violations(store: &P2Kvs<lsmkv::Db>) -> Vec<String> {
+    let mut v = Vec::new();
+    let recs = store.recovered_flight_records();
+    if let Some(gap) = p2kvs::obs::sequence_gap(recs) {
+        v.push(format!("flight journal recovered with a hole: {gap}"));
+    }
+    if let Some(first) = recs.first() {
+        if first.seq != 1 {
+            v.push(format!(
+                "flight journal lost its head: first recovered seq is {} (want 1)",
+                first.seq
+            ));
+        }
+        if first.kind != JournalKind::StoreOpen {
+            v.push(format!(
+                "flight journal's first record is {}, not store_open",
+                first.kind.name()
+            ));
+        }
+    }
+    v
 }
 
 /// Runs the workload with a crash planned at sync point `point`, heals,
@@ -401,12 +434,15 @@ pub fn run_crash_point(seed: u64, point: u64) -> CrashPointOutcome {
                 point,
                 crashed,
                 violations: vec![format!("recovery failed to reopen the store: {e}")],
+                recovered_flight: 0,
             }
         }
     };
-    let violations = oracle.check(|k| store.get(k).expect("post-recovery read"));
+    let mut violations = oracle.check(|k| store.get(k).expect("post-recovery read"));
+    violations.extend(flight_journal_violations(&store));
+    let recovered_flight = store.recovered_flight_records().len();
     store.close();
-    CrashPointOutcome { point, crashed, violations }
+    CrashPointOutcome { point, crashed, violations, recovered_flight }
 }
 
 /// Crash-matrix variant exercising the epoch-fenced handoff: the store
@@ -456,12 +492,15 @@ pub fn run_crash_point_with_migration(seed: u64, point: u64) -> CrashPointOutcom
                 point,
                 crashed,
                 violations: vec![format!("recovery failed to reopen the store: {e}")],
+                recovered_flight: 0,
             }
         }
     };
-    let violations = oracle.check(|k| store.get(k).expect("post-recovery read"));
+    let mut violations = oracle.check(|k| store.get(k).expect("post-recovery read"));
+    violations.extend(flight_journal_violations(&store));
+    let recovered_flight = store.recovered_flight_records().len();
     store.close();
-    CrashPointOutcome { point, crashed, violations }
+    CrashPointOutcome { point, crashed, violations, recovered_flight }
 }
 
 /// The sampled crash points for a space of `total` sync points: every one
@@ -579,6 +618,12 @@ pub fn differential_fault_run(
                     .into_iter()
                     .map(|v| format!("after reopen: {v}")),
             );
+            violations.extend(flight_journal_violations(&reopened));
+            // No crash happened, so even unsynced journal appends reached
+            // the env: the whole history must come back, not a prefix.
+            if reopened.recovered_flight_records().is_empty() {
+                violations.push("no crash, yet reopen recovered an empty flight journal".into());
+            }
             reopened.close();
         }
         Err(e) => violations.push(format!("reopen after transient faults failed: {e}")),
@@ -702,6 +747,14 @@ mod tests {
             let out = run_crash_point(7, point);
             assert!(out.crashed, "point {point} did not fire");
             assert!(out.violations.is_empty(), "point {point}: {:?}", out.violations);
+            // Once the crash lands past store creation the synced
+            // creation-time journal prefix must survive recovery.
+            if point >= 40 {
+                assert!(
+                    out.recovered_flight > 0,
+                    "point {point}: no flight records recovered"
+                );
+            }
         }
     }
 
