@@ -257,10 +257,10 @@ mod tests {
         }
     }
 
-    /// The schema contract, checked against all four `BENCH_*.json`
+    /// The schema contract, checked against all five `BENCH_*.json`
     /// renderers with synthetic results (no benchmark execution).
     #[test]
-    fn all_four_bench_artifacts_conform_to_schema() {
+    fn all_bench_artifacts_conform_to_schema() {
         let accessing = crate::accessing::render_json(
             &[crate::accessing::FanInResult {
                 queue: "ring",
@@ -337,11 +337,48 @@ mod tests {
             7,
             true,
         );
+        let cache = crate::cachebench::render_json(
+            &crate::cachebench::CacheBenchSummary {
+                results: vec![crate::cachebench::HitRateResult {
+                    pct_of_hot: 100,
+                    capacity_bytes: 1 << 20,
+                    ops: 1000,
+                    wall_secs: 0.5,
+                    throughput_ops_sec: 2000.0,
+                    hit_rate: 0.93,
+                    p50_get_ns: 400,
+                    p99_get_ns: 9000,
+                    hits: 930,
+                    misses: 70,
+                    evictions: 12,
+                }],
+                hot_keys: 1200,
+                hot_bytes: 1 << 20,
+                reads_identical: true,
+                miss: crate::cachebench::MissPathResult {
+                    keys_per_round: 1000,
+                    rounds: 3,
+                    off_secs: 0.5,
+                    on_secs: 0.505,
+                    overhead_pct: 1.0,
+                },
+                skew: crate::cachebench::SkewRecovery {
+                    static_ops_sec: 1000.0,
+                    balanced_ops_sec: 1100.0,
+                    balanced_cached_ops_sec: 1500.0,
+                    cached_over_static: 1.5,
+                    reads_identical: true,
+                },
+            },
+            20_000,
+            7,
+        );
         for (name, doc) in [
             ("accessing", &accessing),
             ("scan", &scan),
             ("skew", &skew),
             ("trace", &trace),
+            ("cache", &cache),
         ] {
             let v = validate_schema(doc);
             assert!(v.is_empty(), "BENCH_{name}.json schema: {v:?}\n{doc}");

@@ -1,0 +1,103 @@
+//! Standalone read-cache benchmark: zipfian hit-rate sweep, miss-path
+//! overhead gate, and the three-way skew-recovery comparison, writing
+//! `BENCH_cache.json`.
+//!
+//! ```text
+//! cargo run -p p2kvs-bench --release --bin cache_hitrate
+//! ```
+//!
+//! The artifact lands in `$P2KVS_METRICS_DIR` when set, the working
+//! directory otherwise; op counts scale with `P2KVS_SCALE` and the seed
+//! comes from `P2KVS_CACHE_SEED` (default fixed). Exits non-zero when a
+//! gate fails:
+//!
+//! * miss-path overhead (cache on, all-miss traffic) > 3 % — always;
+//! * full-hot-set hit rate < 90 %, or GET p50 ≥ 5 µs at that point;
+//! * balanced+cache throughput < 1.0× the unlucky static baseline —
+//!   only at `P2KVS_SCALE` ≥ 1.0 (tiny windows are too noisy to gate).
+
+use p2kvs_bench::cachebench;
+
+fn main() -> std::io::Result<()> {
+    let path = cachebench::artifact_path();
+    let summary = cachebench::run_default(&path)?;
+
+    let rows: Vec<Vec<String>> = summary
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.pct_of_hot),
+                p2kvs_bench::mib(r.capacity_bytes),
+                p2kvs_bench::kqps(r.throughput_ops_sec),
+                format!("{:.1}", r.hit_rate * 100.0),
+                format!("{:.1}", r.p50_get_ns as f64 / 1e3),
+                format!("{:.1}", r.p99_get_ns as f64 / 1e3),
+                r.evictions.to_string(),
+            ]
+        })
+        .collect();
+    p2kvs_bench::print_table(
+        "zipfian hot-set read cache: capacity sweep (% of hot-set bytes)",
+        &["cache", "MiB", "kops/s", "hit %", "get_p50_us", "get_p99_us", "evictions"],
+        &rows,
+    );
+    println!(
+        "\nhot set: {} keys / {:.1} MiB carry {:.0}% of requests",
+        summary.hot_keys,
+        summary.hot_bytes as f64 / (1 << 20) as f64,
+        cachebench::HOT_MASS * 100.0
+    );
+    println!(
+        "miss-path overhead (all-miss, fastest of {} rounds): {:.2}% (off {:.3}s, on {:.3}s)",
+        summary.miss.rounds, summary.miss.overhead_pct, summary.miss.off_secs, summary.miss.on_secs
+    );
+    println!(
+        "skew recovery: static {:.1} kops/s, balanced {:.1} kops/s, balanced+cache {:.1} kops/s \
+         ({:.2}x static)",
+        summary.skew.static_ops_sec / 1e3,
+        summary.skew.balanced_ops_sec / 1e3,
+        summary.skew.balanced_cached_ops_sec / 1e3,
+        summary.skew.cached_over_static
+    );
+    println!("wrote {}", path.display());
+
+    let full_scale = std::env::var("P2KVS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        >= 1.0;
+    let full = summary.results.last().expect("sweep ran");
+    let mut failures = Vec::new();
+    if summary.miss.overhead_pct > 3.0 {
+        failures.push(format!(
+            "miss-path overhead {:.2}% exceeds the 3% budget",
+            summary.miss.overhead_pct
+        ));
+    }
+    if full.hit_rate < 0.90 {
+        failures.push(format!(
+            "full-hot-set hit rate {:.1}% is under the 90% target",
+            full.hit_rate * 100.0
+        ));
+    }
+    if full.p50_get_ns >= 5_000 {
+        failures.push(format!(
+            "full-hot-set GET p50 {:.1}us is not under the 5us target",
+            full.p50_get_ns as f64 / 1e3
+        ));
+    }
+    if full_scale && summary.skew.cached_over_static < 1.0 {
+        failures.push(format!(
+            "balanced+cache is {:.3}x the static baseline (want >= 1.0x)",
+            summary.skew.cached_over_static
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -119,6 +119,8 @@ pub fn ablate() {
             let env = setups::nvme_env();
             let factory = p2kvs::engine::LsmFactory::new(setups::bench_options(env));
             let mut opts = p2kvs::P2KvsOptions::with_workers(4);
+            // Cache off: the ablation isolates OBM batching.
+            opts.cache_capacity = 0;
             opts.batch_max = m;
             let store = p2kvs::P2Kvs::open(factory, format!("ab-m{m}"), opts).unwrap();
             let client = crate::clients::P2Client { store };
@@ -149,6 +151,8 @@ pub fn ablate() {
             let env = setups::nvme_env();
             let factory = p2kvs::engine::LsmFactory::new(setups::bench_options(env));
             let mut opts = p2kvs::P2KvsOptions::with_workers(8);
+            // Cache off: the ablation isolates scan strategies.
+            opts.cache_capacity = 0;
             opts.scan_strategy = strategy;
             let store = p2kvs::P2Kvs::open(factory, format!("ab-scan-{name}"), opts).unwrap();
             for i in 0..load {

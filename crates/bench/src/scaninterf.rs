@@ -94,6 +94,10 @@ fn open_store(name: &str, workers: usize, chunk_entries: usize) -> P2Kvs<lsmkv::
     lsm.block_cache_size = 256 << 10;
     let mut opts = P2KvsOptions::with_workers(workers);
     opts.pin_workers = false;
+    // Cache off: this bench measures GET latency *through the queue*
+    // while scans stream — client-side cache hits would bypass exactly
+    // the interference under test.
+    opts.cache_capacity = 0;
     opts.scan_chunk_entries = chunk_entries;
     if chunk_entries == usize::MAX {
         opts.scan_chunk_bytes = usize::MAX;

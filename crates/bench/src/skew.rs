@@ -87,6 +87,12 @@ impl Zipf {
     pub fn rank(&self, u: f64) -> usize {
         self.cdf.partition_point(|c| *c < u).min(self.cdf.len() - 1)
     }
+
+    /// Smallest count of leading (hottest) ranks whose combined mass
+    /// reaches `mass` — the cache bench's hot-set size.
+    pub fn head_count(&self, mass: f64) -> usize {
+        (self.cdf.partition_point(|c| *c < mass) + 1).min(self.cdf.len())
+    }
 }
 
 /// Routes `t{tt:02}…` keys to one shard per tenant. Tenant ids are
@@ -197,7 +203,7 @@ pub struct SkewResult {
     pub busy_spread: f64,
 }
 
-fn open_store(name: &str) -> P2Kvs<lsmkv::Db> {
+fn open_store(name: &str, cache_capacity: usize) -> P2Kvs<lsmkv::Db> {
     // The paper's simulated NVMe device: per-op cost is real enough
     // that worker busy-time reflects work done, not allocator noise.
     let env: p2kvs_storage::EnvRef = Arc::new(SimEnv::with_profile(DeviceProfile::nvme_optane()));
@@ -207,8 +213,21 @@ fn open_store(name: &str) -> P2Kvs<lsmkv::Db> {
     lsm.block_cache_size = 256 << 10;
     let mut opts = P2KvsOptions::with_workers(WORKERS);
     opts.pin_workers = false;
+    // 0 for the paper configurations: hits served client-side would
+    // bypass the very worker imbalance this bench measures. The cache
+    // bench layers it back on via [`measure_cached`].
+    opts.cache_capacity = cache_capacity;
     opts.partitioner = Some(Arc::new(TenantPartitioner::new(TENANTS)));
     P2Kvs::open(LsmFactory::new(lsm), name, opts).unwrap()
+}
+
+/// Total cache hits so far (0 with the cache off). Window deltas count
+/// toward `ops`: hits are completed GETs the workers never see.
+fn cache_hits(store: &P2Kvs<lsmkv::Db>) -> u64 {
+    store
+        .metrics_snapshot()
+        .counter("p2kvs_cache_hits")
+        .unwrap_or(0)
 }
 
 fn load(store: &P2Kvs<lsmkv::Db>, keys_per_tenant: u64) {
@@ -281,7 +300,24 @@ pub fn measure(
     measure_ops: u64,
     seed: u64,
 ) -> (SkewResult, Vec<(Vec<u8>, Option<Vec<u8>>)>) {
-    let store = open_store(config);
+    measure_cached(config, balance, 0, keys_per_tenant, warmup_ops, measure_ops, seed)
+}
+
+/// [`measure`] with a client-side read cache of `cache_capacity` bytes
+/// (0 = off, the paper configuration). The cache bench uses this to
+/// show the hot-set cache recovering throughput the balancer alone
+/// leaves on the table — workload, placement, and seeds are identical,
+/// so results stay byte-comparable across all configurations.
+pub fn measure_cached(
+    config: &'static str,
+    balance: bool,
+    cache_capacity: usize,
+    keys_per_tenant: u64,
+    warmup_ops: u64,
+    measure_ops: u64,
+    seed: u64,
+) -> (SkewResult, Vec<(Vec<u8>, Option<Vec<u8>>)>) {
+    let store = open_store(config, cache_capacity);
     load(&store, keys_per_tenant);
 
     // Warmup: builds the per-shard service-time signal the balancer
@@ -306,10 +342,12 @@ pub fn measure(
     }
 
     let before = store.snapshot();
+    let hits_before = cache_hits(&store);
     let began = Instant::now();
     let lat = drive(&store, keys_per_tenant, measure_ops, seed);
     let wall_secs = began.elapsed().as_secs_f64();
     let after = store.snapshot();
+    let hits_after = cache_hits(&store);
 
     let worker_ops: Vec<u64> = after
         .workers
@@ -323,7 +361,10 @@ pub fn measure(
         .zip(&before.workers)
         .map(|(a, b)| a.busy.saturating_sub(b.busy).as_nanos() as u64)
         .collect();
-    let ops: u64 = worker_ops.iter().sum();
+    // Cache hits complete on the client thread and never reach a
+    // worker; counting only worker deltas would report the cached
+    // configuration's misses as its whole throughput.
+    let ops: u64 = worker_ops.iter().sum::<u64>() + hits_after.saturating_sub(hits_before);
     let result = SkewResult {
         config,
         workers: store.workers(),

@@ -101,6 +101,9 @@ fn measure(
     lsm.memtable_size = 4 << 20;
     let mut opts = P2KvsOptions::with_workers(2);
     opts.pin_workers = false;
+    // Cache off: the overhead under test is tracing on the worker
+    // round-trip; cached GETs would never reach it.
+    opts.cache_capacity = 0;
     opts.trace_sample = trace_sample;
     let store = P2Kvs::open(LsmFactory::new(lsm), "trace-ov", opts).unwrap();
 

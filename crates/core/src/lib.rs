@@ -31,6 +31,16 @@
 //!   queue round-trip, so large scans interleave with point traffic
 //!   instead of head-of-line-blocking a worker; the paper's quota
 //!   strategies (§4.4) survive as opening-chunk sizing policies.
+//! * **Hot-set read cache** — a lock-free, tag-checked hash index
+//!   ([`cache::ReadCache`], budget `P2KvsOptions::cache_capacity`,
+//!   default 16 MiB) serves repeated GETs on the client thread with no
+//!   queue round-trip, no lock, and one allocation (the returned
+//!   bytes), reclaiming removed records through FASTER-style epochs
+//!   (`p2kvs_util::epoch`). Writes invalidate before acking
+//!   (read-your-writes), fills are version-checked against racing
+//!   writes, migrations flush the moving shard, and a doorkeeper
+//!   admission filter keeps read-once traffic from churning the
+//!   resident hot set (DESIGN.md §11).
 //! * **Transactions** — cross-instance WriteBatches share a Global Sequence
 //!   Number persisted in a commit log; recovery rolls back batches whose
 //!   GSN never committed (§4.5).
@@ -60,6 +70,7 @@
 //! ```
 
 pub mod balance;
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod queue;
@@ -72,6 +83,7 @@ pub mod types;
 pub mod worker;
 
 pub use balance::BalancePolicy;
+pub use cache::{CacheCounters, ReadCache};
 pub use engine::{
     Capabilities, EngineEvent, EngineEventHook, EngineFactory, EnginePhases, KvsEngine,
 };

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use p2kvs_obs::{
     labeled, parse_journal, Journal, JournalKind, JournalRecord, MetricsRegistry, MetricsSnapshot,
-    PeriodicTask, SpanRecord, SpanRing, TraceCtx, TraceEvent, TraceRing, WorkerLifecycle,
+    PeriodicTask, SpanKind, SpanRecord, SpanRing, TraceCtx, TraceEvent, TraceRing, WorkerLifecycle,
 };
 
 use crate::balance::{plan_moves, BalancePolicy};
@@ -130,6 +130,14 @@ pub struct P2KvsOptions {
     /// In-memory ring capacity of the flight recorder (the persisted
     /// log is unbounded within the store's lifetime).
     pub flight_recorder_capacity: usize,
+    /// Byte budget of the lock-free hot-record read cache consulted in
+    /// [`P2Kvs::get`]/[`P2Kvs::get_many`] before any queue submit
+    /// (DESIGN.md §11). `0` disables the cache entirely —
+    /// [`P2KvsOptions::paper_layout`] does so to keep the paper's exact
+    /// request path. The cache is volatile (recovery comes up cold) and
+    /// coherent: writes invalidate before they are acked, and shard
+    /// migrations flush the moving shard's entries.
+    pub cache_capacity: usize,
 }
 
 impl Default for P2KvsOptions {
@@ -155,6 +163,7 @@ impl Default for P2KvsOptions {
             trace_span_capacity: 4096,
             flight_recorder: true,
             flight_recorder_capacity: 256,
+            cache_capacity: 16 << 20,
         }
     }
 }
@@ -185,6 +194,9 @@ impl P2KvsOptions {
         P2KvsOptions {
             workers: n,
             shards: n.max(1),
+            // The paper has no client-side cache: every GET takes the
+            // queue→worker→engine path, so the layout stays comparable.
+            cache_capacity: 0,
             ..P2KvsOptions::default()
         }
     }
@@ -315,6 +327,15 @@ impl<E: KvsEngine> ObsShared<E> {
         }
         if let Some(j) = &self.runtime.journal {
             reg.counter("p2kvs_flight_records_total").store(j.last_seq());
+        }
+        if let Some(c) = &self.runtime.cache {
+            let s = c.counters();
+            reg.counter("p2kvs_cache_hits").store(s.hits);
+            reg.counter("p2kvs_cache_misses").store(s.misses);
+            reg.counter("p2kvs_cache_fills").store(s.fills);
+            reg.counter("p2kvs_cache_evictions").store(s.evictions);
+            reg.counter("p2kvs_cache_invalidations").store(s.invalidations);
+            reg.set_gauge("p2kvs_cache_bytes", s.bytes as f64);
         }
         reg.snapshot()
     }
@@ -658,6 +679,14 @@ impl<E: KvsEngine> P2Kvs<E> {
                 0,
             );
         }
+        let cache = (opts.cache_capacity > 0)
+            .then(|| Arc::new(crate::cache::ReadCache::new(opts.cache_capacity as u64, shards)));
+        if let (Some(j), Some(c)) = (&journal, &cache) {
+            // The cache is volatile: every open starts cold. Journal the
+            // reset so recovery evidence shows no stale entry survived
+            // (a = MAX marks a full reset, c = the configured budget).
+            j.record(JournalKind::CacheFlush, u64::MAX, 0, c.capacity(), 0);
+        }
         let queues: Vec<Arc<crate::queue::RequestQueue>> = (0..n)
             .map(|_| {
                 Arc::new(crate::queue::RequestQueue::with_capacity(
@@ -675,6 +704,7 @@ impl<E: KvsEngine> P2Kvs<E> {
                 .collect(),
             spans,
             journal,
+            cache,
             env: Some(env.clone()),
         });
         let mut workers = Vec::with_capacity(n);
@@ -866,31 +896,71 @@ impl<E: KvsEngine> P2Kvs<E> {
         }
     }
 
-    /// Point lookup.
+    /// Point lookup. Probes the lock-free read cache first: a hit
+    /// returns on the calling thread with no queue round-trip and no
+    /// allocation beyond the value bytes; only misses are submitted.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        match self.submit_to_key(key, Op::Get { key: key.to_vec() })? {
+        let shard = self.partitioner.shard_of(key);
+        if let Some(cache) = &self.runtime.cache {
+            // Decide sampling before the probe so unsampled hits pay no
+            // clock reads at all.
+            let ctx = self.next_trace();
+            if ctx.is_sampled() {
+                if let Some(ring) = &self.runtime.spans {
+                    let start = Instant::now();
+                    if let Some(v) = cache.lookup(shard as u32, key) {
+                        ring.record(SpanRecord {
+                            trace_id: ctx.id,
+                            kind: SpanKind::CacheLookup,
+                            worker: u32::MAX,
+                            shard: shard as u32,
+                            start_us: ring.stamp(start),
+                            dur_us: start.elapsed().as_micros() as u64,
+                            batch_id: 0,
+                            batch_size: 1,
+                            aux: v.len() as u64,
+                        });
+                        return Ok(Some(v));
+                    }
+                }
+            } else if let Some(v) = cache.lookup(shard as u32, key) {
+                return Ok(Some(v));
+            }
+        }
+        match self.submit_to_shard(shard, Op::Get { key: key.to_vec() })? {
             Response::Value(v) => Ok(v),
             other => Err(Error::Engine(format!("unexpected response {other:?}"))),
         }
     }
 
-    /// Batched lookups: requests are enqueued to all owning workers
-    /// first (under one map pin, so a concurrent migration cannot split
-    /// the batch across epochs), then awaited, so OBM can merge them per
-    /// worker.
+    /// Batched lookups with a partial-hit fast path: cached keys are
+    /// served immediately on the calling thread, and only the misses
+    /// are enqueued — all under one map pin, so a concurrent migration
+    /// cannot split the batch across epochs. The enqueued remainder is
+    /// then awaited, so OBM can still merge it per worker.
     pub fn get_many(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        let cache = self.runtime.cache.as_deref();
+        // `results[i]` is `Some` once key `i` is resolved (cache hit or
+        // completed miss); misses park their completion with the index.
+        let mut results: Vec<Option<Option<Vec<u8>>>> = vec![None; keys.len()];
         let mut completions = Vec::with_capacity(keys.len());
         let mut push_err = None;
         {
             let pin = self.runtime.map.pin();
-            for key in keys {
+            for (i, key) in keys.iter().enumerate() {
                 let shard = self.partitioner.shard_of(key);
+                if let Some(c) = cache {
+                    if let Some(v) = c.lookup(shard as u32, key) {
+                        results[i] = Some(Some(v));
+                        continue;
+                    }
+                }
                 let (req, done) = Request::sync(Op::Get { key: key.clone() });
                 match self.workers[pin.owner(shard)]
                     .queue
                     .push(req.on_shard(shard as u64).traced(self.next_trace()))
                 {
-                    Ok(()) => completions.push(done),
+                    Ok(()) => completions.push((i, done)),
                     Err(_) => {
                         push_err = Some(Error::Closed);
                         break;
@@ -898,22 +968,30 @@ impl<E: KvsEngine> P2Kvs<E> {
                 }
             }
         }
-        if let Some(e) = push_err {
-            // Already-enqueued requests still hold pooled completion
-            // slots; abandoning them would recycle slots that a worker
-            // is about to fulfill. Drain before reporting the failure.
-            for c in completions {
-                let _ = c.wait();
+        // Wait for every enqueued miss even when something failed:
+        // already-enqueued requests hold pooled completion slots, and
+        // abandoning them would recycle slots a worker is about to
+        // fulfill. The first failure is reported after the drain.
+        let mut first_err = push_err;
+        for (i, done) in completions {
+            match done.wait() {
+                Ok(Response::Value(v)) => results[i] = Some(v),
+                Ok(other) => {
+                    let e = Error::Engine(format!("unexpected response {other:?}"));
+                    first_err.get_or_insert(e);
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
             }
+        }
+        if let Some(e) = first_err {
             return Err(e);
         }
-        completions
+        Ok(results
             .into_iter()
-            .map(|c| match c.wait()? {
-                Response::Value(v) => Ok(v),
-                other => Err(Error::Engine(format!("unexpected response {other:?}"))),
-            })
-            .collect()
+            .map(|r| r.expect("every key is either a cache hit or an awaited miss"))
+            .collect())
     }
 
     /// Applies `ops` atomically across shards (§4.5).
@@ -1285,5 +1363,136 @@ impl<E: KvsEngine> Drop for P2Kvs<E> {
             );
             j.clear_sink();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LsmFactory;
+
+    fn open_cached(workers: usize, cache_capacity: usize) -> P2Kvs<lsmkv::Db> {
+        let mut opts = P2KvsOptions::with_workers(workers);
+        opts.pin_workers = false;
+        opts.cache_capacity = cache_capacity;
+        P2Kvs::open(LsmFactory::new(lsmkv::Options::for_test()), "store-cache", opts).unwrap()
+    }
+
+    /// A key routed to a shard whose initial owner is `worker`.
+    fn key_owned_by<E: KvsEngine>(store: &P2Kvs<E>, worker: usize, salt: u32) -> Vec<u8> {
+        let owners = store.shard_owners();
+        (0u32..10_000)
+            .map(|i| format!("owned-{worker}-{salt}-{i}").into_bytes())
+            .find(|k| owners[store.partitioner.shard_of(k)] == worker)
+            .expect("some key routes to the worker")
+    }
+
+    #[test]
+    fn get_many_serves_mixed_hits_and_misses() {
+        let store = open_cached(2, 1 << 20);
+        let keys: Vec<Vec<u8>> = (0..16u32).map(|i| format!("mix-{i}").into_bytes()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            store.put(k, format!("v{i}").as_bytes()).unwrap();
+        }
+        // Warm half the keys into the cache (the doorkeeper admits a key
+        // on its second miss, so warming takes two gets).
+        for _ in 0..2 {
+            for k in keys.iter().step_by(2) {
+                store.get(k).unwrap();
+            }
+        }
+        let hits_before = store.runtime.cache.as_ref().unwrap().counters().hits;
+        let mut request: Vec<Vec<u8>> = keys.clone();
+        request.push(b"mix-missing".to_vec()); // never written
+        let got = store.get_many(&request).unwrap();
+        for (i, v) in got.iter().take(16).enumerate() {
+            assert_eq!(v.as_deref(), Some(format!("v{i}").as_bytes()), "key {i}");
+        }
+        assert_eq!(got[16], None, "absent key stays absent");
+        let hits_after = store.runtime.cache.as_ref().unwrap().counters().hits;
+        assert!(
+            hits_after >= hits_before + 8,
+            "warmed keys must be served from the cache ({hits_before} -> {hits_after})"
+        );
+        // The first batch marked the other half's doorkeeper tags and a
+        // second batch fills them; a third call then hits on every
+        // present key.
+        let got = store.get_many(&keys).unwrap();
+        assert_eq!(got.len(), 16);
+        let hits_mid = store.runtime.cache.as_ref().unwrap().counters().hits;
+        let got = store.get_many(&keys).unwrap();
+        assert_eq!(got.len(), 16);
+        let hits_end = store.runtime.cache.as_ref().unwrap().counters().hits;
+        assert_eq!(hits_end, hits_mid + 16, "fully warmed batch is all hits");
+    }
+
+    #[test]
+    fn get_many_drains_enqueued_misses_when_a_push_fails_mid_batch() {
+        let store = open_cached(2, 1 << 20);
+        let k_cached = key_owned_by(&store, 0, 1);
+        let k_live = key_owned_by(&store, 0, 2);
+        let k_dead = key_owned_by(&store, 1, 3);
+        store.put(&k_cached, b"cached").unwrap();
+        store.put(&k_live, b"live").unwrap();
+        store.put(&k_dead, b"dead").unwrap();
+        store.get(&k_cached).unwrap(); // first miss marks the doorkeeper
+        store.get(&k_cached).unwrap(); // second miss fills the cache
+        // Kill worker 1's queue: pushes to it now fail, and its shards
+        // become unreachable — the mid-batch failure path.
+        store.workers[1].queue.close();
+        let request = vec![k_cached.clone(), k_live.clone(), k_dead.clone()];
+        let err = store.get_many(&request).unwrap_err();
+        assert!(matches!(err, Error::Closed), "push failure surfaces as Closed: {err}");
+        // The enqueued miss (worker 0) was drained, not abandoned: the
+        // store still serves traffic on the surviving worker, and the
+        // cached key still hits.
+        assert_eq!(store.get(&k_cached).unwrap().as_deref(), Some(&b"cached"[..]));
+        assert_eq!(store.get(&k_live).unwrap().as_deref(), Some(&b"live"[..]));
+    }
+
+    #[test]
+    fn paper_layout_disables_the_cache() {
+        let opts = P2KvsOptions::paper_layout(4);
+        assert_eq!(opts.cache_capacity, 0, "paper layout keeps the paper's request path");
+        assert!(P2KvsOptions::default().cache_capacity > 0, "framework default is cache-on");
+    }
+
+    #[test]
+    fn cache_counters_appear_in_metrics_snapshot() {
+        let store = open_cached(2, 1 << 20);
+        store.put(b"m", b"1").unwrap();
+        store.get(b"m").unwrap(); // miss, marks the doorkeeper
+        store.get(b"m").unwrap(); // miss + fill
+        store.get(b"m").unwrap(); // hit
+        let snap = store.metrics_snapshot();
+        for name in [
+            "p2kvs_cache_hits",
+            "p2kvs_cache_misses",
+            "p2kvs_cache_fills",
+            "p2kvs_cache_evictions",
+            "p2kvs_cache_invalidations",
+        ] {
+            assert!(snap.counter(name).is_some(), "missing counter {name}");
+        }
+        assert!(snap.gauge("p2kvs_cache_bytes").is_some(), "missing gauge");
+        assert!(snap.counter("p2kvs_cache_hits").unwrap() >= 1);
+        assert!(snap.counter("p2kvs_cache_fills").unwrap() >= 1);
+        assert!(snap.gauge("p2kvs_cache_bytes").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn read_your_writes_holds_through_the_cache() {
+        let store = open_cached(2, 1 << 20);
+        for round in 0..50u32 {
+            let v = format!("v{round}");
+            store.put(b"ryw", v.as_bytes()).unwrap();
+            assert_eq!(
+                store.get(b"ryw").unwrap().as_deref(),
+                Some(v.as_bytes()),
+                "round {round}"
+            );
+        }
+        store.delete(b"ryw").unwrap();
+        assert_eq!(store.get(b"ryw").unwrap(), None, "delete invalidates");
     }
 }

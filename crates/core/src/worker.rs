@@ -162,6 +162,11 @@ pub(crate) struct ShardRuntime<E> {
     /// The store's flight recorder: workers journal handoffs, installs
     /// and scan lifecycle events into it.
     pub journal: Option<Arc<Journal>>,
+    /// The lock-free hot-record read cache, when enabled. Workers keep
+    /// it coherent: writes invalidate before the ack, the read path
+    /// fills with a version check, and migrations flush the moving
+    /// shard (DESIGN.md §11).
+    pub cache: Option<Arc<crate::cache::ReadCache>>,
     /// The storage env backing every engine instance, used to attribute
     /// device I/O deltas to traced batches. Device counters are
     /// env-global, so with concurrent workers the delta is an upper
@@ -198,6 +203,7 @@ impl WorkerHandle {
             shard_stats: vec![Arc::new(ShardStats::default())],
             spans: None,
             journal: None,
+            cache: None,
             env: None,
         });
         WorkerHandle::spawn_inner(id, 0, runtime, queue, config, lifecycle)
@@ -362,6 +368,7 @@ impl WorkerHandle {
                                 scans,
                                 &config,
                                 rt.journal.as_deref(),
+                                rt.cache.as_deref(),
                             )
                         });
                         if let (Some(ring), Some((pre_ph, pre_io))) = (rt.spans.as_deref(), pre) {
@@ -416,6 +423,7 @@ impl WorkerHandle {
                                 &mut scans,
                                 &config,
                                 rt.journal.as_deref(),
+                                rt.cache.as_deref(),
                             );
                         }
                         // Whatever is still parked dies with the store.
@@ -471,6 +479,7 @@ fn handoff_out<E: KvsEngine>(
     if let Some(j) = rt.journal.as_deref() {
         j.record(JournalKind::HandoffOut, shard, windex as u64, scans.len() as u64, 0);
     }
+    flush_cache_shard(rt, shard);
     rt.depot.deposit(shard, Parcel { scans });
     let target = rt.map.owner(shard as usize);
     if target == windex {
@@ -505,6 +514,10 @@ fn install_shard<E: KvsEngine>(
     if let Some(j) = rt.journal.as_deref() {
         j.record(JournalKind::ShardInstall, shard, windex as u64, scans.len() as u64, 0);
     }
+    // Flushed on both halves of the migration (belt and braces): any
+    // fill that raced the handoff — on either worker — is dropped
+    // before the new owner serves traffic for the shard.
+    flush_cache_shard(rt, shard);
     owned.insert(shard, scans);
     stats.shards_owned.store(owned.len() as u64, Ordering::Relaxed);
     rt.shard_stats[shard as usize].owner.store(windex, Ordering::Relaxed);
@@ -517,9 +530,29 @@ fn install_shard<E: KvsEngine>(
         let engine = &rt.engines[shard as usize];
         let scans = owned.get_mut(&shard).expect("just installed");
         for req in reqs {
-            execute_one(&**engine, req, stats, scans, config, rt.journal.as_deref());
+            execute_one(
+                &**engine,
+                req,
+                stats,
+                scans,
+                config,
+                rt.journal.as_deref(),
+                rt.cache.as_deref(),
+            );
         }
         rt.shard_stats[shard as usize].record(n, started.elapsed());
+    }
+}
+
+/// Drops `shard`'s read-cache entries and journals the flush. Called on
+/// both halves of a migration so cached values can never outlive the
+/// ownership epoch they were filled under.
+fn flush_cache_shard<E>(rt: &ShardRuntime<E>, shard: u64) {
+    if let Some(c) = rt.cache.as_deref() {
+        let (entries, bytes) = c.flush_shard(shard as u32);
+        if let Some(j) = rt.journal.as_deref() {
+            j.record(JournalKind::CacheFlush, shard, entries, bytes, 0);
+        }
     }
 }
 
@@ -595,6 +628,7 @@ struct BatchScratch {
 /// Executes one OBM batch against the engine, draining `batch` (its
 /// allocation is the caller's and is reused across calls). `scans` is
 /// the target shard's cursor table.
+#[allow(clippy::too_many_arguments)]
 fn execute_batch<E: KvsEngine>(
     engine: &E,
     batch: &mut Vec<Request>,
@@ -603,10 +637,12 @@ fn execute_batch<E: KvsEngine>(
     scans: &mut ScanTable,
     config: &WorkerConfig,
     journal: Option<&Journal>,
+    cache: Option<&crate::cache::ReadCache>,
 ) {
     let n = batch.len() as u64;
     stats.ops.fetch_add(n, Ordering::Relaxed);
     stats.batches.fetch_add(1, Ordering::Relaxed);
+    let shard = batch[0].shard as u32;
     let caps = engine.capabilities();
     match batch[0].op.class() {
         OpClass::Write if batch.len() > 1 && caps.batch_write => {
@@ -627,6 +663,18 @@ fn execute_batch<E: KvsEngine>(
             }));
             let outcome = engine.write_batch(&scratch.ops, 0);
             scratch.ops.clear();
+            // Coherence: invalidate after the engine write but before
+            // any ack, so an acked writer can never re-read its old
+            // value from the cache. A failed batch invalidates too —
+            // the engine's state is uncertain, the cache must not be.
+            if let Some(c) = cache {
+                for req in batch.iter() {
+                    match &req.op {
+                        Op::Put { key, .. } | Op::Delete { key } => c.invalidate(shard, key),
+                        other => unreachable!("non-write op {other:?} in write batch"),
+                    }
+                }
+            }
             match outcome {
                 Ok(()) => {
                     for req in batch.drain(..) {
@@ -648,11 +696,21 @@ fn execute_batch<E: KvsEngine>(
                 Op::Get { key } => key.clone(),
                 other => unreachable!("non-read op {other:?} in read batch"),
             }));
+            // Fill-on-miss version snapshot: taken before the engine
+            // read so any write that lands in between bumps it and the
+            // fill self-evicts instead of installing stale data.
+            let seen_version = cache.map(|c| c.version(shard));
             let outcome = engine.multiget(&scratch.keys);
-            scratch.keys.clear();
             match outcome {
                 Ok(values) => {
                     for (req, v) in batch.drain(..).zip(values) {
+                        if let (Some(c), Some(val)) = (cache, &v) {
+                            if let Op::Get { key } = &req.op {
+                                if c.admit(shard, key) {
+                                    c.fill(shard, key, val, seen_version.unwrap_or(0));
+                                }
+                            }
+                        }
                         req.finish(Ok(Response::Value(v)));
                     }
                 }
@@ -662,11 +720,12 @@ fn execute_batch<E: KvsEngine>(
                     }
                 }
             }
+            scratch.keys.clear();
         }
         _ => {
             // Single request, or the engine lacks the batched fast path.
             for req in batch.drain(..) {
-                execute_one(engine, req, stats, scans, config, journal);
+                execute_one(engine, req, stats, scans, config, journal, cache);
             }
         }
     }
@@ -776,16 +835,46 @@ fn execute_one<E: KvsEngine>(
     scans: &mut ScanTable,
     config: &WorkerConfig,
     journal: Option<&Journal>,
+    cache: Option<&crate::cache::ReadCache>,
 ) {
     let Request { op, completion, shard, .. } = req;
     let result = match op {
-        Op::Put { key, value } => engine.put(&key, &value).map(|()| Response::Done),
-        Op::Delete { key } => engine.delete(&key).map(|()| Response::Done),
-        Op::Get { key } => engine.get(&key).map(Response::Value),
+        Op::Put { key, value } => {
+            let r = engine.put(&key, &value).map(|()| Response::Done);
+            if let Some(c) = cache {
+                c.invalidate(shard as u32, &key);
+            }
+            r
+        }
+        Op::Delete { key } => {
+            let r = engine.delete(&key).map(|()| Response::Done);
+            if let Some(c) = cache {
+                c.invalidate(shard as u32, &key);
+            }
+            r
+        }
+        Op::Get { key } => {
+            let seen_version = cache.map(|c| c.version(shard as u32));
+            let r = engine.get(&key);
+            if let (Some(c), Ok(Some(v))) = (cache, &r) {
+                if c.admit(shard as u32, &key) {
+                    c.fill(shard as u32, &key, v, seen_version.unwrap_or(0));
+                }
+            }
+            r.map(Response::Value)
+        }
         op @ (Op::ScanOpen { .. } | Op::ScanNext { .. } | Op::ScanClose { .. }) => {
             execute_scan(engine, op, shard, stats, scans, config, journal)
         }
-        Op::TxnBatch { ops, gsn } => engine.write_batch(&ops, gsn).map(|()| Response::Done),
+        Op::TxnBatch { ops, gsn } => {
+            let r = engine.write_batch(&ops, gsn).map(|()| Response::Done);
+            if let Some(c) = cache {
+                for w in &ops {
+                    c.invalidate(shard as u32, w.key());
+                }
+            }
+            r
+        }
         // Control markers are intercepted by the worker loop before any
         // routing decision; reaching this point means a caller injected
         // one through a non-worker execution path.
@@ -1028,7 +1117,7 @@ mod tests {
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
         let mut scans = ScanTable::default();
-        execute_batch(&engine, &mut put_batch(8), &stats, &mut scratch, &mut scans, &test_config(), None);
+        execute_batch(&engine, &mut put_batch(8), &stats, &mut scratch, &mut scans, &test_config(), None, None);
         assert_eq!(stats.ops.load(Ordering::Relaxed), 8);
         assert_eq!(stats.batches.load(Ordering::Relaxed), 1);
         assert_eq!(
@@ -1044,7 +1133,7 @@ mod tests {
                 .0
             })
             .collect();
-        execute_batch(&engine, &mut reads, &stats, &mut scratch, &mut scans, &test_config(), None);
+        execute_batch(&engine, &mut reads, &stats, &mut scratch, &mut scans, &test_config(), None, None);
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 0);
     }
 
@@ -1055,7 +1144,7 @@ mod tests {
         let stats = WorkerStats::default();
         let mut scratch = BatchScratch::default();
         let mut scans = ScanTable::default();
-        execute_batch(&engine, &mut put_batch(5), &stats, &mut scratch, &mut scans, &test_config(), None);
+        execute_batch(&engine, &mut put_batch(5), &stats, &mut scratch, &mut scans, &test_config(), None, None);
         assert_eq!(stats.ops.load(Ordering::Relaxed), 5);
         assert_eq!(
             stats.merged_ops.load(Ordering::Relaxed),
@@ -1063,7 +1152,7 @@ mod tests {
             "batch-write engine merges the whole run"
         );
         // A single-request batch is never a merge.
-        execute_batch(&engine, &mut put_batch(1), &stats, &mut scratch, &mut scans, &test_config(), None);
+        execute_batch(&engine, &mut put_batch(1), &stats, &mut scratch, &mut scans, &test_config(), None, None);
         assert_eq!(stats.merged_ops.load(Ordering::Relaxed), 5);
     }
 
@@ -1093,7 +1182,7 @@ mod tests {
                 })
             })
             .unzip();
-        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config(), None);
+        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config(), None, None);
         assert!(batch.is_empty(), "every request was completed");
         for (i, w) in waiters.into_iter().enumerate() {
             let err = w.wait().expect_err("every merged request must observe the engine error");
@@ -1154,7 +1243,7 @@ mod tests {
         let mut scans = ScanTable::default();
         let mut batch = put_batch(8);
         let cap_before = batch.capacity();
-        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config(), None);
+        execute_batch(&engine, &mut batch, &stats, &mut scratch, &mut scans, &test_config(), None, None);
         assert!(batch.is_empty(), "batch is drained, not consumed");
         assert_eq!(batch.capacity(), cap_before, "allocation is retained");
     }
@@ -1454,6 +1543,7 @@ mod tests {
             shard_stats: vec![Arc::new(ShardStats::default())],
             spans: None,
             journal: None,
+            cache: None,
             env: None,
         });
         // Worker 1 owns nothing under the initial map (shard 0 -> worker 0).

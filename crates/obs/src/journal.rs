@@ -64,6 +64,11 @@ pub enum JournalKind {
     /// A cross-shard transaction committed; `gsn` carries its Global
     /// Sequence Number (`a` = shards touched).
     TxnCommit,
+    /// The read cache dropped a shard's entries, or reset cold at open
+    /// (`a` = shard, or `u64::MAX` for a full open-time reset; `b` =
+    /// entries dropped; `c` = bytes dropped, or the configured capacity
+    /// for an open-time reset).
+    CacheFlush,
 }
 
 impl JournalKind {
@@ -83,6 +88,7 @@ impl JournalKind {
             JournalKind::ScanOpen => "scan_open",
             JournalKind::ScanClose => "scan_close",
             JournalKind::TxnCommit => "txn_commit",
+            JournalKind::CacheFlush => "cache_flush",
         }
     }
 
@@ -102,6 +108,7 @@ impl JournalKind {
             "scan_open" => JournalKind::ScanOpen,
             "scan_close" => JournalKind::ScanClose,
             "txn_commit" => JournalKind::TxnCommit,
+            "cache_flush" => JournalKind::CacheFlush,
             _ => return None,
         })
     }
@@ -113,7 +120,10 @@ impl JournalKind {
     pub fn durable(self) -> bool {
         !matches!(
             self,
-            JournalKind::ScanOpen | JournalKind::ScanClose | JournalKind::TxnCommit
+            JournalKind::ScanOpen
+                | JournalKind::ScanClose
+                | JournalKind::TxnCommit
+                | JournalKind::CacheFlush
         )
     }
 }

@@ -67,6 +67,10 @@ pub enum SpanKind {
     PhaseRead,
     /// Simulated-device busy time the engine call induced.
     DeviceIo,
+    /// A client-side read-cache probe that hit (no queue round-trip
+    /// followed). Recorded on the calling thread, so `worker` is
+    /// `u32::MAX`.
+    CacheLookup,
 }
 
 impl SpanKind {
@@ -80,6 +84,7 @@ impl SpanKind {
             SpanKind::PhaseMemtable => "memtable",
             SpanKind::PhaseRead => "read_path",
             SpanKind::DeviceIo => "device_io",
+            SpanKind::CacheLookup => "cache_lookup",
         }
     }
 }

@@ -1,0 +1,311 @@
+//! Epoch-based memory reclamation for lock-free readers (FASTER-style).
+//!
+//! The hot-record read cache publishes records through atomic pointer
+//! words that readers dereference without taking any lock. Removal
+//! (invalidation, eviction, migration flush) unlinks the word with a CAS
+//! — but the memory behind it cannot be freed while some reader, pinned
+//! before the unlink, may still be dereferencing it. This module provides
+//! the deferred-free half of that protocol:
+//!
+//! * [`pin`] — a reader enters an epoch before touching any shared
+//!   pointer and holds the returned [`Guard`] for the duration of the
+//!   access. Pinning is lock-free and, after a thread's first pin
+//!   (which registers a reclaimed or freshly leaked participant slot),
+//!   allocation-free: one TLS read, one atomic store, one atomic load.
+//! * [`retire`] — the unlinking thread hands the unlinked box here
+//!   *after* its CAS. The box is stamped with the current global epoch
+//!   and parked in a limbo list; its destructor runs only once every
+//!   participant that was pinned at (or before) that epoch has unpinned.
+//!
+//! # Safety argument
+//!
+//! The global epoch is a monotone counter. `pin` loops `store slot ←
+//! epoch; re-read epoch` (all `SeqCst`) until the epoch is stable across
+//! the store, so a pinned slot always holds an epoch the thread
+//! *observed while its pin was already visible*. `retire` reads the
+//! epoch **after** the caller's unlink. Collection first advances the
+//! epoch, then frees exactly the limbo items whose stamp is below the
+//! minimum epoch held by any active slot. For a freed item stamped `e`,
+//! every active reader was therefore pinned at an epoch `> e` — i.e.
+//! after the global epoch had advanced past `e`, which happens after the
+//! retire, which happens after the unlink. Such a reader can only have
+//! loaded the pointer word *after* the unlink CAS removed it, so it
+//! never saw the freed record. Readers that did see it were pinned with
+//! an epoch `≤ e` and block collection until they unpin.
+//!
+//! The domain is global and dependency-free: participant slots are
+//! leaked once per peak-concurrent-thread and recycled through a
+//! `claimed` flag, so thread churn does not grow the registry forever.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Collect (advance the epoch and sweep the limbo list) once this many
+/// retired items are parked. Bounds limbo memory without putting the
+/// sweep on every retire.
+const COLLECT_THRESHOLD: usize = 64;
+
+/// One participant: the epoch its owner thread is pinned at (0 = not
+/// pinned) and whether a live thread owns it. Slots are leaked and
+/// recycled, never freed.
+struct Slot {
+    active: AtomicU64,
+    claimed: AtomicBool,
+    next: *const Slot,
+}
+
+// `next` is written once before publication and read-only afterwards.
+unsafe impl Sync for Slot {}
+unsafe impl Send for Slot {}
+
+/// Head of the global participant list.
+static SLOTS: AtomicPtr<Slot> = AtomicPtr::new(std::ptr::null_mut());
+
+/// The global epoch. Starts at 1 so an `active` of 0 can mean
+/// "unpinned".
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Retired items awaiting their epoch: `(stamp, boxed value)`.
+static LIMBO: Mutex<Vec<(u64, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
+
+/// Claims a recycled slot or leaks a new one.
+fn acquire_slot() -> &'static Slot {
+    let mut cur = SLOTS.load(Ordering::Acquire);
+    while !cur.is_null() {
+        let slot = unsafe { &*cur };
+        if slot
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            return slot;
+        }
+        cur = slot.next as *mut Slot;
+    }
+    // No free slot: publish a fresh one (leaked — slots are recycled
+    // across threads for the life of the process).
+    let mut head = SLOTS.load(Ordering::Acquire);
+    let slot = Box::leak(Box::new(Slot {
+        active: AtomicU64::new(0),
+        claimed: AtomicBool::new(true),
+        next: head,
+    }));
+    loop {
+        match SLOTS.compare_exchange(head, slot, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return slot,
+            Err(now) => {
+                head = now;
+                slot.next = head;
+            }
+        }
+    }
+}
+
+/// Per-thread registration: the claimed slot plus the nesting depth of
+/// live guards (re-entrant pins are counted, not re-stamped).
+struct Registration {
+    slot: &'static Slot,
+    depth: Cell<usize>,
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        self.slot.active.store(0, Ordering::SeqCst);
+        self.slot.claimed.store(false, Ordering::Release);
+    }
+}
+
+std::thread_local! {
+    static REG: Registration = Registration {
+        slot: acquire_slot(),
+        depth: Cell::new(0),
+    };
+}
+
+/// An active pin. Readers hold this across every dereference of an
+/// epoch-protected pointer; dropping it exits the epoch.
+pub struct Guard {
+    slot: &'static Slot,
+    /// Guards are thread-bound (the pin lives in this thread's slot).
+    _not_send: PhantomData<*mut ()>,
+}
+
+/// Enters the current epoch. Lock-free; allocation-free after the
+/// calling thread's first pin.
+pub fn pin() -> Guard {
+    REG.with(|r| {
+        if r.depth.get() == 0 {
+            let mut e = EPOCH.load(Ordering::SeqCst);
+            loop {
+                r.slot.active.store(e, Ordering::SeqCst);
+                let now = EPOCH.load(Ordering::SeqCst);
+                if now == e {
+                    break;
+                }
+                e = now;
+            }
+        }
+        r.depth.set(r.depth.get() + 1);
+        Guard {
+            slot: r.slot,
+            _not_send: PhantomData,
+        }
+    })
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        // `try_with`: a guard dropped during thread teardown (after the
+        // registration's own destructor) must not re-create the TLS.
+        let cleared = REG
+            .try_with(|r| {
+                let d = r.depth.get().saturating_sub(1);
+                r.depth.set(d);
+                d == 0
+            })
+            .unwrap_or(true);
+        if cleared {
+            self.slot.active.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Defers dropping `value` until every reader pinned at or before the
+/// current epoch has unpinned. Call **after** unlinking the value from
+/// all shared pointers.
+pub fn retire<T: Send + 'static>(value: Box<T>) {
+    let stamp = EPOCH.load(Ordering::SeqCst);
+    let mut limbo = LIMBO.lock().expect("epoch limbo poisoned");
+    limbo.push((stamp, value as Box<dyn Any + Send>));
+    if limbo.len() >= COLLECT_THRESHOLD {
+        collect_locked(&mut limbo);
+    }
+}
+
+/// Advances the epoch and frees every limbo item no active reader can
+/// still see. Returns how many items were freed. Safe to call from any
+/// thread at any time (e.g. on cache drop).
+pub fn try_collect() -> usize {
+    let mut limbo = LIMBO.lock().expect("epoch limbo poisoned");
+    collect_locked(&mut limbo)
+}
+
+/// Items currently parked in limbo (tests and introspection).
+pub fn pending() -> usize {
+    LIMBO.lock().expect("epoch limbo poisoned").len()
+}
+
+fn collect_locked(limbo: &mut Vec<(u64, Box<dyn Any + Send>)>) -> usize {
+    // Advance first: readers pinning from here on stamp an epoch above
+    // every limbo item, so they cannot block this sweep.
+    EPOCH.fetch_add(1, Ordering::SeqCst);
+    let mut min_active = u64::MAX;
+    let mut cur = SLOTS.load(Ordering::SeqCst);
+    while !cur.is_null() {
+        let slot = unsafe { &*cur };
+        let e = slot.active.load(Ordering::SeqCst);
+        if e != 0 {
+            min_active = min_active.min(e);
+        }
+        cur = slot.next as *mut Slot;
+    }
+    let before = limbo.len();
+    // An item stamped `e` is free once every active reader is pinned
+    // strictly above `e` (see the module-level safety argument).
+    limbo.retain(|(stamp, _)| *stamp >= min_active);
+    before - limbo.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    struct DropFlag(Arc<AtomicUsize>);
+    impl Drop for DropFlag {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn retired_value_outlives_active_pin() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let guard = pin();
+        retire(Box::new(DropFlag(drops.clone())));
+        // Collect as hard as we can: our own pin must hold the value.
+        for _ in 0..8 {
+            try_collect();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "freed under a live pin");
+        drop(guard);
+        // Unpinned: the next collection may free it.
+        for _ in 0..8 {
+            try_collect();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "leaked after unpin");
+    }
+
+    #[test]
+    fn nested_pins_count() {
+        let a = pin();
+        let b = pin();
+        drop(a);
+        let drops = Arc::new(AtomicUsize::new(0));
+        retire(Box::new(DropFlag(drops.clone())));
+        try_collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "inner pin ignored");
+        drop(b);
+        try_collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unpinned_threads_do_not_block_collection() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let d = drops.clone();
+        std::thread::spawn(move || {
+            let _g = pin();
+            retire(Box::new(DropFlag(d)));
+            // Guard drops here; thread exit releases the slot.
+        })
+        .join()
+        .unwrap();
+        for _ in 0..8 {
+            try_collect();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_pin_retire_smoke() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let n: usize = 4;
+        let per: usize = 200;
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let d = drops.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let g = pin();
+                    if i % 3 == 0 {
+                        retire(Box::new(DropFlag(d.clone())));
+                    }
+                    drop(g);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for _ in 0..8 {
+            try_collect();
+        }
+        let expected: usize = n * per.div_ceil(3);
+        assert_eq!(drops.load(Ordering::SeqCst), expected);
+    }
+}

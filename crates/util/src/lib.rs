@@ -19,10 +19,13 @@
 //!   paper's explicit design points (§4.1).
 //! * [`rate`] — token-bucket rate limiting and windowed throughput meters
 //!   used by the latency-vs-intensity experiment (Fig 13).
+//! * [`epoch`] — FASTER-style epoch-based memory reclamation backing the
+//!   lock-free hot-record read cache.
 
 pub mod affinity;
 pub mod coding;
 pub mod crc32c;
+pub mod epoch;
 pub mod hash;
 pub mod histogram;
 pub mod lru;

@@ -241,6 +241,17 @@ pub fn migration_store_options() -> P2KvsOptions {
     o
 }
 
+/// Store options for the cached matrix: the migration layout plus a
+/// live hot-record read cache, so crash points land while cached reads,
+/// fills, write invalidations, and migration-driven cache flushes are
+/// all in flight. The cache is volatile by design — recovery must not
+/// depend on it in any way.
+pub fn cached_store_options() -> P2KvsOptions {
+    let mut o = migration_store_options();
+    o.cache_capacity = 1 << 20;
+    o
+}
+
 fn open_store(env: &EnvRef) -> p2kvs::Result<P2Kvs<lsmkv::Db>> {
     P2Kvs::open(LsmFactory::new(engine_options(env.clone())), "db", store_options())
 }
@@ -498,6 +509,80 @@ pub fn run_crash_point_with_migration(seed: u64, point: u64) -> CrashPointOutcom
     };
     let mut violations = oracle.check(|k| store.get(k).expect("post-recovery read"));
     violations.extend(flight_journal_violations(&store));
+    let recovered_flight = store.recovered_flight_records().len();
+    store.close();
+    CrashPointOutcome { point, crashed, violations, recovered_flight }
+}
+
+/// Cached crash-matrix variant: the migration layout with the read
+/// cache enabled ([`cached_store_options`]) and the per-round hook
+/// extended with point reads, so the crash can land while the cache
+/// holds hot entries, a write is invalidating, or a handoff is flushing
+/// a shard's cached set. The cache is volatile, so the oracle contract
+/// is unchanged — and on reopen the store must journal its open-time
+/// `cache_flush` reset record *after* every recovered record, proving a
+/// recovered store never trusts pre-crash cache state.
+pub fn run_crash_point_cached(seed: u64, point: u64) -> CrashPointOutcome {
+    let faulty = Arc::new(FaultyEnv::over_mem());
+    let env: EnvRef = faulty.clone();
+    faulty.set_plan(FaultPlan {
+        crash_at_sync: Some(point),
+        torn_tail: (point % 17) as usize,
+        ..FaultPlan::default()
+    });
+    let open = |env: &EnvRef| {
+        P2Kvs::open(
+            LsmFactory::new(engine_options(env.clone())),
+            "db",
+            cached_store_options(),
+        )
+    };
+    let oracle = match open(&env) {
+        // A crash with a small `point` fires during store creation.
+        Err(_) => Oracle::default(),
+        Ok(store) => {
+            let shards = store.shards();
+            let oracle = run_workload_hooked(&store, seed, |round, st| {
+                // Reads warm the cache between rounds (none touch the
+                // RNG, so the op sequence matches the uncached runs);
+                // the migration then flushes the shards it hands off.
+                for i in 0..KEY_POOL {
+                    let _ = st.get(&pool_key(i));
+                }
+                let _ = st.migrate_shard(round % shards, (round + 1) % WORKERS);
+            });
+            store.close();
+            oracle
+        }
+    };
+    let crashed = faulty.crashed();
+    faulty.heal();
+    let store = match open(&env) {
+        Ok(s) => s,
+        Err(e) => {
+            return CrashPointOutcome {
+                point,
+                crashed,
+                violations: vec![format!("recovery failed to reopen the store: {e}")],
+                recovered_flight: 0,
+            }
+        }
+    };
+    let mut violations = oracle.check(|k| store.get(k).expect("post-recovery read"));
+    violations.extend(flight_journal_violations(&store));
+    // The reopen must stamp a fresh cache reset (`cache_flush` with the
+    // sentinel shard) into the live journal, sequenced after everything
+    // recovery brought back.
+    let recovered_max = store.recovered_flight_records().last().map_or(0, |r| r.seq);
+    let live = store.flight_records(usize::MAX);
+    if !live
+        .iter()
+        .any(|r| r.kind == JournalKind::CacheFlush && r.a == u64::MAX && r.seq > recovered_max)
+    {
+        violations.push(format!(
+            "reopen journaled no cache_flush reset record after recovered seq {recovered_max}"
+        ));
+    }
     let recovered_flight = store.recovered_flight_records().len();
     store.close();
     CrashPointOutcome { point, crashed, violations, recovered_flight }
@@ -787,6 +872,15 @@ mod tests {
         let v = oracle.check(|k| store.get(k).unwrap());
         assert!(v.is_empty(), "{v:?}");
         store.close();
+    }
+
+    #[test]
+    fn a_few_crash_points_recover_cleanly_with_cache() {
+        for point in [25, 90, 170] {
+            let out = run_crash_point_cached(13, point);
+            assert!(out.crashed, "point {point} did not fire");
+            assert!(out.violations.is_empty(), "point {point}: {:?}", out.violations);
+        }
     }
 
     #[test]

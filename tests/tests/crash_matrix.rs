@@ -19,8 +19,8 @@
 //! --test crash_matrix`.
 
 use p2kvs_integration_tests::crash::{
-    dry_run_sync_points, run_crash_point, run_crash_point_with_migration, sample_points,
-    unfiltered_partial_txn,
+    dry_run_sync_points, run_crash_point, run_crash_point_cached,
+    run_crash_point_with_migration, sample_points, unfiltered_partial_txn,
 };
 
 /// Default seed; override with `P2KVS_CRASH_SEED` to explore.
@@ -131,6 +131,48 @@ fn crash_matrix_recovers_across_shard_migrations() {
     assert!(
         journaled >= points.len() / 2,
         "only {journaled} of {} migration crash points recovered flight records (seed {seed})",
+        points.len()
+    );
+}
+
+/// The cached matrix: the migration layout with the hot-record read
+/// cache enabled and per-round reads warming it, so crash points land
+/// while cached entries, write invalidations, and handoff-driven cache
+/// flushes are in flight. The cache is volatile — the oracle contract
+/// is identical — and every recovery must journal a fresh `cache_flush`
+/// reset record sequenced after everything it recovered (asserted
+/// inside `run_crash_point_cached`). Sampled at a stride to bound CI
+/// time.
+#[test]
+fn crash_matrix_recovers_with_the_read_cache_enabled() {
+    let seed = seed();
+    let total = dry_run_sync_points(seed);
+    // The cached store opens the same instances as the migration
+    // layout; reads and cache traffic add no syncs (the cache is
+    // memory-only and its journal records are non-durable), so a stride
+    // over the dry run's range covers creation, warm cache, handoff
+    // flushes, and steady state.
+    let points: Vec<u64> = (1..=total).step_by(7).collect();
+    let mut crashed = 0usize;
+    let mut failures = Vec::new();
+    for &point in &points {
+        let out = run_crash_point_cached(seed, point);
+        if out.crashed {
+            crashed += 1;
+        }
+        for v in out.violations {
+            failures.push(format!("seed {seed}, sync point {point} (cached): {v}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} recovery violations with the cache on:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    assert!(
+        crashed >= points.len() / 2,
+        "only {crashed} of {} sampled points actually crashed (seed {seed})",
         points.len()
     );
 }

@@ -92,11 +92,16 @@ proptest! {
 
     /// Differential model check while shard ownership migrates beneath
     /// the workload: a store with shards decoupled from workers (2
-    /// workers, 8 shards) matches the BTreeMap model exactly even when
-    /// every few steps a shard is handed to another worker mid-history —
-    /// per-key issue order survives the epoch fence, and cross-shard
-    /// `write_batch`es stay all-or-nothing. Checked live, by full scan,
-    /// and after a reopen under a fresh round-robin map.
+    /// workers, 8 shards) and a deliberately tiny read cache matches the
+    /// BTreeMap model exactly even when every few steps a shard is
+    /// handed to another worker mid-history — per-key issue order
+    /// survives the epoch fence, cross-shard `write_batch`es stay
+    /// all-or-nothing, and the cache never leaks a stale value across a
+    /// write, an eviction, or a handoff flush. Every step is followed by
+    /// a read-your-writes probe (the first read may fill the cache, the
+    /// second must hit it — both must agree with the model). Checked
+    /// live, by full scan, and after a reopen under a fresh round-robin
+    /// map.
     #[test]
     fn model_holds_while_shards_migrate(
         steps in proptest::collection::vec(step_strategy(), 1..120),
@@ -108,6 +113,10 @@ proptest! {
             let mut o = P2KvsOptions::with_workers(2);
             o.shards = 8;
             o.pin_workers = false;
+            // Small enough that the 256-key space cycles entries through
+            // CLOCK eviction, so stale-on-refill bugs have a chance to
+            // surface, not just stale-on-invalidate ones.
+            o.cache_capacity = 16 << 10;
             o
         };
         let mut model = std::collections::BTreeMap::new();
@@ -118,10 +127,14 @@ proptest! {
                     Step::Put(k, v) => {
                         store.put(&key(*k), &value(*v)).unwrap();
                         model.insert(key(*k), value(*v));
+                        // Read-your-writes through the cache: fill, then hit.
+                        prop_assert_eq!(store.get(&key(*k)).unwrap(), Some(value(*v)));
+                        prop_assert_eq!(store.get(&key(*k)).unwrap(), Some(value(*v)));
                     }
                     Step::Delete(k) => {
                         store.delete(&key(*k)).unwrap();
                         model.remove(&key(*k));
+                        prop_assert_eq!(store.get(&key(*k)).unwrap(), None);
                     }
                     Step::Batch(kvs) => {
                         store
@@ -133,6 +146,14 @@ proptest! {
                             .unwrap();
                         for (k, v) in kvs {
                             model.insert(key(*k), value(*v));
+                        }
+                        // The commit invalidates every touched key before
+                        // acking; a later duplicate in the batch wins.
+                        for (k, _) in kvs {
+                            prop_assert_eq!(
+                                store.get(&key(*k)).unwrap(),
+                                model.get(&key(*k)).cloned()
+                            );
                         }
                     }
                 }
