@@ -10,13 +10,14 @@
 //! throughput or latency number the run printed.
 //!
 //! The benchmark artifacts (`BENCH_accessing.json`, `BENCH_scan.json`,
-//! `BENCH_skew.json`, `BENCH_trace.json`) additionally open with a
+//! `BENCH_skew.json`, `BENCH_trace.json`, `BENCH_cache.json`,
+//! `BENCH_backup.json`) additionally open with a
 //! [`RunMeta`] header — schema version, bench id, timestamp, seed, git
 //! revision when discoverable, and the run's configuration knobs — so
 //! every artifact is self-describing: a number in CI can always be traced
 //! back to the exact code revision and parameters that produced it.
 //! [`validate_schema`] checks that contract and is unit-tested against
-//! all four artifact renderers.
+//! all the artifact renderers.
 
 use std::fmt::Display;
 use std::path::PathBuf;
@@ -257,7 +258,7 @@ mod tests {
         }
     }
 
-    /// The schema contract, checked against all five `BENCH_*.json`
+    /// The schema contract, checked against all six `BENCH_*.json`
     /// renderers with synthetic results (no benchmark execution).
     #[test]
     fn all_bench_artifacts_conform_to_schema() {
@@ -373,12 +374,41 @@ mod tests {
             20_000,
             7,
         );
+        let backup = crate::backupload::render_json(
+            &crate::backupload::BackupLoadSummary {
+                results: vec![crate::backupload::BackupLoadResult {
+                    phase: "streaming",
+                    round: 0,
+                    ops: 1000,
+                    wall_secs: 0.5,
+                    throughput_ops_sec: 2000.0,
+                    p50_get_ns: 900,
+                    p99_get_ns: 4000,
+                    p50_put_ns: 1100,
+                    p99_put_ns: 6000,
+                    cut_at_op: 125,
+                    backup_entries: 400,
+                    backup_wall_secs: 0.1,
+                }],
+                best_idle_get_p99_ns: 3000,
+                best_streaming_get_p99_ns: 4000,
+                best_idle_put_p99_ns: 5000,
+                best_streaming_put_p99_ns: 6000,
+                degradation_x_get: 1.33,
+                degradation_x_put: 1.2,
+                within_budget: true,
+            },
+            400,
+            1000,
+            7,
+        );
         for (name, doc) in [
             ("accessing", &accessing),
             ("scan", &scan),
             ("skew", &skew),
             ("trace", &trace),
             ("cache", &cache),
+            ("backup", &backup),
         ] {
             let v = validate_schema(doc);
             assert!(v.is_empty(), "BENCH_{name}.json schema: {v:?}\n{doc}");

@@ -1,0 +1,70 @@
+//! Standalone backup-under-load benchmark: foreground GET/PUT latency
+//! with an online backup streaming versus idle, writing
+//! `BENCH_backup.json`.
+//!
+//! ```text
+//! cargo run -p p2kvs-bench --release --bin backup_under_load
+//! ```
+//!
+//! The artifact lands in `$P2KVS_METRICS_DIR` when set, the working
+//! directory otherwise; op counts scale with `P2KVS_SCALE` and the seed
+//! comes from `P2KVS_BACKUP_SEED` (default fixed). **Exits non-zero
+//! when foreground GET or PUT p99 while streaming exceeds 2× the idle
+//! best** — the `backup-under-load` CI job is exactly this binary.
+
+use p2kvs_bench::backupload;
+
+fn main() -> std::io::Result<()> {
+    let path = backupload::artifact_path();
+    let summary = backupload::run_default(&path)?;
+
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+    let rows: Vec<Vec<String>> = summary
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.phase.to_string(),
+                r.round.to_string(),
+                p2kvs_bench::kqps(r.throughput_ops_sec),
+                us(r.p50_get_ns),
+                us(r.p99_get_ns),
+                us(r.p50_put_ns),
+                us(r.p99_put_ns),
+                r.backup_entries.to_string(),
+                format!("{:.2}", r.backup_wall_secs),
+            ]
+        })
+        .collect();
+    p2kvs_bench::print_table(
+        "foreground latency: online backup streaming vs idle",
+        &[
+            "phase", "round", "kops/s", "get_p50_us", "get_p99_us", "put_p50_us", "put_p99_us",
+            "bk_entries", "bk_secs",
+        ],
+        &rows,
+    );
+    println!(
+        "\nGET p99: idle {}us vs streaming {}us ({:.2}x); PUT p99: idle {}us vs streaming {}us \
+         ({:.2}x); budget {}x",
+        us(summary.best_idle_get_p99_ns),
+        us(summary.best_streaming_get_p99_ns),
+        summary.degradation_x_get,
+        us(summary.best_idle_put_p99_ns),
+        us(summary.best_streaming_put_p99_ns),
+        summary.degradation_x_put,
+        backupload::DEGRADATION_BUDGET_X,
+    );
+    println!("wrote {}", path.display());
+
+    if !summary.within_budget {
+        eprintln!(
+            "FAIL: streaming p99 degradation (get {:.2}x, put {:.2}x) exceeds the {}x budget",
+            summary.degradation_x_get,
+            summary.degradation_x_put,
+            backupload::DEGRADATION_BUDGET_X
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

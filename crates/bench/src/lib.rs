@@ -10,6 +10,7 @@
 
 pub mod accessing;
 pub mod artifact;
+pub mod backupload;
 pub mod cachebench;
 pub mod clients;
 pub mod figures;

@@ -119,6 +119,88 @@ impl ScanCursor {
     }
 }
 
+/// How faithful a [`BackupSource`] is to the instant the snapshot was
+/// forked (recorded per shard in the backup manifest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFidelity {
+    /// A true engine-level fork: the cursor streams the store exactly as
+    /// of [`KvsEngine::snapshot_for_backup`], while later writes proceed
+    /// untouched (lsmkv pinned snapshots, wtiger index clones).
+    PointInTime,
+    /// The engine has no snapshot machinery, so the entries were copied
+    /// eagerly *during* the freeze call. Still consistent — the calling
+    /// worker serializes the copy against the shard's writes — but the
+    /// freeze pause is O(data) instead of O(1).
+    Materialized,
+}
+
+impl SnapshotFidelity {
+    /// Stable numeric code for journals and manifests (0 = point in
+    /// time, 1 = materialized).
+    pub fn code(self) -> u64 {
+        match self {
+            SnapshotFidelity::PointInTime => 0,
+            SnapshotFidelity::Materialized => 1,
+        }
+    }
+
+    /// Inverse of [`SnapshotFidelity::code`].
+    pub fn from_code(code: u64) -> Option<SnapshotFidelity> {
+        match code {
+            0 => Some(SnapshotFidelity::PointInTime),
+            1 => Some(SnapshotFidelity::Materialized),
+            _ => None,
+        }
+    }
+}
+
+/// A forked, streamable copy of one engine instance, produced by
+/// [`KvsEngine::snapshot_for_backup`] while the owning worker holds the
+/// shard quiesced. The cursor is drained on a background streamer
+/// thread after the worker resumes serving traffic, so it must not
+/// borrow the engine mutably or block its writers.
+pub struct BackupSource {
+    /// What the cursor's view is pinned to.
+    pub fidelity: SnapshotFidelity,
+    /// Streams every live entry in key order.
+    pub cursor: Box<dyn NativeCursor>,
+}
+
+/// A [`NativeCursor`] over an already-materialized entry list (the
+/// default backup source for engines without snapshot machinery).
+pub struct VecCursor {
+    entries: std::vec::IntoIter<(Vec<u8>, Vec<u8>)>,
+}
+
+impl VecCursor {
+    /// Wraps `entries` (which must already be in key order).
+    pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>) -> VecCursor {
+        VecCursor {
+            entries: entries.into_iter(),
+        }
+    }
+}
+
+impl NativeCursor for VecCursor {
+    fn next_chunk(&mut self, limit: usize, max_bytes: usize) -> Result<ScanChunk> {
+        let limit = limit.max(1);
+        let max_bytes = max_bytes.max(1);
+        let mut entries = Vec::new();
+        let mut bytes = 0usize;
+        while entries.len() < limit && bytes < max_bytes {
+            match self.entries.next() {
+                Some((k, v)) => {
+                    bytes = bytes.saturating_add(k.len() + v.len());
+                    entries.push((k, v));
+                }
+                None => break,
+            }
+        }
+        let done = self.entries.as_slice().is_empty();
+        Ok(ScanChunk { entries, done })
+    }
+}
+
 /// The smallest key strictly greater than `key` (append a zero byte).
 fn successor(key: &[u8]) -> Vec<u8> {
     let mut s = Vec::with_capacity(key.len() + 1);
@@ -250,6 +332,34 @@ pub trait KvsEngine: Send + Sync + 'static {
     /// events. The default (engines without background jobs, or without
     /// the plumbing) never delivers anything.
     fn install_event_hook(&self, _hook: EngineEventHook) {}
+
+    /// Forks a streamable copy of the whole instance for an online
+    /// backup. Called by the owning worker while the shard is quiesced
+    /// (no other thread touches this instance during the call), so the
+    /// view is consistent either way; the difference is cost. Engines
+    /// with real snapshots return a [`SnapshotFidelity::PointInTime`]
+    /// source whose fork is O(1) and whose streaming happens later on
+    /// the backup thread. The default copies every entry eagerly through
+    /// [`KvsEngine::scan`] — [`SnapshotFidelity::Materialized`], an
+    /// O(data) pause on the frozen shard.
+    fn snapshot_for_backup(&self) -> Result<BackupSource> {
+        let mut entries = Vec::new();
+        let mut next: Vec<u8> = Vec::new();
+        loop {
+            let chunk = self.scan(&next, 1024)?;
+            let full = chunk.len() == 1024;
+            entries.extend(chunk);
+            if !full {
+                break;
+            }
+            let (last, _) = entries.last().expect("full chunk is non-empty");
+            next = successor(last);
+        }
+        Ok(BackupSource {
+            fidelity: SnapshotFidelity::Materialized,
+            cursor: Box::new(VecCursor::new(entries)),
+        })
+    }
 }
 
 /// Opens engine instances, one per worker.
@@ -399,6 +509,28 @@ impl KvsEngine for lsmkv::Db {
             memtable_ns: stats.breakdown.memtable.sum_ns(),
             read_ns: stats.read_path.sum_ns(),
         }
+    }
+
+    fn snapshot_for_backup(&self) -> Result<BackupSource> {
+        // Same machinery as open_cursor: a registered snapshot pins the
+        // visible versions against compaction GC, the merged iterator
+        // pins the memtables and table files, and the pair moves to the
+        // backup streamer thread while writers continue past the fork.
+        let snap = self.snapshot();
+        let opts = lsmkv::ReadOptions {
+            snapshot: Some(snap.sequence()),
+            ..lsmkv::ReadOptions::default()
+        };
+        let mut iter = self.iter_with(&opts)?;
+        iter.seek(b"");
+        Ok(BackupSource {
+            fidelity: SnapshotFidelity::PointInTime,
+            cursor: Box::new(LsmCursor {
+                _snap: snap,
+                iter,
+                end: None,
+            }),
+        })
     }
 
     fn install_event_hook(&self, hook: EngineEventHook) {
@@ -567,6 +699,28 @@ impl KvsEngine for wtiger::WtDb {
     fn mem_usage(&self) -> usize {
         wtiger::WtDb::mem_usage(self)
     }
+
+    fn snapshot_for_backup(&self) -> Result<BackupSource> {
+        // wtiger forks cheaply despite having no MVCC: the snapshot
+        // clones the key → journal-offset index under its latch and
+        // reads values lazily from the append-only journal, whose
+        // already-written bytes never change.
+        Ok(BackupSource {
+            fidelity: SnapshotFidelity::PointInTime,
+            cursor: Box::new(WtSnapCursor(wtiger::WtDb::snapshot(self)?)),
+        })
+    }
+}
+
+/// Adapts [`wtiger::WtSnapshot`] batches to the [`NativeCursor`] chunk
+/// protocol for backup streaming.
+struct WtSnapCursor(wtiger::WtSnapshot);
+
+impl NativeCursor for WtSnapCursor {
+    fn next_chunk(&mut self, limit: usize, max_bytes: usize) -> Result<ScanChunk> {
+        let (entries, done) = self.0.next_batch(limit, max_bytes)?;
+        Ok(ScanChunk { entries, done })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -668,6 +822,17 @@ impl KvsEngine for kvell::KvellDb {
 
     fn mem_usage(&self) -> usize {
         kvell::KvellDb::mem_usage(self).unwrap_or(0)
+    }
+
+    fn snapshot_for_backup(&self) -> Result<BackupSource> {
+        // No snapshot machinery: materialize eagerly while the calling
+        // worker holds the shard quiesced. `dump` is one full-index pass
+        // per internal KVell worker, cheaper than the default's
+        // paginated re-seeks through the request channels.
+        Ok(BackupSource {
+            fidelity: SnapshotFidelity::Materialized,
+            cursor: Box::new(VecCursor::new(kvell::KvellDb::dump(self)?)),
+        })
     }
 }
 
@@ -883,6 +1048,80 @@ mod tests {
         );
         let (all, _) = drain_cursor(&db, b"", None, 2);
         assert_eq!(all.len(), 3);
+    }
+
+    /// Drains a backup source fully, asserting key order.
+    fn drain_backup(mut src: BackupSource) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = src.cursor.next_chunk(16, usize::MAX).unwrap();
+            out.extend(chunk.entries);
+            if chunk.done {
+                assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "key order");
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn lsm_backup_snapshot_excludes_later_writes() {
+        let db = LsmFactory::new(lsmkv::Options::for_test())
+            .open(Path::new("bk1"), None)
+            .unwrap();
+        for i in 0..30 {
+            KvsEngine::put(&db, format!("k{i:02}").as_bytes(), b"old").unwrap();
+        }
+        let src = db.snapshot_for_backup().unwrap();
+        assert_eq!(src.fidelity, SnapshotFidelity::PointInTime);
+        // Post-fork churn must be invisible to the stream.
+        KvsEngine::put(&db, b"k00", b"new").unwrap();
+        KvsEngine::delete(&db, b"k10").unwrap();
+        KvsEngine::put(&db, b"later", b"x").unwrap();
+        let all = drain_backup(src);
+        assert_eq!(all.len(), 30);
+        assert!(all.iter().all(|(_, v)| v == b"old"));
+    }
+
+    #[test]
+    fn wtiger_backup_snapshot_excludes_later_writes() {
+        let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+        let db = WtFactory::new(wtiger::WtOptions::new(env))
+            .open(Path::new("bk2"), None)
+            .unwrap();
+        for i in 0..30 {
+            KvsEngine::put(&db, format!("k{i:02}").as_bytes(), b"old").unwrap();
+        }
+        let src = db.snapshot_for_backup().unwrap();
+        assert_eq!(src.fidelity, SnapshotFidelity::PointInTime);
+        KvsEngine::put(&db, b"k00", b"new").unwrap();
+        KvsEngine::put(&db, b"later", b"x").unwrap();
+        let all = drain_backup(src);
+        assert_eq!(all.len(), 30);
+        assert!(all.iter().all(|(_, v)| v == b"old"));
+    }
+
+    #[test]
+    fn kvell_backup_snapshot_materializes_at_fork() {
+        let env: p2kvs_storage::EnvRef = Arc::new(MemEnv::new());
+        let mut opts = kvell::KvellOptions::new(env);
+        opts.workers = 2;
+        let db = KvellFactory::new(opts).open(Path::new("bk3"), None).unwrap();
+        for i in 0..30 {
+            KvsEngine::put(&db, format!("k{i:02}").as_bytes(), b"v").unwrap();
+        }
+        let src = db.snapshot_for_backup().unwrap();
+        assert_eq!(src.fidelity, SnapshotFidelity::Materialized);
+        // Materialized at fork: later writes are invisible by construction.
+        KvsEngine::put(&db, b"later", b"x").unwrap();
+        assert_eq!(drain_backup(src).len(), 30);
+    }
+
+    #[test]
+    fn fidelity_codes_roundtrip() {
+        for f in [SnapshotFidelity::PointInTime, SnapshotFidelity::Materialized] {
+            assert_eq!(SnapshotFidelity::from_code(f.code()), Some(f));
+        }
+        assert_eq!(SnapshotFidelity::from_code(7), None);
     }
 
     #[test]

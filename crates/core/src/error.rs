@@ -16,6 +16,9 @@ pub enum Error {
     /// Invalid store configuration detected at `open` (e.g. a custom
     /// partitioner whose `partitions()` does not match the shard count).
     Config(String),
+    /// A backup or restore failed: the backup directory is incomplete,
+    /// corrupt, or the snapshot machinery could not run to completion.
+    Backup(String),
     /// The store has been closed.
     Closed,
 }
@@ -30,6 +33,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Backup(msg) => write!(f, "invalid backup: {msg}"),
             Error::Closed => write!(f, "store is closed"),
         }
     }
@@ -63,6 +67,7 @@ impl Clone for Error {
             Error::Io(e) => Error::Engine(format!("io error: {e}")),
             Error::Unsupported(w) => Error::Unsupported(w),
             Error::Config(m) => Error::Config(m.clone()),
+            Error::Backup(m) => Error::Backup(m.clone()),
             Error::Closed => Error::Closed,
         }
     }

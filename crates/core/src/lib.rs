@@ -69,6 +69,7 @@
 //! assert_eq!(store.get(b"hello").unwrap().unwrap(), b"world");
 //! ```
 
+pub mod backup;
 pub mod balance;
 pub mod cache;
 pub mod engine;
@@ -82,10 +83,12 @@ pub mod txn;
 pub mod types;
 pub mod worker;
 
+pub use backup::{BackupHandle, BackupReport};
 pub use balance::BalancePolicy;
 pub use cache::{CacheCounters, ReadCache};
 pub use engine::{
-    Capabilities, EngineEvent, EngineEventHook, EngineFactory, EnginePhases, KvsEngine,
+    BackupSource, Capabilities, EngineEvent, EngineEventHook, EngineFactory, EnginePhases,
+    KvsEngine, SnapshotFidelity,
 };
 pub use error::{Error, Result};
 pub use scan::StoreIter;

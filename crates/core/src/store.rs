@@ -55,6 +55,9 @@ pub enum ScanStrategy {
 /// fires if a worker is wedged).
 const HANDOFF_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Ops per engine `write_batch` call while loading a restored backup.
+const RESTORE_BATCH: usize = 256;
+
 /// Framework configuration.
 #[derive(Clone)]
 pub struct P2KvsOptions {
@@ -534,6 +537,8 @@ pub struct P2Kvs<E: KvsEngine> {
     partitioner: Arc<dyn Partitioner>,
     txn: TxnManager,
     opts: P2KvsOptions,
+    /// The store directory (backup streams the flight journal from it).
+    dir: PathBuf,
     opened: Instant,
     /// Monotone submission counter driving 1-in-N trace sampling.
     trace_seq: AtomicU64,
@@ -706,6 +711,7 @@ impl<E: KvsEngine> P2Kvs<E> {
             journal,
             cache,
             env: Some(env.clone()),
+            backup: Arc::new(crate::backup::BackupHub::default()),
         });
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
@@ -762,6 +768,7 @@ impl<E: KvsEngine> P2Kvs<E> {
             partitioner,
             txn,
             opts,
+            dir,
             opened,
             trace_seq: AtomicU64::new(0),
             recovered_flight,
@@ -1053,10 +1060,12 @@ impl<E: KvsEngine> P2Kvs<E> {
         }
         if let Some(e) = push_err {
             // Drain in-flight sub-batches, then fail without writing a
-            // commit record: recovery rolls every sub-batch back.
+            // commit record: recovery rolls every sub-batch back. The
+            // abandoned GSN still drains the backup freeze gate.
             for c in completions {
                 let _ = c.wait();
             }
+            self.txn.abandon(gsn);
             return Err(e);
         }
         let mut first_err = None;
@@ -1074,7 +1083,10 @@ impl<E: KvsEngine> P2Kvs<E> {
                 Ok(())
             }
             // No commit record: recovery rolls every sub-batch back.
-            Some(e) => Err(e),
+            Some(e) => {
+                self.txn.abandon(gsn);
+                Err(e)
+            }
         }
     }
 
@@ -1179,6 +1191,191 @@ impl<E: KvsEngine> P2Kvs<E> {
             e.sync()?;
         }
         Ok(())
+    }
+
+    /// Takes a GSN-consistent **online** snapshot of the whole store
+    /// into `dir`, returning once the cut is made (foreground traffic
+    /// resumes) with a [`crate::backup::BackupHandle`] for the
+    /// background streaming (DESIGN.md §12).
+    ///
+    /// Protocol: freeze the transaction gate (no new GSNs, in-flight
+    /// ones drained — the horizon is the highest GSN allocated), then
+    /// push one `BackupFreeze` marker per shard under the migration
+    /// lock, so every marker lands FIFO behind every write acked before
+    /// this call and no handoff can reorder a marker against the
+    /// traffic it cuts. Each owner forks an engine-level snapshot when
+    /// its marker executes; once all markers ack, the gate thaws and a
+    /// background thread streams the forked snapshots to `dir` —
+    /// shard files, the flight journal (after the durable
+    /// `BackupComplete` record), and a synced `MANIFEST` last.
+    ///
+    /// The quiesce window is the freeze span only: marker push + one
+    /// snapshot fork per shard. Streaming proceeds concurrently with
+    /// new writes, which the pinned snapshots do not observe.
+    pub fn backup(&self, dir: impl Into<PathBuf>) -> Result<crate::backup::BackupHandle> {
+        let dir = dir.into();
+        let env = self
+            .runtime
+            .env
+            .clone()
+            .expect("stores opened through P2Kvs::open always carry an env");
+        let horizon = self.txn.freeze();
+        if let Err(e) = self.runtime.backup.open_session(horizon) {
+            self.txn.thaw();
+            return Err(e);
+        }
+        let (map_epoch, completions, push_err) = {
+            // The migration lock is the marker-ordering fence: no
+            // handoff is mid-flight while markers are pushed, so a
+            // marker can never chase its shard onto a queue behind
+            // traffic that was rerouted ahead of it.
+            let _fence = self.balance.state.lock();
+            let map_epoch = self.runtime.map.epoch();
+            if let Some(j) = &self.runtime.journal {
+                j.record(
+                    JournalKind::BackupBegin,
+                    self.shards() as u64,
+                    map_epoch,
+                    0,
+                    horizon,
+                );
+            }
+            let mut completions = Vec::with_capacity(self.shards());
+            let mut push_err = None;
+            for s in 0..self.shards() {
+                let (req, done) = Request::sync(Op::BackupFreeze { shard: s as u64 });
+                // The fence pins the map as surely as an epoch pin
+                // would, without holding a pin across a push that may
+                // block on a full ring.
+                let owner = self.runtime.map.owner(s);
+                if self.workers[owner].queue.push(req.on_shard(s as u64)).is_err() {
+                    push_err = Some(Error::Closed);
+                    break;
+                }
+                completions.push(done);
+            }
+            (map_epoch, completions, push_err)
+        };
+        // Wait off the fence: markers execute (and a concurrent
+        // migration may even move a not-yet-frozen shard — the marker
+        // travels with it through the stash) while we only hold the
+        // GSN gate.
+        let mut first_err = push_err;
+        for done in completions {
+            if let Err(e) = done.wait() {
+                first_err.get_or_insert(e);
+            }
+        }
+        // Take the session before thawing: every shard's snapshot is
+        // deposited (or the backup failed), and only then may a GSN
+        // past the horizon reach any shard.
+        let session = self.runtime.backup.take_session();
+        self.txn.thaw();
+        if let Some(e) = first_err {
+            return Err(e); // dropping the session releases the snapshots
+        }
+        let session = session
+            .ok_or_else(|| Error::Backup("freeze session disappeared mid-backup".into()))?;
+        if session.frozen.len() != self.shards() {
+            return Err(Error::Backup(format!(
+                "only {} of {} shards deposited a snapshot",
+                session.frozen.len(),
+                self.shards()
+            )));
+        }
+        let journal = self.runtime.journal.clone();
+        let store_dir = self.dir.clone();
+        let thread = std::thread::Builder::new()
+            .name("p2kvs-backup".into())
+            .spawn(move || {
+                crate::backup::stream_session(
+                    &env,
+                    &store_dir,
+                    &dir,
+                    session,
+                    map_epoch,
+                    journal.as_deref(),
+                )
+            })
+            .map_err(|e| Error::Backup(format!("spawn backup streamer: {e}")))?;
+        Ok(crate::backup::BackupHandle { thread })
+    }
+
+    /// Restores a backup taken by [`P2Kvs::backup`] into `dest_dir` and
+    /// opens the restored store: every write acked at GSN ≤ the
+    /// backup's horizon is present, nothing past the horizon leaks in.
+    ///
+    /// The backup directory is **fully validated first** — manifest
+    /// trailer, per-file lengths, CRCs, record counts — so a partial or
+    /// corrupt backup fails with [`Error::Backup`] and the destination
+    /// untouched. The restored store recovers the backed-up flight
+    /// journal and continues its sequence (a fresh epoch rooted at the
+    /// recovered seq, with the backup's own records as provenance),
+    /// allocates GSNs strictly past the horizon, and comes up with a
+    /// cold read cache (the reset is journaled at open, like any open).
+    pub fn restore<F>(
+        factory: F,
+        backup_dir: impl Into<PathBuf>,
+        dest_dir: impl Into<PathBuf>,
+        mut opts: P2KvsOptions,
+    ) -> Result<P2Kvs<E>>
+    where
+        F: EngineFactory<Engine = E>,
+    {
+        let backup_dir = backup_dir.into();
+        let dest = dest_dir.into();
+        let env = factory.env();
+        let (manifest, shard_entries) = crate::backup::read_backup(&env, &backup_dir)?;
+        for probe in ["TXNLOG", crate::backup::FLIGHT_FILE, "instance-0"] {
+            if env.exists(&dest.join(probe)) {
+                return Err(Error::Backup(format!(
+                    "destination {} already contains a store ({probe} exists)",
+                    dest.display()
+                )));
+            }
+        }
+        if opts.shards != 0 && opts.shards != manifest.shards as usize {
+            return Err(Error::Config(format!(
+                "the backup has {} shards, the restore options say {}",
+                manifest.shards, opts.shards
+            )));
+        }
+        opts.shards = manifest.shards as usize;
+        env.create_dir_all(&dest)?;
+        let flight_src = backup_dir.join(crate::backup::FLIGHT_FILE);
+        if opts.flight_recorder && env.exists(&flight_src) {
+            let data = p2kvs_storage::env::read_all(&*env, &flight_src)?;
+            p2kvs_storage::env::write_all(
+                &*env,
+                &dest.join(crate::backup::FLIGHT_FILE),
+                &data,
+            )?;
+        }
+        // GSN allocation must resume strictly past the horizon: the
+        // restored store must never reuse a GSN the source spent.
+        TxnManager::seed(&env, &dest, manifest.horizon)?;
+        let store = P2Kvs::open(factory, dest, opts)?;
+        // Load each shard's entries straight into its engine — the
+        // backup's shard indexing *is* the store's (the manifest pins
+        // the count) — in bounded batches, then a durability barrier.
+        // No request has been submitted yet, so writing through the
+        // shared engine handles off the worker threads is safe.
+        for (s, entries) in shard_entries.into_iter().enumerate() {
+            let engine = &store.runtime.engines[s];
+            let mut ops = Vec::with_capacity(RESTORE_BATCH.min(entries.len()));
+            for (key, value) in entries {
+                ops.push(WriteOp::Put { key, value });
+                if ops.len() == RESTORE_BATCH {
+                    engine.write_batch(&ops, 0)?;
+                    ops.clear();
+                }
+            }
+            if !ops.is_empty() {
+                engine.write_batch(&ops, 0)?;
+            }
+        }
+        store.sync()?;
+        Ok(store)
     }
 
     /// Point-in-time statistics.
@@ -1478,6 +1675,143 @@ mod tests {
         assert!(snap.counter("p2kvs_cache_hits").unwrap() >= 1);
         assert!(snap.counter("p2kvs_cache_fills").unwrap() >= 1);
         assert!(snap.gauge("p2kvs_cache_bytes").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn online_backup_restores_byte_identical_at_the_horizon() {
+        let engine_opts = lsmkv::Options::for_test();
+        let mut opts = P2KvsOptions::with_workers(2);
+        opts.pin_workers = false;
+        let store = P2Kvs::open(
+            LsmFactory::new(engine_opts.clone()),
+            "backup-src",
+            opts.clone(),
+        )
+        .unwrap();
+        for i in 0..200u32 {
+            store
+                .put(format!("pre-{i:04}").as_bytes(), format!("val-{i}").as_bytes())
+                .unwrap();
+        }
+        // A cross-shard batch rides the GSN path and must land whole.
+        store
+            .write_batch(vec![
+                WriteOp::Put { key: b"txn-a".to_vec(), value: b"1".to_vec() },
+                WriteOp::Put { key: b"txn-b".to_vec(), value: b"2".to_vec() },
+                WriteOp::Put { key: b"txn-c".to_vec(), value: b"3".to_vec() },
+                WriteOp::Put { key: b"txn-d".to_vec(), value: b"4".to_vec() },
+            ])
+            .unwrap();
+        let handle = store.backup("backup-out").unwrap();
+        // Foreground traffic resumes while the streamer runs; writes
+        // issued after `backup` returned are past the cut and must not
+        // leak into the copy.
+        for i in 0..100u32 {
+            store.put(format!("post-{i:04}").as_bytes(), b"after").unwrap();
+        }
+        let report = handle.wait().unwrap();
+        assert_eq!(report.shards as usize, store.shards());
+        assert!(report.entries >= 204, "all pre-cut writes stream: {report:?}");
+        let restored = P2Kvs::restore(
+            LsmFactory::new(engine_opts.clone()),
+            "backup-out",
+            "backup-restored",
+            opts.clone(),
+        )
+        .unwrap();
+        assert_eq!(restored.shards(), store.shards(), "manifest pins the shard count");
+        for i in 0..200u32 {
+            assert_eq!(
+                restored.get(format!("pre-{i:04}").as_bytes()).unwrap().as_deref(),
+                Some(format!("val-{i}").as_bytes()),
+                "pre-cut key {i}"
+            );
+        }
+        for (k, v) in [(b"txn-a", b"1"), (b"txn-b", b"2"), (b"txn-c", b"3"), (b"txn-d", b"4")] {
+            assert_eq!(restored.get(k).unwrap().as_deref(), Some(&v[..]));
+        }
+        for i in 0..100u32 {
+            assert_eq!(
+                restored.get(format!("post-{i:04}").as_bytes()).unwrap(),
+                None,
+                "post-cut write {i} leaked into the backup"
+            );
+        }
+        // The backed-up flight journal came along: the restored store
+        // recovered the cut's own provenance records.
+        let kinds: Vec<_> = restored
+            .recovered_flight_records()
+            .iter()
+            .map(|r| r.kind)
+            .collect();
+        assert!(kinds.contains(&JournalKind::BackupBegin), "{kinds:?}");
+        assert!(kinds.contains(&JournalKind::ShardFrozen), "{kinds:?}");
+        assert!(kinds.contains(&JournalKind::BackupComplete), "{kinds:?}");
+        // And it keeps serving ordinary traffic past the horizon.
+        restored.put(b"fresh", b"write").unwrap();
+        assert_eq!(restored.get(b"fresh").unwrap().as_deref(), Some(&b"write"[..]));
+    }
+
+    #[test]
+    fn restore_rejects_partial_backups_and_occupied_destinations() {
+        use std::path::Path;
+        let engine_opts = lsmkv::Options::for_test();
+        let mut opts = P2KvsOptions::with_workers(2);
+        opts.pin_workers = false;
+        let store = P2Kvs::open(
+            LsmFactory::new(engine_opts.clone()),
+            "guard-src",
+            opts.clone(),
+        )
+        .unwrap();
+        store.put(b"k", b"v").unwrap();
+        let report = store.backup("guard-backup").unwrap().wait().unwrap();
+        assert_eq!(report.shards as usize, store.shards());
+        let env = store.runtime.env.clone().unwrap();
+        // A backup that never completed has shard files but no MANIFEST.
+        env.create_dir_all(Path::new("guard-partial")).unwrap();
+        let snap =
+            p2kvs_storage::env::read_all(&*env, Path::new("guard-backup/shard-0.snap")).unwrap();
+        p2kvs_storage::env::write_all(&*env, Path::new("guard-partial/shard-0.snap"), &snap)
+            .unwrap();
+        let err = P2Kvs::restore(
+            LsmFactory::new(engine_opts.clone()),
+            "guard-partial",
+            "guard-dest",
+            opts.clone(),
+        )
+        .err()
+        .expect("restore must fail");
+        assert!(matches!(err, Error::Backup(_)), "{err}");
+        assert!(err.to_string().contains("MANIFEST"), "{err}");
+        // Restoring over a live store directory is refused before any
+        // byte is written.
+        let err = P2Kvs::restore(
+            LsmFactory::new(engine_opts.clone()),
+            "guard-backup",
+            "guard-src",
+            opts.clone(),
+        )
+        .err()
+        .expect("restore must fail");
+        assert!(matches!(err, Error::Backup(_)), "{err}");
+        assert!(err.to_string().contains("already contains"), "{err}");
+        // Options that contradict the manifest's shard count are a
+        // configuration error, not a silent reshard.
+        let mut wrong = opts.clone();
+        wrong.shards = store.shards() + 1;
+        let err = P2Kvs::restore(
+            LsmFactory::new(engine_opts.clone()),
+            "guard-backup",
+            "guard-dest",
+            wrong,
+        )
+        .err()
+        .expect("restore must fail");
+        assert!(matches!(err, Error::Config(_)), "{err}");
+        // Only one backup can be cutting at a time.
+        let h1 = store.backup("guard-again").unwrap();
+        h1.wait().unwrap();
     }
 
     #[test]

@@ -18,17 +18,29 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use p2kvs_storage::{EnvRef, WritableFile};
 use p2kvs_util::crc32c::crc32c;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 const REC_BEGIN: u8 = 1;
 const REC_COMMIT: u8 = 2;
 const REC_LEN: usize = 13;
+
+/// The backup freeze gate: while `frozen`, new transactions block in
+/// [`TxnManager::begin`]; `in_flight` counts transactions that have
+/// begun but not yet committed or abandoned, which a freezer drains
+/// before choosing its GSN horizon.
+#[derive(Default)]
+struct Gate {
+    frozen: bool,
+    in_flight: u64,
+}
 
 /// Allocates GSNs and persists transaction state.
 pub struct TxnManager {
     log: Mutex<Box<dyn WritableFile>>,
     next_gsn: AtomicU64,
     committed_floor: AtomicU64,
+    gate: Mutex<Gate>,
+    gate_cv: Condvar,
 }
 
 /// State recovered from a commit log.
@@ -108,33 +120,109 @@ impl TxnManager {
             log: Mutex::new(log),
             next_gsn: AtomicU64::new(recovered.max_gsn + 1),
             committed_floor: AtomicU64::new(recovered.max_gsn),
+            gate: Mutex::new(Gate::default()),
+            gate_cv: Condvar::new(),
         })
     }
 
-    /// Starts a transaction: allocates a GSN and persists the begin record.
+    /// Starts a transaction: allocates a GSN and persists the begin
+    /// record. Blocks while a backup freeze holds the gate, so every GSN
+    /// is strictly on one side of any backup horizon.
     pub fn begin(&self) -> io::Result<u64> {
+        {
+            let mut gate = self.gate.lock();
+            while gate.frozen {
+                self.gate_cv.wait(&mut gate);
+            }
+            gate.in_flight += 1;
+        }
         let gsn = self.next_gsn.fetch_add(1, Ordering::Relaxed);
         let rec = encode(REC_BEGIN, gsn);
         let mut log = self.log.lock();
-        log.append(&rec)?;
-        log.sync()?;
+        if let Err(e) = log.append(&rec).and_then(|()| log.sync()) {
+            drop(log);
+            self.release_in_flight();
+            return Err(e);
+        }
         Ok(gsn)
     }
 
-    /// Persists the commit record for `gsn`.
+    /// Persists the commit record for `gsn` and releases its in-flight
+    /// slot (a failed append still releases — the transaction is over
+    /// either way, it just rolls back at recovery).
     pub fn commit(&self, gsn: u64) -> io::Result<()> {
         let rec = encode(REC_COMMIT, gsn);
-        let mut log = self.log.lock();
-        log.append(&rec)?;
-        log.sync()?;
-        drop(log);
+        let result = {
+            let mut log = self.log.lock();
+            log.append(&rec).and_then(|()| log.sync())
+        };
+        self.release_in_flight();
+        result?;
         self.committed_floor.fetch_max(gsn, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Releases a begun transaction that will never commit (a sub-batch
+    /// failed). The GSN stays allocated and rolls back at recovery; the
+    /// in-flight slot must still drain or a freezer would wait forever.
+    pub fn abandon(&self, _gsn: u64) {
+        self.release_in_flight();
+    }
+
+    fn release_in_flight(&self) {
+        let mut gate = self.gate.lock();
+        debug_assert!(gate.in_flight > 0, "release without a begun transaction");
+        gate.in_flight = gate.in_flight.saturating_sub(1);
+        if gate.in_flight == 0 {
+            self.gate_cv.notify_all();
+        }
+    }
+
+    /// Freezes the GSN stream for a backup: blocks new [`TxnManager::begin`]
+    /// calls, waits for every in-flight transaction to commit or abandon,
+    /// and returns the horizon — the highest GSN allocated so far. Until
+    /// [`TxnManager::thaw`], every GSN ≤ horizon is fully settled and no
+    /// GSN > horizon exists, so the horizon is a consistent cut of the
+    /// cross-instance total order.
+    pub fn freeze(&self) -> u64 {
+        let mut gate = self.gate.lock();
+        while gate.frozen {
+            // Another freezer is active; queue behind it.
+            self.gate_cv.wait(&mut gate);
+        }
+        gate.frozen = true;
+        while gate.in_flight > 0 {
+            self.gate_cv.wait(&mut gate);
+        }
+        self.next_gsn.load(Ordering::Relaxed) - 1
+    }
+
+    /// Reopens the gate closed by [`TxnManager::freeze`].
+    pub fn thaw(&self) {
+        let mut gate = self.gate.lock();
+        gate.frozen = false;
+        self.gate_cv.notify_all();
     }
 
     /// Highest GSN known committed (monitoring only).
     pub fn committed_floor(&self) -> u64 {
         self.committed_floor.load(Ordering::Relaxed)
+    }
+
+    /// Seeds a fresh commit log under `dir` so the next open allocates
+    /// GSNs strictly above `horizon` — a restored store must never reuse
+    /// a GSN that existed on the backed-up one. Writes a synced
+    /// begin/commit pair for `horizon` (committed, so recovery's filter
+    /// keeps every restored batch); a zero horizon needs no log at all.
+    pub fn seed(env: &EnvRef, dir: &Path, horizon: u64) -> io::Result<()> {
+        if horizon == 0 {
+            return Ok(());
+        }
+        env.create_dir_all(dir)?;
+        let mut data = Vec::with_capacity(2 * REC_LEN);
+        data.extend_from_slice(&encode(REC_BEGIN, horizon));
+        data.extend_from_slice(&encode(REC_COMMIT, horizon));
+        p2kvs_storage::env::write_all(&**env, &Self::log_path(dir), &data)
     }
 }
 
@@ -277,6 +365,69 @@ mod tests {
             );
             assert_eq!(rec.max_gsn, 2, "cut at {keep}: begun gsn counts toward max");
         }
+    }
+
+    #[test]
+    fn freeze_drains_in_flight_and_blocks_new_begins() {
+        let env = env();
+        let dir = Path::new("t");
+        let mgr = Arc::new(TxnManager::open(&env, dir, &TxnRecovery::default()).unwrap());
+        let g1 = mgr.begin().unwrap();
+        // Freeze from another thread: it must not return while g1 is
+        // in flight.
+        let m2 = mgr.clone();
+        let freezer = std::thread::spawn(move || {
+            let horizon = m2.freeze();
+            (horizon, std::time::Instant::now())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let committed_at = std::time::Instant::now();
+        mgr.commit(g1).unwrap();
+        let (horizon, froze_at) = freezer.join().unwrap();
+        assert_eq!(horizon, g1, "horizon is the highest allocated GSN");
+        assert!(froze_at >= committed_at, "freeze waited for the drain");
+        // While frozen, a new begin blocks until thaw.
+        let m3 = mgr.clone();
+        let beginner = std::thread::spawn(move || m3.begin().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let thawed_at = std::time::Instant::now();
+        mgr.thaw();
+        let g2 = beginner.join().unwrap();
+        assert!(g2 > horizon, "post-thaw GSNs are past the horizon");
+        assert!(std::time::Instant::now() >= thawed_at);
+        mgr.commit(g2).unwrap();
+    }
+
+    #[test]
+    fn abandon_releases_the_gate() {
+        let env = env();
+        let mgr = Arc::new(TxnManager::open(&env, Path::new("t"), &TxnRecovery::default()).unwrap());
+        let g = mgr.begin().unwrap();
+        mgr.abandon(g);
+        // A freeze must not hang on the abandoned transaction.
+        let horizon = mgr.freeze();
+        assert_eq!(horizon, g);
+        mgr.thaw();
+        // The abandoned GSN rolls back at recovery (begun, not committed).
+        drop(mgr);
+        let rec = TxnManager::recover(&env, Path::new("t")).unwrap();
+        assert!(rec.begun.contains(&g) && !rec.should_replay(g));
+    }
+
+    #[test]
+    fn seeded_log_continues_past_the_horizon() {
+        let env = env();
+        let dir = Path::new("restored");
+        TxnManager::seed(&env, dir, 42).unwrap();
+        let rec = TxnManager::recover(&env, dir).unwrap();
+        assert_eq!(rec.max_gsn, 42);
+        assert!(rec.should_replay(42), "the horizon itself is committed");
+        assert!(!rec.should_replay(43));
+        let mgr = TxnManager::open(&env, dir, &rec).unwrap();
+        assert_eq!(mgr.begin().unwrap(), 43, "allocation resumes past the horizon");
+        // Zero horizon: no log is needed or written.
+        TxnManager::seed(&env, Path::new("r0"), 0).unwrap();
+        assert!(!env.exists(Path::new("r0/TXNLOG")));
     }
 
     #[test]

@@ -90,6 +90,13 @@ pub enum Op {
     /// from the depot, installs the shard, and replays any requests it
     /// stashed while the shard was in flight. Internal.
     ShardInstall { shard: u64 },
+    /// Online-backup freeze marker: the owning worker forks `shard`'s
+    /// engine snapshot and deposits it in the backup hub. Unlike the
+    /// handoff markers this flows through the normal ownership check, so
+    /// a shard mid-migration stashes or reroutes it like any other
+    /// request and the freeze executes exactly once, after the install
+    /// replay. Internal: never produced by the public API.
+    BackupFreeze { shard: u64 },
 }
 
 /// OBM request classes (Algorithm 1 merges only same-class neighbours).
@@ -134,7 +141,8 @@ impl Op {
             | Op::ScanClose { .. }
             | Op::TxnBatch { .. }
             | Op::HandoffOut { .. }
-            | Op::ShardInstall { .. } => OpClass::Solo,
+            | Op::ShardInstall { .. }
+            | Op::BackupFreeze { .. } => OpClass::Solo,
         }
     }
 }
@@ -452,6 +460,7 @@ mod tests {
             .class(),
             OpClass::Solo
         );
+        assert_eq!(Op::BackupFreeze { shard: 0 }.class(), OpClass::Solo);
     }
 
     #[test]

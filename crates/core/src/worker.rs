@@ -172,6 +172,10 @@ pub(crate) struct ShardRuntime<E> {
     /// env-global, so with concurrent workers the delta is an upper
     /// bound on the batch's own I/O — good enough for a flame view.
     pub env: Option<p2kvs_storage::EnvRef>,
+    /// Rendezvous for online backups: workers deposit forked engine
+    /// snapshots here as `Op::BackupFreeze` markers execute
+    /// (DESIGN.md §12).
+    pub backup: Arc<crate::backup::BackupHub>,
 }
 
 /// A running worker.
@@ -205,6 +209,7 @@ impl WorkerHandle {
             journal: None,
             cache: None,
             env: None,
+            backup: Arc::new(crate::backup::BackupHub::default()),
         });
         WorkerHandle::spawn_inner(id, 0, runtime, queue, config, lifecycle)
     }
@@ -317,6 +322,17 @@ impl WorkerHandle {
                             for req in group.drain(..) {
                                 reroute_or_stash(windex, &rt, &mut stash, &s, req);
                             }
+                            continue;
+                        }
+                        // The backup freeze marker rides the ordinary
+                        // ownership check above (unlike the handoff
+                        // markers): if the shard migrated, the marker is
+                        // stashed or forwarded like any request and the
+                        // snapshot forks on whichever worker owns the
+                        // shard when it finally executes.
+                        if matches!(group[0].op, Op::BackupFreeze { .. }) {
+                            let req = group.pop().expect("solo batch");
+                            freeze_shard(windex, &rt, shard, req);
                             continue;
                         }
                         // Lifecycle stamps: queue wait ends at dequeue,
@@ -530,6 +546,13 @@ fn install_shard<E: KvsEngine>(
         let engine = &rt.engines[shard as usize];
         let scans = owned.get_mut(&shard).expect("just installed");
         for req in reqs {
+            // A backup freeze marker stashed during the migration forks
+            // its snapshot here, after the replayed writes ahead of it —
+            // arrival order is preserved across the handoff.
+            if matches!(req.op, Op::BackupFreeze { .. }) {
+                freeze_shard(windex, rt, shard, req);
+                continue;
+            }
             execute_one(
                 &**engine,
                 req,
@@ -541,6 +564,39 @@ fn install_shard<E: KvsEngine>(
             );
         }
         rt.shard_stats[shard as usize].record(n, started.elapsed());
+    }
+}
+
+/// Executes a `BackupFreeze` marker: forks the shard's engine-level
+/// snapshot, deposits it in the backup hub, journals the freeze, and
+/// acks the coordinator. Runs on whichever worker owns the shard when
+/// the marker is dequeued (or replayed from a migration stash) — by
+/// queue FIFO order the snapshot contains exactly the writes enqueued
+/// ahead of the marker, which the coordinator's freeze protocol pins to
+/// the GSN horizon. The fork itself is quick (a pinned LSM snapshot, an
+/// index clone, or an eager in-memory dump); the expensive streaming
+/// happens later, off the worker, from the deposited cursor.
+fn freeze_shard<E: KvsEngine>(windex: usize, rt: &ShardRuntime<E>, shard: u64, req: Request) {
+    match rt.engines[shard as usize].snapshot_for_backup() {
+        Ok(source) => {
+            let fidelity = source.fidelity;
+            if let Some(horizon) = rt.backup.deposit(shard as u32, source) {
+                if let Some(j) = rt.journal.as_deref() {
+                    j.record(
+                        JournalKind::ShardFrozen,
+                        shard,
+                        windex as u64,
+                        fidelity.code(),
+                        horizon,
+                    );
+                }
+            }
+            // A deposit with no open session is a stray marker from a
+            // failed coordinator: the snapshot is dropped, the ack
+            // still flows so nothing waits forever.
+            req.finish(Ok(Response::Done));
+        }
+        Err(e) => req.finish_err(&e),
     }
 }
 
@@ -875,11 +931,14 @@ fn execute_one<E: KvsEngine>(
             }
             r
         }
-        // Control markers are intercepted by the worker loop before any
-        // routing decision; reaching this point means a caller injected
-        // one through a non-worker execution path.
-        Op::HandoffOut { .. } | Op::ShardInstall { .. } => {
-            Err(Error::Unsupported("handoff markers outside a worker loop"))
+        // Control markers are intercepted by the worker loop (handoff
+        // markers before the routing decision, the backup freeze after
+        // it); reaching this point means either a caller injected one
+        // through a non-worker execution path, or a freeze marker was
+        // still stashed when the store shut down — the backup fails
+        // cleanly instead of forking a snapshot nobody will stream.
+        Op::HandoffOut { .. } | Op::ShardInstall { .. } | Op::BackupFreeze { .. } => {
+            Err(Error::Unsupported("control markers outside a worker loop"))
         }
     };
     match completion {
@@ -1545,6 +1604,7 @@ mod tests {
             journal: None,
             cache: None,
             env: None,
+            backup: Arc::new(crate::backup::BackupHub::default()),
         });
         // Worker 1 owns nothing under the initial map (shard 0 -> worker 0).
         let mut w1 = WorkerHandle::spawn_in(1, rt.clone(), test_config(), None);

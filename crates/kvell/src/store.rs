@@ -183,6 +183,23 @@ impl KvellDb {
         Ok(all)
     }
 
+    /// Dumps every live entry, merged in key order — one full-index pass
+    /// per worker instead of the O(chunks) re-seeks a paginated scan
+    /// would cost. Each worker materializes its shard atomically (the
+    /// worker thread serializes the dump against its own writes), so a
+    /// caller that has quiesced external writers gets a consistent copy.
+    pub fn dump(&self) -> io::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut all = Vec::new();
+        for w in 0..self.workers {
+            match self.call(w, Op::Scan(Vec::new(), usize::MAX))? {
+                Reply::Entries(mut e) => all.append(&mut e),
+                _ => unreachable!("dump reply"),
+            }
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(all)
+    }
+
     /// Total live keys.
     pub fn len(&self) -> io::Result<usize> {
         let mut n = 0;
@@ -275,6 +292,21 @@ mod tests {
         let got = db.scan(b"k010", 5).unwrap();
         let keys: Vec<_> = got.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
         assert_eq!(keys, vec!["k010", "k011", "k012", "k013", "k014"]);
+    }
+
+    #[test]
+    fn dump_returns_everything_in_order() {
+        let db = db(4);
+        for i in (0..150).rev() {
+            db.put(format!("k{i:03}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        db.delete(b"k075").unwrap();
+        let all = db.dump().unwrap();
+        assert_eq!(all.len(), 149);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "key order");
+        assert!(!all.iter().any(|(k, _)| k == b"k075"));
+        assert_eq!(all, db.scan(b"", usize::MAX).unwrap());
     }
 
     #[test]

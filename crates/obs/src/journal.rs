@@ -69,6 +69,17 @@ pub enum JournalKind {
     /// entries dropped; `c` = bytes dropped, or the configured capacity
     /// for an open-time reset).
     CacheFlush,
+    /// An online backup chose its GSN horizon (`a` = shards, `b` = shard
+    /// map epoch frozen into the manifest; `gsn` = the horizon).
+    BackupBegin,
+    /// A worker forked a shard's engine snapshot for an in-flight backup
+    /// (`a` = shard, `b` = worker, `c` = snapshot fidelity: 0
+    /// point-in-time, 1 materialized at freeze; `gsn` = the horizon).
+    ShardFrozen,
+    /// A backup finished streaming and its manifest is durable (`a` =
+    /// shards streamed, `b` = total entries, `c` = total payload bytes;
+    /// `gsn` = the horizon).
+    BackupComplete,
 }
 
 impl JournalKind {
@@ -89,6 +100,9 @@ impl JournalKind {
             JournalKind::ScanClose => "scan_close",
             JournalKind::TxnCommit => "txn_commit",
             JournalKind::CacheFlush => "cache_flush",
+            JournalKind::BackupBegin => "backup_begin",
+            JournalKind::ShardFrozen => "shard_frozen",
+            JournalKind::BackupComplete => "backup_complete",
         }
     }
 
@@ -109,6 +123,9 @@ impl JournalKind {
             "scan_close" => JournalKind::ScanClose,
             "txn_commit" => JournalKind::TxnCommit,
             "cache_flush" => JournalKind::CacheFlush,
+            "backup_begin" => JournalKind::BackupBegin,
+            "shard_frozen" => JournalKind::ShardFrozen,
+            "backup_complete" => JournalKind::BackupComplete,
             _ => return None,
         })
     }

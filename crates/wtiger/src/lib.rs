@@ -28,4 +28,4 @@
 pub mod journal;
 pub mod store;
 
-pub use store::{WtDb, WtOptions};
+pub use store::{WtDb, WtOptions, WtSnapshot};

@@ -86,6 +86,7 @@ impl Rng {
 }
 
 /// One attempted write to one key, in issue order.
+#[derive(Clone)]
 struct KeyWrite {
     /// Key state after this write applies (`None` = deleted).
     effect: Option<Vec<u8>>,
@@ -93,12 +94,13 @@ struct KeyWrite {
     acked: bool,
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct KeyHistory {
     writes: Vec<KeyWrite>,
 }
 
 /// A cross-instance transaction the workload attempted.
+#[derive(Clone)]
 pub struct TxnRecord {
     /// Fresh keys, unique to this transaction, spanning >= 2 instances.
     pub keys: Vec<Vec<u8>>,
@@ -109,7 +111,9 @@ pub struct TxnRecord {
 }
 
 /// Everything one workload run attempted and which acks came back.
-#[derive(Default)]
+/// `Clone` lets the backup matrix freeze a copy at the cut — the acked
+/// state an online backup's restore must reproduce exactly.
+#[derive(Default, Clone)]
 pub struct Oracle {
     keys: HashMap<Vec<u8>, KeyHistory>,
     /// Transactions in issue order.
@@ -294,6 +298,19 @@ pub fn run_workload_hooked(
     seed: u64,
     mut hook: impl FnMut(usize, &P2Kvs<lsmkv::Db>),
 ) -> Oracle {
+    run_workload_with_oracle(store, seed, |round, st, _| hook(round, st))
+}
+
+/// Like [`run_workload_hooked`] but the hook also sees the oracle as
+/// recorded so far. The backup matrix clones it the moment an online
+/// backup's cut lands: with the workload quiesced between rounds, the
+/// clone is exactly the acked state a restore of that backup must
+/// reproduce.
+pub fn run_workload_with_oracle(
+    store: &P2Kvs<lsmkv::Db>,
+    seed: u64,
+    mut hook: impl FnMut(usize, &P2Kvs<lsmkv::Db>, &Oracle),
+) -> Oracle {
     let mut rng = Rng::new(seed);
     let mut oracle = Oracle::default();
     let mut op_no: u64 = 0;
@@ -355,7 +372,7 @@ pub fn run_workload_hooked(
             oracle.record(k, Some(v.clone()), acked);
         }
         oracle.txns.push(TxnRecord { keys, values, acked });
-        hook(round, store);
+        hook(round, store, &oracle);
     }
     oracle
 }
@@ -586,6 +603,205 @@ pub fn run_crash_point_cached(seed: u64, point: u64) -> CrashPointOutcome {
     let recovered_flight = store.recovered_flight_records().len();
     store.close();
     CrashPointOutcome { point, crashed, violations, recovered_flight }
+}
+
+/// Which round's hook starts the online backup in the backup matrix.
+const BACKUP_ROUND: usize = 2;
+/// Which round's hook reaps the streamer — three rounds of foreground
+/// writes, migrations, and transactions overlap the streaming window.
+const BACKUP_WAIT_ROUND: usize = 5;
+
+/// The result of one backup-under-crash run.
+pub struct BackupCrashOutcome {
+    /// The sync point the crash was planned at.
+    pub point: u64,
+    /// Whether the crash actually fired.
+    pub crashed: bool,
+    /// Whether the online backup's streamer completed (durable MANIFEST).
+    /// `false` under an early crash — the matrix then asserts the
+    /// partial directory is *rejected* by restore.
+    pub backup_completed: bool,
+    /// Violations across the recovered store and the restored copy.
+    pub violations: Vec<String>,
+}
+
+/// Dry-runs the backup workload (same op stream, plus the online backup
+/// and its streaming syncs) and returns the sync-point space. The
+/// streamer runs concurrently with foreground syncs, so the numbering is
+/// not exactly reproducible run-to-run — the count only sizes the
+/// matrix; every crash run validates against its own observed acks.
+pub fn dry_run_sync_points_with_backup(seed: u64) -> u64 {
+    let faulty = Arc::new(FaultyEnv::over_mem());
+    let env: EnvRef = faulty.clone();
+    let store = P2Kvs::open(
+        LsmFactory::new(engine_options(env.clone())),
+        "db",
+        migration_store_options(),
+    )
+    .expect("fault-free open");
+    let shards = store.shards();
+    let mut handle = None;
+    run_workload_with_oracle(&store, seed, |round, st, _| {
+        let _ = st.migrate_shard(round % shards, (round + 1) % WORKERS);
+        if round == BACKUP_ROUND {
+            handle = st.backup("backup").ok();
+        }
+        if round == BACKUP_WAIT_ROUND {
+            if let Some(h) = handle.take() {
+                h.wait().expect("fault-free backup");
+            }
+        }
+    });
+    store.close();
+    faulty.sync_points()
+}
+
+/// Backup-torture crash run: the migration workload with an online
+/// backup cut at round [`BACKUP_ROUND`] and streamed concurrently with
+/// the next three rounds, power-failed at sync point `point` — which can
+/// land before the cut, inside the freeze window, mid-stream, or after
+/// the `MANIFEST` sync. After healing:
+///
+/// * the primary store must recover per the standard oracle contract
+///   (backup machinery must never weaken crash recovery), and
+/// * a **completed** backup must restore to a store byte-identical to
+///   the cut-time acked state — with nothing from past the cut leaking
+///   in — no matter where the crash landed, while
+/// * an **incomplete** backup directory must be rejected by
+///   [`P2Kvs::restore`] with a clean [`p2kvs::Error::Backup`], never
+///   fabricating a store from partial files.
+pub fn run_crash_point_with_backup(seed: u64, point: u64) -> BackupCrashOutcome {
+    let faulty = Arc::new(FaultyEnv::over_mem());
+    let env: EnvRef = faulty.clone();
+    faulty.set_plan(FaultPlan {
+        crash_at_sync: Some(point),
+        torn_tail: (point % 17) as usize,
+        ..FaultPlan::default()
+    });
+    let open = |env: &EnvRef| {
+        P2Kvs::open(
+            LsmFactory::new(engine_options(env.clone())),
+            "db",
+            migration_store_options(),
+        )
+    };
+    let mut handle: Option<p2kvs::BackupHandle> = None;
+    let mut cut: Option<Oracle> = None;
+    let mut completed = false;
+    let oracle = match open(&env) {
+        // A crash with a small `point` fires during store creation.
+        Err(_) => Oracle::default(),
+        Ok(store) => {
+            let shards = store.shards();
+            let oracle = run_workload_with_oracle(&store, seed, |round, st, so_far| {
+                // Keep the handoff pressure of the migration matrix: the
+                // cut must hold across shard ownership changes both
+                // before the freeze and during streaming.
+                let _ = st.migrate_shard(round % shards, (round + 1) % WORKERS);
+                if round == BACKUP_ROUND {
+                    // After the crash the cut may fail outright (marker
+                    // pushes or the freeze hit dead queues) — that run
+                    // simply has no backup to restore.
+                    if let Ok(h) = st.backup("backup") {
+                        handle = Some(h);
+                        cut = Some(so_far.clone());
+                    }
+                }
+                if round == BACKUP_WAIT_ROUND {
+                    if let Some(h) = handle.take() {
+                        completed = h.wait().is_ok();
+                    }
+                }
+            });
+            store.close();
+            oracle
+        }
+    };
+    if let Some(h) = handle.take() {
+        completed = h.wait().is_ok();
+    }
+    let crashed = faulty.crashed();
+    faulty.heal();
+    let mut violations = Vec::new();
+    // 1. The primary store recovers per the standard contract.
+    match open(&env) {
+        Ok(store) => {
+            violations.extend(oracle.check(|k| store.get(k).expect("post-recovery read")));
+            violations.extend(flight_journal_violations(&store));
+            store.close();
+        }
+        Err(e) => violations.push(format!("recovery failed to reopen the store: {e}")),
+    }
+    let restore = |dest: &str| {
+        P2Kvs::restore(
+            LsmFactory::new(engine_options(env.clone())),
+            "backup",
+            dest,
+            migration_store_options(),
+        )
+    };
+    if completed {
+        // 2a. A completed backup restores to the cut, crash or no crash.
+        let cut = cut.as_ref().expect("a completed backup implies a recorded cut");
+        match restore("restored") {
+            Ok(restored) => {
+                violations.extend(
+                    cut.check(|k| restored.get(k).expect("restored-copy read"))
+                        .into_iter()
+                        .map(|v| format!("restored copy: {v}")),
+                );
+                // Nothing leaks past the horizon: transactions issued
+                // after the cut use fresh keys, so every one of them
+                // must be absent from the copy.
+                for (t, txn) in oracle.txns.iter().enumerate().skip(cut.txns.len()) {
+                    for k in &txn.keys {
+                        if restored.get(k).expect("restored-copy read").is_some() {
+                            violations.push(format!(
+                                "restored copy: post-cut txn {t} key {} leaked past the horizon",
+                                String::from_utf8_lossy(k)
+                            ));
+                        }
+                    }
+                }
+                // The copy carried the flight journal: gap-free, rooted
+                // at the source's creation record, with the cut's own
+                // provenance in it.
+                violations.extend(
+                    flight_journal_violations(&restored)
+                        .into_iter()
+                        .map(|v| format!("restored copy: {v}")),
+                );
+                let kinds: Vec<JournalKind> = restored
+                    .recovered_flight_records()
+                    .iter()
+                    .map(|r| r.kind)
+                    .collect();
+                for want in [JournalKind::BackupBegin, JournalKind::BackupComplete] {
+                    if !kinds.contains(&want) {
+                        violations.push(format!(
+                            "restored copy: recovered journal lacks {}",
+                            want.name()
+                        ));
+                    }
+                }
+                restored.close();
+            }
+            Err(e) => violations.push(format!("restore of a completed backup failed: {e}")),
+        }
+    } else if crashed {
+        // 2b. The backup never completed; whatever partial directory the
+        // crash left behind must be rejected cleanly.
+        match restore("restored") {
+            Err(p2kvs::Error::Backup(_)) => {}
+            Err(e) => violations.push(format!(
+                "partial backup rejected with the wrong error kind: {e}"
+            )),
+            Ok(_) => {
+                violations.push("restore opened a store from a partial backup".into())
+            }
+        }
+    }
+    BackupCrashOutcome { point, crashed, backup_completed: completed, violations }
 }
 
 /// The sampled crash points for a space of `total` sync points: every one
@@ -887,6 +1103,28 @@ mod tests {
     fn migration_crash_points_recover_cleanly() {
         for point in [25, 90, 170] {
             let out = run_crash_point_with_migration(11, point);
+            assert!(out.crashed, "point {point} did not fire");
+            assert!(out.violations.is_empty(), "point {point}: {:?}", out.violations);
+        }
+    }
+
+    #[test]
+    fn fault_free_backup_run_restores_the_cut_exactly() {
+        // No crash planned: the online backup completes, the restored
+        // copy matches the cut, and the post-cut rounds stay out of it.
+        let out = run_crash_point_with_backup(7, u64::MAX);
+        assert!(!out.crashed);
+        assert!(out.backup_completed, "fault-free backup must complete");
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn a_few_backup_crash_points_recover_cleanly() {
+        // Point 30 lands inside store creation (before the cut — the
+        // partial-directory rejection path); the later points land
+        // around the freeze window and the streaming window.
+        for point in [30, 150, 250] {
+            let out = run_crash_point_with_backup(7, point);
             assert!(out.crashed, "point {point} did not fire");
             assert!(out.violations.is_empty(), "point {point}: {:?}", out.violations);
         }
