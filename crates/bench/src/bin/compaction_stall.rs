@@ -1,0 +1,76 @@
+//! Standalone compaction-stall benchmark: write-tail latency on a
+//! compaction-heavy YCSB-A-style load, single-queue serial compaction
+//! versus multi-queue parallel subcompactions, writing
+//! `BENCH_compaction.json`.
+//!
+//! ```text
+//! cargo run -p p2kvs-bench --release --bin compaction_stall
+//! ```
+//!
+//! The artifact lands in `$P2KVS_METRICS_DIR` when set, the working
+//! directory otherwise; op counts scale with `P2KVS_SCALE` and the seed
+//! comes from `P2KVS_COMPACTION_SEED` (default fixed). **Exits non-zero
+//! when the parallel configuration fails to cut write-stall time by the
+//! gate margin, or when the two configurations do not read back
+//! byte-identical state** — the `compaction-stall` CI job is exactly
+//! this binary. PUT tail percentiles land in the artifact as the
+//! latency view of the same story.
+
+use p2kvs_bench::compstall;
+
+fn main() -> std::io::Result<()> {
+    let path = compstall::artifact_path();
+    let summary = compstall::run_default(&path)?;
+
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+    let rows: Vec<Vec<String>> = summary
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                r.round.to_string(),
+                p2kvs_bench::kqps(r.throughput_ops_sec),
+                us(r.p50_put_ns),
+                us(r.p99_put_ns),
+                us(r.p50_get_ns),
+                us(r.p99_get_ns),
+                format!("{:.2}", r.stall_secs),
+                (r.compaction_bytes >> 20).to_string(),
+                r.queues_active.to_string(),
+            ]
+        })
+        .collect();
+    p2kvs_bench::print_table(
+        "write stalls: serial single-queue vs parallel multi-queue compaction",
+        &[
+            "config", "round", "kops/s", "put_p50_us", "put_p99_us", "get_p50_us", "get_p99_us",
+            "stall_s", "comp_MiB", "queues",
+        ],
+        &rows,
+    );
+    println!(
+        "\nwrite stalls: baseline {:.2}s vs parallel {:.2}s ({:.2}x less; gate {}x); \
+         PUT p99 {}us vs {}us ({:.2}x, reported); read-back identical: {}",
+        summary.best_baseline_stall_secs,
+        summary.best_parallel_stall_secs,
+        summary.stall_improvement_x,
+        compstall::MIN_STALL_IMPROVEMENT_X,
+        us(summary.best_baseline_put_p99_ns),
+        us(summary.best_parallel_put_p99_ns),
+        summary.put_p99_x,
+        summary.read_back_identical,
+    );
+    println!("wrote {}", path.display());
+
+    if !summary.within_gate {
+        eprintln!(
+            "FAIL: stall improvement {:.2}x (gate {}x), read-back identical: {}",
+            summary.stall_improvement_x,
+            compstall::MIN_STALL_IMPROVEMENT_X,
+            summary.read_back_identical,
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -13,6 +13,7 @@ pub mod artifact;
 pub mod backupload;
 pub mod cachebench;
 pub mod clients;
+pub mod compstall;
 pub mod figures;
 pub mod scaninterf;
 pub mod setups;

@@ -372,6 +372,21 @@ pub trait EngineFactory: Send + Sync + 'static {
     /// (p2KVS transaction rollback).
     fn open(&self, dir: &Path, filter: Option<GsnFilter>) -> Result<Self::Engine>;
 
+    /// Opens the instance with a device submission-queue hint: the
+    /// shard's WAL/flush traffic should ride queue `io_queue` of a
+    /// multi-queue env (DESIGN.md §13). Factories whose engine has no
+    /// placement control fall back to [`EngineFactory::open`]; the hint
+    /// is advisory, never a correctness requirement.
+    fn open_on(
+        &self,
+        dir: &Path,
+        filter: Option<GsnFilter>,
+        io_queue: Option<usize>,
+    ) -> Result<Self::Engine> {
+        let _ = io_queue;
+        self.open(dir, filter)
+    }
+
     /// The environment instances live in (the framework stores its
     /// transaction log beside them).
     fn env(&self) -> p2kvs_storage::EnvRef;
@@ -402,12 +417,19 @@ impl EngineFactory for LsmFactory {
     type Engine = lsmkv::Db;
 
     fn open(&self, dir: &Path, filter: Option<GsnFilter>) -> Result<lsmkv::Db> {
+        self.open_on(dir, filter, self.template.io_queue)
+    }
+
+    fn open_on(
+        &self,
+        dir: &Path,
+        filter: Option<GsnFilter>,
+        io_queue: Option<usize>,
+    ) -> Result<lsmkv::Db> {
         let filter = filter.map(|f| -> lsmkv::db::RecoveryFilter { Arc::new(move |gsn| f(gsn)) });
-        Ok(lsmkv::Db::open_with_recovery_filter(
-            self.template.clone(),
-            dir,
-            filter,
-        )?)
+        let mut opts = self.template.clone();
+        opts.io_queue = io_queue;
+        Ok(lsmkv::Db::open_with_recovery_filter(opts, dir, filter)?)
     }
 
     fn env(&self) -> p2kvs_storage::EnvRef {

@@ -141,6 +141,14 @@ pub struct P2KvsOptions {
     /// coherent: writes invalidate before they are acked, and shard
     /// migrations flush the moving shard's entries.
     pub cache_capacity: usize,
+    /// Map workers and shards onto the env's device submission queues
+    /// (DESIGN.md §13). When the env exposes more than one queue
+    /// (`SimEnv` with [`p2kvs_storage::DeviceProfile::with_queues`]),
+    /// worker `i` issues its engine I/O on queue `i % queues` and shard
+    /// `s`'s WAL/flush rides its initial owner's queue, so independent
+    /// workers stop serializing behind one device timeline. `false` (or
+    /// a single-queue env) keeps file-hash striping.
+    pub queue_affinity: bool,
 }
 
 impl Default for P2KvsOptions {
@@ -167,6 +175,7 @@ impl Default for P2KvsOptions {
             flight_recorder: true,
             flight_recorder_capacity: 256,
             cache_capacity: 16 << 20,
+            queue_affinity: true,
         }
     }
 }
@@ -322,6 +331,25 @@ impl<E: KvsEngine> ObsShared<E> {
             reg.set_gauge("p2kvs_device_busy_seconds", io.busy_ns as f64 / 1e9);
             if let Some(u) = env.device_utilization() {
                 reg.set_gauge("p2kvs_device_utilization", u);
+            }
+            // Per-submission-queue breakdown (multi-queue envs only):
+            // `p2kvs_device_q{q}_*` shows whether queue affinity actually
+            // spread WAL/flush/compaction traffic or one queue hogs the
+            // device (DESIGN.md §13).
+            let queues = env.queue_count();
+            if queues > 1 {
+                for (q, qs) in io.queues.iter().enumerate().take(queues) {
+                    reg.counter(&format!("p2kvs_device_q{q}_bytes_written_total"))
+                        .store(qs.bytes_written);
+                    reg.counter(&format!("p2kvs_device_q{q}_bytes_read_total"))
+                        .store(qs.bytes_read);
+                    reg.counter(&format!("p2kvs_device_q{q}_syncs_total"))
+                        .store(qs.syncs);
+                    reg.set_gauge(
+                        &format!("p2kvs_device_q{q}_busy_seconds"),
+                        qs.busy_ns as f64 / 1e9,
+                    );
+                }
             }
         }
         if let Some(ring) = &self.runtime.spans {
@@ -595,10 +623,24 @@ impl<E: KvsEngine> P2Kvs<E> {
             .slow_request_threshold
             .as_nanos()
             .min(u128::from(u64::MAX)) as u64;
+        // Queue affinity (DESIGN.md §13): with a multi-queue env, worker
+        // `i` rides queue `i % queues`, and each shard's engine is hinted
+        // onto its *initial* owner's queue so WAL/flush traffic starts on
+        // the thread that issues it. Migrations may later move a shard to
+        // a worker on another queue; the hint stays put — placement is a
+        // throughput lever, never a correctness input.
+        let device_queues = env.queue_count();
+        let worker_queue = |w: usize| {
+            (opts.queue_affinity && device_queues > 1).then(|| w % device_queues)
+        };
         let mut engines = Vec::with_capacity(shards);
         for s in 0..shards {
             let instance_dir = dir.join(format!("instance-{s}"));
-            engines.push(Arc::new(factory.open(&instance_dir, Some(filter.clone()))?));
+            engines.push(Arc::new(factory.open_on(
+                &instance_dir,
+                Some(filter.clone()),
+                worker_queue(s % n),
+            )?));
         }
         let spans = (opts.trace_sample > 0)
             .then(|| Arc::new(SpanRing::new(opts.trace_span_capacity)));
@@ -643,20 +685,28 @@ impl<E: KvsEngine> P2Kvs<E> {
         };
         if let Some(j) = &journal {
             // Fault firings from the (fault-injecting) env land in the
-            // journal: a = discriminant, b = fault point, c = torn bytes.
+            // journal: a = discriminant, b = fault point, c = torn
+            // bytes, d = target queue (queue-scoped faults only).
             let jh = j.clone();
             env.install_fault_hook(Arc::new(move |ev| {
                 if IN_JOURNAL_SINK.with(|f| f.get()) {
                     return;
                 }
                 use p2kvs_storage::FaultEvent;
-                let (d, n, torn) = match ev {
-                    FaultEvent::FailedAppend { n, .. } => (1, *n, 0),
-                    FaultEvent::FailedSync { n, .. } => (2, *n, 0),
-                    FaultEvent::FailedRead { n, .. } => (3, *n, 0),
-                    FaultEvent::Crash { n, torn, .. } => (4, *n, *torn as u64),
+                // d picks apart queue-targeted firings (q in the fourth
+                // payload slot) from the global counters' firings.
+                let (d, n, torn, q) = match ev {
+                    FaultEvent::FailedAppend { n, .. } => (1, *n, 0, 0),
+                    FaultEvent::FailedSync { n, .. } => (2, *n, 0, 0),
+                    FaultEvent::FailedRead { n, .. } => (3, *n, 0, 0),
+                    FaultEvent::Crash { n, torn, .. } => (4, *n, *torn as u64, 0),
+                    FaultEvent::FailedQueueAppend { q, n, .. } => (5, *n, 0, *q as u64),
+                    FaultEvent::FailedQueueSync { q, n, .. } => (6, *n, 0, *q as u64),
+                    FaultEvent::QueueCrash { q, n, torn, .. } => {
+                        (7, *n, *torn as u64, *q as u64)
+                    }
                 };
-                jh.record(JournalKind::FaultFired, d, n, torn, 0);
+                jh.record(JournalKind::FaultFired, d, n, torn, q);
             }));
             // Engine background events: a = instance, b = level, c = bytes.
             for (i, engine) in engines.iter().enumerate() {
@@ -721,6 +771,7 @@ impl<E: KvsEngine> P2Kvs<E> {
                 pin: opts.pin_workers,
                 scan_chunk_entries: opts.scan_chunk_entries,
                 scan_chunk_bytes: opts.scan_chunk_bytes,
+                io_queue: worker_queue(i),
             };
             let lifecycle = opts
                 .metrics
@@ -1828,5 +1879,51 @@ mod tests {
         }
         store.delete(b"ryw").unwrap();
         assert_eq!(store.get(b"ryw").unwrap(), None, "delete invalidates");
+    }
+
+    #[test]
+    fn queue_affinity_spreads_device_traffic_and_exports_per_queue_metrics() {
+        use p2kvs_storage::{DeviceProfile, SimEnv};
+        let env: p2kvs_storage::EnvRef =
+            Arc::new(SimEnv::with_profile(DeviceProfile::instant().with_queues(4)));
+        let mut engine = lsmkv::Options::rocksdb_like(env);
+        engine.memtable_size = 16 << 10;
+        engine.target_file_size = 16 << 10;
+        let mut opts = P2KvsOptions::with_workers(4);
+        opts.pin_workers = false;
+        opts.cache_capacity = 0;
+        let store = P2Kvs::open(LsmFactory::new(engine), "store-qaff", opts).unwrap();
+        let val = vec![7u8; 256];
+        for i in 0..2000u32 {
+            store
+                .put(format!("qaff-{i:05}").into_bytes().as_slice(), &val)
+                .unwrap();
+        }
+        // Every shard's WAL is pinned to its owning worker's queue, so
+        // with 4 workers over 4 queues the write traffic cannot collapse
+        // onto a single submission queue.
+        let snap = store.metrics_snapshot();
+        let written: Vec<u64> = (0..4)
+            .map(|q| {
+                snap.counter(&format!("p2kvs_device_q{q}_bytes_written_total"))
+                    .expect("per-queue counter exported")
+            })
+            .collect();
+        let active = written.iter().filter(|&&b| b > 0).count();
+        assert!(
+            active >= 2,
+            "queue affinity must spread writes over >1 submission queue: {written:?}"
+        );
+        // Reads come back intact regardless of placement.
+        for i in (0..2000u32).step_by(97) {
+            assert_eq!(
+                store
+                    .get(format!("qaff-{i:05}").into_bytes().as_slice())
+                    .unwrap()
+                    .as_deref(),
+                Some(val.as_slice()),
+                "key {i}"
+            );
+        }
     }
 }

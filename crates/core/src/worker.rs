@@ -117,6 +117,12 @@ pub struct WorkerConfig {
     pub scan_chunk_entries: usize,
     /// Hard cap on payload bytes per scan chunk (same clamping).
     pub scan_chunk_bytes: usize,
+    /// Device submission queue this worker's engine I/O should ride.
+    /// Installed as the thread's ambient queue at spawn (see
+    /// `p2kvs_storage::ioqueue`), so WAL appends and flushes issued
+    /// from the worker land on its queue without per-file plumbing.
+    /// `None` leaves placement to file-hash striping.
+    pub io_queue: Option<usize>,
 }
 
 /// Default per-chunk entry bound.
@@ -132,6 +138,7 @@ impl Default for WorkerConfig {
             pin: false,
             scan_chunk_entries: DEFAULT_SCAN_CHUNK_ENTRIES,
             scan_chunk_bytes: DEFAULT_SCAN_CHUNK_BYTES,
+            io_queue: None,
         }
     }
 }
@@ -247,6 +254,9 @@ impl WorkerHandle {
             .spawn(move || {
                 if config.pin {
                     p2kvs_util::affinity::pin_to_core(name_id);
+                }
+                if config.io_queue.is_some() {
+                    p2kvs_storage::set_thread_io_queue(config.io_queue);
                 }
                 let max = config.batch_max.max(1);
                 // All loop state is allocated once and reused: the

@@ -77,7 +77,16 @@ struct DbState {
     versions: VersionSet,
     bg_error: Option<String>,
     flush_active: bool,
-    compact_active: bool,
+    /// Levels claimed by in-flight compactions (one slot per level). A
+    /// task at level L claims L and L+1, so concurrent background threads
+    /// compact disjoint level pairs but never the same level twice.
+    compact_busy: Vec<bool>,
+}
+
+impl DbState {
+    fn any_compaction_active(&self) -> bool {
+        self.compact_busy.iter().any(|&b| b)
+    }
 }
 
 struct DbInner {
@@ -152,7 +161,7 @@ impl Db {
             versions,
             bg_error: None,
             flush_active: false,
-            compact_active: false,
+            compact_busy: vec![false; opts.num_levels],
         };
 
         // Replay WALs newer than the manifest's log number.
@@ -208,10 +217,14 @@ impl Db {
             }
         }
 
-        // Fresh WAL for new writes.
+        // Fresh WAL for new writes, pinned to the instance's home queue.
         let new_log = state.versions.allocate_file_number();
         let wal_path = file_path(&dir, new_log, FileKind::Wal);
-        let writer = LogWriter::new(env.new_writable(&wal_path)?);
+        let wal_file = match opts.io_queue {
+            Some(q) => env.new_writable_on(&wal_path, q)?,
+            None => env.new_writable(&wal_path)?,
+        };
+        let writer = LogWriter::new(wal_file);
         edit.log_number = Some(new_log);
         edit.last_sequence = Some(max_seq);
         state.versions.last_sequence.store(max_seq, Ordering::Relaxed);
@@ -572,7 +585,7 @@ impl Db {
             }
             let busy = !state.imms.is_empty()
                 || state.flush_active
-                || state.compact_active
+                || state.any_compaction_active()
                 || state.versions.pick_compaction().is_some();
             if !busy {
                 return Ok(());
@@ -980,7 +993,10 @@ impl DbInner {
     fn switch_memtable(&self, state: &mut DbState) -> Result<()> {
         let new_num = state.versions.allocate_file_number();
         let path = file_path(&self.dir, new_num, FileKind::Wal);
-        let file = self.opts.env.new_writable(&path)?;
+        let file = match self.opts.io_queue {
+            Some(q) => self.opts.env.new_writable_on(&path, q)?,
+            None => self.opts.env.new_writable(&path)?,
+        };
         let mut log = self.log.lock();
         if let Some(old) = log.writer.as_mut() {
             // Push buffered bytes out so the flushed memtable's WAL is
@@ -1070,6 +1086,9 @@ impl DbInner {
 
     /// Background worker: flushes and compactions.
     fn background_loop(inner: Arc<DbInner>) {
+        // Background IO (manifest writes, anything not explicitly pinned)
+        // rides the instance's home queue.
+        p2kvs_storage::set_thread_io_queue(inner.opts.io_queue);
         enum Work {
             Flush(u64, Arc<MemTable>),
             Compact(crate::version::CompactionTask, Arc<Version>),
@@ -1113,11 +1132,12 @@ impl DbInner {
                         let (num, mem) = state.imms[0].clone();
                         break Work::Flush(num, mem);
                     }
-                    if !state.compact_active {
-                        if let Some(task) = state.versions.pick_compaction() {
-                            state.compact_active = true;
-                            break Work::Compact(task, state.versions.current());
-                        }
+                    if let Some(task) =
+                        state.versions.pick_compaction_excluding(&state.compact_busy)
+                    {
+                        state.compact_busy[task.level] = true;
+                        state.compact_busy[task.output_level] = true;
+                        break Work::Compact(task, state.versions.current());
                     }
                     inner.bg_cv.wait(&mut state);
                 }
@@ -1230,7 +1250,8 @@ impl DbInner {
                         }
                         Err(e) => state.bg_error = Some(e.to_string()),
                     }
-                    state.compact_active = false;
+                    state.compact_busy[task.level] = false;
+                    state.compact_busy[task.output_level] = false;
                     drop(state);
                     inner.fire_event(finish);
                     inner.remove_obsolete_files();

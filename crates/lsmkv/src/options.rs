@@ -86,8 +86,20 @@ pub struct Options {
     pub compaction_style: CompactionStyle,
     /// Fragmented style: fragments per guard that trigger a guard merge.
     pub fragment_merge_threshold: usize,
-    /// Number of background compaction threads.
+    /// Number of background compaction threads. With more than one thread
+    /// the scheduler runs compactions at *different* levels concurrently
+    /// (L0→L1 prioritized); a single level is never compacted by two jobs
+    /// at once.
     pub compaction_threads: usize,
+    /// Maximum subcompactions per major compaction: the merged input range
+    /// is partitioned by user key and the partitions are written by
+    /// parallel threads. `1` keeps the single-threaded path.
+    pub subcompactions: usize,
+    /// Device submission queue this instance's WAL/flush traffic should
+    /// ride (see `p2kvs_storage::ioqueue`). Subcompaction outputs spread
+    /// across queues starting after this one. `None` uses the ambient
+    /// thread queue / file-hash placement.
+    pub io_queue: Option<usize>,
     /// Size of the read pool serving `multiget` (0 = sequential multiget).
     pub read_pool_threads: usize,
     /// Whether the engine exposes `multiget` (RocksDB yes, LevelDB no).
@@ -125,6 +137,8 @@ impl Options {
             compaction_style: CompactionStyle::Leveled,
             fragment_merge_threshold: 6,
             compaction_threads: 1,
+            subcompactions: 1,
+            io_queue: None,
             read_pool_threads: 4,
             has_multiget: true,
             bench_skip_memtable: false,

@@ -619,15 +619,34 @@ impl VersionSet {
 
     /// Picks the most urgent compaction, if any.
     pub fn pick_compaction(&self) -> Option<CompactionTask> {
+        self.pick_compaction_excluding(&[])
+    }
+
+    /// Picks the most urgent compaction whose source *and* output levels
+    /// are both free in `busy` (indices past `busy.len()` count as free).
+    /// L0→L1 takes absolute priority whenever it is eligible: L0 backlog
+    /// is what stalls writers, so it must never queue behind deeper-level
+    /// score maximization. Used by the multi-threaded scheduler to run
+    /// compactions at disjoint level pairs concurrently.
+    pub fn pick_compaction_excluding(&self, busy: &[bool]) -> Option<CompactionTask> {
         let scores = self.compaction_scores();
-        let (level, score) = scores
-            .iter()
-            .copied()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
-        if score < 1.0 {
-            return None;
-        }
+        let n_levels = self.current.levels.len();
+        let free = |level: usize| {
+            let out = (level + 1).min(n_levels - 1);
+            !busy.get(level).copied().unwrap_or(false)
+                && !busy.get(out).copied().unwrap_or(false)
+        };
+        let level = if scores[0] >= 1.0 && free(0) {
+            0
+        } else {
+            scores
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(l, s)| s >= 1.0 && free(l))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?
+                .0
+        };
         let v = &self.current;
         let output_level = (level + 1).min(v.levels.len() - 1);
         match self.opts.compaction_style {
@@ -850,6 +869,47 @@ mod tests {
         assert_eq!(task.inputs.len(), 1);
         assert_eq!(task.next_inputs.len(), 1);
         assert_eq!(task.next_inputs[0].number, 31);
+    }
+
+    #[test]
+    fn excluding_picker_prioritizes_l0_and_skips_busy_levels() {
+        let opts = test_opts();
+        let env = opts.env.clone();
+        let mut set = VersionSet::open(env, Path::new("excl"), &opts).unwrap();
+        let mut edit = VersionEdit::default();
+        // Full L0 *and* a massively oversize L2 (higher score than L0).
+        for i in 0..opts.l0_compaction_trigger as u64 {
+            edit.added.push((0, meta(20 + i, "a", "m")));
+        }
+        for i in 0..8u64 {
+            edit.added.push((2, meta(40 + i, "n", "z")));
+        }
+        set.log_and_apply(edit).unwrap();
+
+        // L0 wins despite the bigger L2 score: L0 backlog stalls writers.
+        let task = set.pick_compaction_excluding(&[]).expect("work available");
+        assert_eq!(task.level, 0);
+
+        // With L0→L1 claimed, the picker hands out the L2→L3 job — the two
+        // can run concurrently on disjoint level pairs.
+        let mut busy = vec![false; opts.num_levels];
+        busy[0] = true;
+        busy[1] = true;
+        let task = set.pick_compaction_excluding(&busy).expect("deeper work available");
+        assert_eq!(task.level, 2);
+        assert_eq!(task.output_level, 3);
+
+        // Claiming L2/L3 too leaves nothing runnable.
+        busy[2] = true;
+        busy[3] = true;
+        assert!(set.pick_compaction_excluding(&busy).is_none());
+
+        // A busy *output* level blocks its source level: L1 busy alone
+        // blocks L0→L1 but not L2→L3.
+        let mut busy = vec![false; opts.num_levels];
+        busy[1] = true;
+        let task = set.pick_compaction_excluding(&busy).expect("L2 still free");
+        assert_eq!(task.level, 2);
     }
 
     #[test]

@@ -248,7 +248,16 @@ impl Journal {
 
     /// Records one event, assigning the next sequence number. Returns
     /// the stamped record.
+    ///
+    /// The sequence number is assigned while the sink lock is held:
+    /// concurrent recorders (workers, flush/compaction threads, fault
+    /// hooks) would otherwise be able to reach the sink out of sequence
+    /// order, and a crash landing between the two appends would leave a
+    /// *hole* in the persisted journal — which recovery asserts never
+    /// happens. A torn tail may cost suffix records, never interior
+    /// ones.
     pub fn record(&self, kind: JournalKind, a: u64, b: u64, c: u64, gsn: u64) -> JournalRecord {
+        let sink = self.sink.lock().expect("journal sink lock");
         let rec = JournalRecord {
             seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
             ts_us: self.epoch.elapsed().as_micros() as u64,
@@ -265,7 +274,7 @@ impl Journal {
             }
             recent.push_back(rec);
         }
-        if let Some(sink) = self.sink.lock().expect("journal sink lock").as_ref() {
+        if let Some(sink) = sink.as_ref() {
             sink(&rec, kind.durable());
         }
         rec
@@ -427,6 +436,37 @@ mod tests {
         j.clear_sink();
         j.record(JournalKind::StoreClose, 0, 0, 0, 0);
         assert_eq!(total.load(Ordering::Relaxed), 3, "sink detached");
+    }
+
+    #[test]
+    fn sink_sees_records_in_sequence_order_under_concurrency() {
+        use std::sync::Arc;
+        let j = Arc::new(Journal::new(16, 0));
+        let seen = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let s = seen.clone();
+        j.set_sink(Box::new(move |rec, _| {
+            s.lock().unwrap().push(rec.seq);
+        }));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let j = j.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        j.record(JournalKind::ScanOpen, t, i, 0, 0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2000);
+        // The persisted order IS the sequence order — a reordering here
+        // would let a crash punch an interior hole in FLIGHT.log.
+        for (i, w) in seen.windows(2).enumerate() {
+            assert!(w[0] < w[1], "sink saw seq {} before {} (index {i})", w[0], w[1]);
+        }
     }
 
     #[test]

@@ -8,21 +8,32 @@
 //! * plus `bytes / bandwidth` transfer time,
 //! * plus a seek penalty on HDDs whenever the access is not sequential with
 //!   respect to the previous IO,
-//! * while the device services at most `channels` IOs worth of work
-//!   concurrently (internal parallelism: 1 for HDD, 2 for SATA, 8 for the
-//!   Optane NVMe),
+//! * while each **submission queue** services at most `queue_depth` IOs
+//!   worth of work concurrently (internal parallelism: 1 for HDD, 2 for
+//!   SATA, 8 for the Optane NVMe — split across `queues` queues),
 //! * and `sync` pays an additional durability-barrier latency.
+//!
+//! # Multi-queue contention
+//!
+//! The device exposes `queues` independent submission queues, each with its
+//! own virtual timeline. An IO contends only with IOs on *its* queue: a
+//! compaction writing on queue 3 never delays a WAL append on queue 0, even
+//! though both share the profile's aggregate service capacity
+//! (`queues × queue_depth` ≈ `channels`). This is the mechanism p2KVS
+//! exploits — placement decides contention, not a global device clock.
+//! Single-queue profiles (the default for every stock constructor) collapse
+//! to the old behavior exactly: one timeline, capacity = `channels`.
 //!
 //! # Waiting without spinning
 //!
 //! Service time is enforced with a **virtual device timeline** plus
-//! **debt-batched sleeping**: each IO reserves capacity on an atomic
-//! "device free at" clock (aggregate capacity = `channels`), and the
-//! caller's wait is accumulated in a thread-local debt that is slept off in
-//! OS-timer-sized chunks. This keeps average throughput faithful to the
-//! model while (a) never busy-spinning — essential on small CI machines
-//! where spinning starves every other thread — and (b) letting concurrent
-//! waits from different threads overlap in wall time.
+//! **debt-batched sleeping**: each IO reserves capacity on its queue's
+//! atomic "free at" clock, and the caller's wait is accumulated in a
+//! thread-local debt that is slept off in OS-timer-sized chunks. This keeps
+//! average throughput faithful to the model while (a) never busy-spinning —
+//! essential on small CI machines where spinning starves every other
+//! thread — and (b) letting concurrent waits from different threads overlap
+//! in wall time.
 //!
 //! Profiles are calibrated to the paper's testbed (§5.1): HDD ≈ 0.2 GB/s
 //! and ~8 ms seeks; SATA SSD ≈ 0.5 GB/s; Optane 905p ≈ 2.2 GB/s write /
@@ -33,6 +44,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+
+use crate::ioqueue::{QueueId, MAX_QUEUES};
 
 /// Static description of a device's performance characteristics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,10 +64,16 @@ pub struct DeviceProfile {
     pub sync_latency: Duration,
     /// Seek penalty charged on non-sequential access (0 for SSDs).
     pub seek_latency: Duration,
-    /// Number of IOs the device services concurrently.
+    /// Number of IOs the device services concurrently (aggregate internal
+    /// parallelism, split across submission queues).
     pub channels: usize,
     /// Buffered bytes after which an appending file issues a writeback IO.
     pub writeback_threshold: usize,
+    /// Number of independent submission queues (1..=[`MAX_QUEUES`]).
+    pub queues: usize,
+    /// IOs one queue services concurrently. Aggregate capacity is
+    /// `queues × queue_depth`; stock profiles keep it equal to `channels`.
+    pub queue_depth: usize,
 }
 
 impl DeviceProfile {
@@ -70,6 +89,8 @@ impl DeviceProfile {
             seek_latency: Duration::from_millis(8),
             channels: 1,
             writeback_threshold: 512 * 1024,
+            queues: 1,
+            queue_depth: 1,
         }
     }
 
@@ -85,6 +106,8 @@ impl DeviceProfile {
             seek_latency: Duration::ZERO,
             channels: 2,
             writeback_threshold: 256 * 1024,
+            queues: 1,
+            queue_depth: 2,
         }
     }
 
@@ -100,6 +123,8 @@ impl DeviceProfile {
             seek_latency: Duration::ZERO,
             channels: 8,
             writeback_threshold: 64 * 1024,
+            queues: 1,
+            queue_depth: 8,
         }
     }
 
@@ -115,6 +140,32 @@ impl DeviceProfile {
             seek_latency: Duration::ZERO,
             channels: usize::MAX,
             writeback_threshold: 64 * 1024,
+            queues: 1,
+            queue_depth: usize::MAX,
+        }
+    }
+
+    /// Splits the profile's aggregate parallelism across `n` submission
+    /// queues. Per-queue depth is `channels / n` (min 1), so total service
+    /// capacity stays ≈ `channels` — the win from more queues is isolation
+    /// (per-queue timelines), not free bandwidth.
+    pub fn with_queues(mut self, n: usize) -> Self {
+        let n = n.clamp(1, MAX_QUEUES);
+        self.queues = n;
+        self.queue_depth = if self.channels == usize::MAX {
+            usize::MAX
+        } else {
+            (self.channels / n).max(1)
+        };
+        self
+    }
+
+    /// Aggregate service capacity: `queues × queue_depth` IOs at once.
+    pub fn aggregate_depth(&self) -> usize {
+        if self.queue_depth == usize::MAX {
+            usize::MAX
+        } else {
+            self.queues.clamp(1, MAX_QUEUES) * self.queue_depth.max(1)
         }
     }
 
@@ -146,12 +197,45 @@ const DEBT_SLEEP_NS: i64 = 200_000;
 /// Credit is capped so one long oversleep cannot hide a burst of IO.
 const DEBT_CREDIT_CAP_NS: i64 = -2_000_000;
 
+/// Per-queue timing state: an independent virtual timeline plus in-flight
+/// accounting for introspection.
+struct QueueState {
+    /// Virtual "queue free at" clock, ns since the model's epoch.
+    free_at: AtomicU64,
+    /// Total IOs ever submitted to this queue.
+    submitted: AtomicU64,
+    /// Total service time charged on this queue, ns (unscaled model time).
+    busy_ns: AtomicU64,
+}
+
+impl QueueState {
+    fn new() -> Self {
+        QueueState {
+            free_at: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time view of one submission queue, for metrics and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueDepthSnapshot {
+    /// Total IOs ever submitted to the queue.
+    pub submitted: u64,
+    /// Total model service time charged on the queue, nanoseconds.
+    pub busy_ns: u64,
+    /// Virtual backlog: how long a new IO submitted now would wait before
+    /// the queue starts servicing it, nanoseconds. 0 when idle.
+    pub backlog_ns: u64,
+}
+
 /// The runtime timing engine for one simulated device.
 pub struct DeviceModel {
     profile: DeviceProfile,
     scale: f64,
-    /// Virtual "device free at" clock, ns since `epoch`.
-    free_at: AtomicU64,
+    /// One independent timeline per submission queue.
+    queues: Vec<QueueState>,
     epoch: Instant,
     head: Mutex<HeadPos>,
 }
@@ -166,10 +250,11 @@ impl DeviceModel {
             .and_then(|s| s.parse::<f64>().ok())
             .unwrap_or(1.0)
             .clamp(0.0, 100.0);
+        let n = profile.queues.clamp(1, MAX_QUEUES);
         DeviceModel {
             profile,
             scale,
-            free_at: AtomicU64::new(0),
+            queues: (0..n).map(|_| QueueState::new()).collect(),
             epoch: Instant::now(),
             head: Mutex::new(HeadPos::default()),
         }
@@ -180,6 +265,22 @@ impl DeviceModel {
         &self.profile
     }
 
+    /// Number of submission queues this device models.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// In-flight/backlog accounting for queue `q` (clamped into range).
+    pub fn queue_snapshot(&self, q: QueueId) -> QueueDepthSnapshot {
+        let qs = &self.queues[q % self.queues.len()];
+        let now_ns = self.epoch.elapsed().as_nanos() as u64;
+        QueueDepthSnapshot {
+            submitted: qs.submitted.load(Ordering::Relaxed),
+            busy_ns: qs.busy_ns.load(Ordering::Relaxed),
+            backlog_ns: qs.free_at.load(Ordering::Relaxed).saturating_sub(now_ns),
+        }
+    }
+
     fn scaled(&self, d: Duration) -> Duration {
         if self.scale == 1.0 {
             d
@@ -188,25 +289,30 @@ impl DeviceModel {
         }
     }
 
-    /// Reserves `service` worth of device work and charges the caller the
-    /// resulting wait. Returns the model service time (for busy
-    /// accounting).
-    fn occupy(&self, service: Duration) -> Duration {
+    /// Reserves `service` worth of work on queue `queue` and charges the
+    /// caller the resulting wait. Contention is per-queue: only IOs on the
+    /// same queue push this one's start time out. Returns the model service
+    /// time (for busy accounting).
+    fn occupy(&self, queue: QueueId, service: Duration) -> Duration {
+        let qs = &self.queues[queue % self.queues.len()];
+        qs.submitted.fetch_add(1, Ordering::Relaxed);
         let svc = self.scaled(service);
         if svc.is_zero() {
             return service;
         }
-        // Capacity consumed on the aggregate timeline: the device works on
-        // up to `channels` IOs at once.
-        let channels = self.profile.channels.min(64).max(1) as u32;
-        let occupancy_ns = (svc.as_nanos() as u64 / u64::from(channels)).max(1);
+        qs.busy_ns
+            .fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
+        // Capacity consumed on this queue's timeline: the queue works on up
+        // to `queue_depth` IOs at once.
+        let depth = self.profile.queue_depth.min(64).max(1) as u32;
+        let occupancy_ns = (svc.as_nanos() as u64 / u64::from(depth)).max(1);
         let now_ns = self.epoch.elapsed().as_nanos() as u64;
         // start = max(now, free_at); free_at' = start + occupancy.
         let mut start;
-        let mut cur = self.free_at.load(Ordering::Relaxed);
+        let mut cur = qs.free_at.load(Ordering::Relaxed);
         loop {
             start = cur.max(now_ns);
-            match self.free_at.compare_exchange_weak(
+            match qs.free_at.compare_exchange_weak(
                 cur,
                 start + occupancy_ns,
                 Ordering::Relaxed,
@@ -246,7 +352,8 @@ impl DeviceModel {
     }
 
     /// Seek penalty for accessing (`file`, `offset`), updating the head to
-    /// the end of the access.
+    /// the end of the access. The head is physical and device-global — a
+    /// seeking device (HDD) has one arm no matter how many queues feed it.
     fn seek_cost(&self, file: u64, offset: u64, len: u64) -> Duration {
         if self.profile.seek_latency.is_zero() {
             return Duration::ZERO;
@@ -264,25 +371,27 @@ impl DeviceModel {
         }
     }
 
-    /// Charges a write of `bytes` at (`file`, `offset`); returns model time.
-    pub fn write(&self, file: u64, offset: u64, bytes: u64) -> Duration {
+    /// Charges a write of `bytes` at (`file`, `offset`) on `queue`; returns
+    /// model time.
+    pub fn write(&self, file: u64, offset: u64, bytes: u64, queue: QueueId) -> Duration {
         let svc = self.profile.write_latency
             + DeviceProfile::transfer(bytes, self.profile.write_bw)
             + self.seek_cost(file, offset, bytes);
-        self.occupy(svc)
+        self.occupy(queue, svc)
     }
 
-    /// Charges a read of `bytes` at (`file`, `offset`); returns model time.
-    pub fn read(&self, file: u64, offset: u64, bytes: u64) -> Duration {
+    /// Charges a read of `bytes` at (`file`, `offset`) on `queue`; returns
+    /// model time.
+    pub fn read(&self, file: u64, offset: u64, bytes: u64, queue: QueueId) -> Duration {
         let svc = self.profile.read_latency
             + DeviceProfile::transfer(bytes, self.profile.read_bw)
             + self.seek_cost(file, offset, bytes);
-        self.occupy(svc)
+        self.occupy(queue, svc)
     }
 
-    /// Charges a durability barrier; returns model time.
-    pub fn sync(&self) -> Duration {
-        self.occupy(self.profile.sync_latency)
+    /// Charges a durability barrier on `queue`; returns model time.
+    pub fn sync(&self, queue: QueueId) -> Duration {
+        self.occupy(queue, self.profile.sync_latency)
     }
 }
 
@@ -322,7 +431,7 @@ mod tests {
         let m = no_scale(DeviceProfile::instant());
         let start = Instant::now();
         for i in 0..10_000 {
-            m.write(1, i * 100, 100);
+            m.write(1, i * 100, 100, 0);
         }
         assert!(start.elapsed() < Duration::from_millis(100));
     }
@@ -333,13 +442,13 @@ mod tests {
             let m = no_scale(DeviceProfile::hdd());
             let t0 = Instant::now();
             for i in 0..4 {
-                m.write(7, i * 128, 128);
+                m.write(7, i * 128, 128, 0);
             }
             DeviceModel::charge_wait(DEBT_SLEEP_NS); // settle
             let seq = t0.elapsed();
             let t0 = Instant::now();
             for i in 0..4u64 {
-                m.write(i % 2, i * 99_991, 128);
+                m.write(i % 2, i * 99_991, 128, 0);
             }
             DeviceModel::charge_wait(DEBT_SLEEP_NS);
             (seq, t0.elapsed())
@@ -354,7 +463,7 @@ mod tests {
             let m = no_scale(DeviceProfile::nvme_optane());
             let t0 = Instant::now();
             for i in 0..100u64 {
-                m.read(3, i * 4096, 4096);
+                m.read(3, i * 4096, 4096, 0);
             }
             DeviceModel::charge_wait(DEBT_SLEEP_NS);
             t0.elapsed()
@@ -377,7 +486,7 @@ mod tests {
             .map(|i| {
                 let m = m.clone();
                 std::thread::spawn(move || {
-                    m.write(i, 0, 64);
+                    m.write(i, 0, 64, 0);
                     DeviceModel::charge_wait(DEBT_SLEEP_NS);
                 })
             })
@@ -399,7 +508,7 @@ mod tests {
             .map(|i| {
                 let m = m.clone();
                 std::thread::spawn(move || {
-                    m.write(i, 0, 64);
+                    m.write(i, 0, 64, 0);
                     DeviceModel::charge_wait(DEBT_SLEEP_NS);
                 })
             })
@@ -412,6 +521,78 @@ mod tests {
     }
 
     #[test]
+    fn queues_have_independent_timelines() {
+        // Depth-1 queues: 4 IOs of 5ms each on ONE queue serialize (≈20ms);
+        // the same 4 IOs spread across 4 queues overlap (≈5ms). Aggregate
+        // capacity is identical — isolation is what changes.
+        let mut profile = DeviceProfile::nvme_optane();
+        profile.write_latency = Duration::from_millis(5);
+        profile.write_bw = u64::MAX;
+        profile.channels = 4;
+        let run = |spread: bool| {
+            let m = std::sync::Arc::new(no_scale(profile.with_queues(4)));
+            assert_eq!(m.queue_count(), 4);
+            assert_eq!(m.profile().queue_depth, 1);
+            let start = Instant::now();
+            let hs: Vec<_> = (0..4usize)
+                .map(|i| {
+                    let m = m.clone();
+                    std::thread::spawn(move || {
+                        m.write(i as u64, 0, 64, if spread { i } else { 0 });
+                        DeviceModel::charge_wait(DEBT_SLEEP_NS);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            start.elapsed()
+        };
+        let same_queue = run(false);
+        let spread = run(true);
+        assert!(same_queue >= Duration::from_millis(15), "{same_queue:?}");
+        assert!(spread < Duration::from_millis(15), "{spread:?}");
+    }
+
+    #[test]
+    fn queue_accounting_tracks_submissions_and_backlog() {
+        let mut profile = DeviceProfile::sata_ssd();
+        profile.write_latency = Duration::from_millis(2);
+        profile.write_bw = u64::MAX;
+        let m = no_scale(profile.with_queues(2));
+        m.write(1, 0, 64, 0);
+        m.write(1, 64, 64, 0);
+        m.write(2, 0, 64, 1);
+        let q0 = m.queue_snapshot(0);
+        let q1 = m.queue_snapshot(1);
+        assert_eq!(q0.submitted, 2);
+        assert_eq!(q1.submitted, 1);
+        assert!(q0.busy_ns >= 4_000_000, "{q0:?}");
+        assert!(q1.busy_ns >= 2_000_000, "{q1:?}");
+        // The issuing thread sleeps off each IO's wait before returning,
+        // so its own backlog is already drained; it can never exceed the
+        // service time charged on the queue.
+        assert!(q0.backlog_ns <= q0.busy_ns, "{q0:?}");
+        // Settle the debt this thread accumulated.
+        DeviceModel::charge_wait(DEBT_SLEEP_NS);
+    }
+
+    #[test]
+    fn with_queues_preserves_aggregate_capacity() {
+        let p = DeviceProfile::nvme_optane().with_queues(4);
+        assert_eq!(p.queues, 4);
+        assert_eq!(p.queue_depth, 2);
+        assert_eq!(p.aggregate_depth(), 8);
+        // Clamped to MAX_QUEUES, never zero depth.
+        let p = DeviceProfile::hdd().with_queues(99);
+        assert_eq!(p.queues, MAX_QUEUES);
+        assert_eq!(p.queue_depth, 1);
+        let p = DeviceProfile::instant().with_queues(4);
+        assert_eq!(p.queue_depth, usize::MAX);
+        assert_eq!(p.aggregate_depth(), usize::MAX);
+    }
+
+    #[test]
     fn bandwidth_caps_throughput() {
         // 100 MiB at 1 GiB/s aggregate must take ≥ ~90ms of wall time.
         let wall = on_fresh_thread(|| {
@@ -419,10 +600,11 @@ mod tests {
             profile.write_bw = 1024 * 1024 * 1024;
             profile.write_latency = Duration::ZERO;
             profile.channels = 1;
+            profile.queue_depth = 1;
             let m = no_scale(profile);
             let t0 = Instant::now();
             for i in 0..100u64 {
-                m.write(1, i << 20, 1 << 20);
+                m.write(1, i << 20, 1 << 20, 0);
             }
             DeviceModel::charge_wait(DEBT_SLEEP_NS);
             t0.elapsed()
@@ -438,10 +620,11 @@ mod tests {
             profile.write_latency = Duration::from_micros(5);
             profile.write_bw = u64::MAX;
             profile.channels = 1;
+            profile.queue_depth = 1;
             let m = no_scale(profile);
             let t0 = Instant::now();
             for i in 0..1000u64 {
-                m.write(1, i * 64, 64);
+                m.write(1, i * 64, 64, 0);
             }
             DeviceModel::charge_wait(DEBT_SLEEP_NS);
             t0.elapsed()

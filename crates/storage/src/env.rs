@@ -10,6 +10,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::fault::FaultEvent;
+use crate::ioqueue::QueueId;
 use crate::stats::IoStatsSnapshot;
 
 /// Observer invoked by fault-injecting environments whenever a planned
@@ -88,6 +89,23 @@ pub trait Env: Send + Sync {
     /// Opens an existing writable file for append, creating it if absent.
     fn new_appendable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>>;
 
+    /// Creates (truncating) a writable file whose IOs are pinned to device
+    /// submission queue `queue` — the placement API. The pin outranks the
+    /// calling thread's ambient queue for every operation on the returned
+    /// handle. Environments without a device model ignore the hint; the
+    /// default delegates to [`Env::new_writable`].
+    fn new_writable_on(&self, path: &Path, queue: QueueId) -> io::Result<Box<dyn WritableFile>> {
+        let _ = queue;
+        self.new_writable(path)
+    }
+
+    /// Opens a file for append with its IOs pinned to submission queue
+    /// `queue`; see [`Env::new_writable_on`].
+    fn new_appendable_on(&self, path: &Path, queue: QueueId) -> io::Result<Box<dyn WritableFile>> {
+        let _ = queue;
+        self.new_appendable(path)
+    }
+
     /// Opens `path` for positional reads.
     fn new_random_access(&self, path: &Path) -> io::Result<Box<dyn RandomAccessFile>>;
 
@@ -132,6 +150,13 @@ pub trait Env: Send + Sync {
     /// ([`crate::SimEnv`]); `None` for unmodeled environments.
     fn device_utilization(&self) -> Option<f64> {
         None
+    }
+
+    /// Number of device submission queues this environment models. Unhinted
+    /// IO from a thread with no ambient queue spreads across `0..queue_count`
+    /// by file id; environments without a device model report 1.
+    fn queue_count(&self) -> usize {
+        1
     }
 }
 

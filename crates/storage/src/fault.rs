@@ -17,6 +17,23 @@
 //! durable state between syncs N-1 and N, so the set of crash points
 //! covers every distinct durable state the workload can leave behind.
 //!
+//! # Queue-targeted faults and concurrency
+//!
+//! Operations are *additionally* numbered per device submission queue
+//! (the queue resolved exactly as the timing layer resolves it: explicit
+//! file pin, then the thread's ambient queue, then queue 0). Plans can
+//! target "the Nth sync **on queue q**" ([`FaultPlan::fail_sync_on_queue`],
+//! [`FaultPlan::crash_at_queue_sync`]) or "the Nth append on queue q"
+//! ([`FaultPlan::fail_append_on_queue`]).
+//!
+//! This is what keeps fault injection deterministic once compaction runs
+//! multi-threaded: global *counts* remain exact under concurrency (every
+//! op increments the counter exactly once, so dry-run totals are
+//! scheduling-independent), but *which* op draws global number N depends
+//! on thread interleaving. Per-queue numbering restores a deterministic
+//! handle — each worker/subcompaction owns one queue, and the sequence of
+//! ops on that queue is the deterministic program order of its owner.
+//!
 //! After a crash the env is frozen: every subsequent operation on any
 //! handle fails with a "simulated power failure" error, which is how the
 //! still-running upper layers (workers, background flush threads) observe
@@ -30,6 +47,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::env::{Env, FaultHook, RandomAccessFile, RandomRwFile, SequentialFile, WritableFile};
+use crate::ioqueue::{resolve_queue, QueueId, MAX_QUEUES};
 use crate::mem::{MemEnv, MemFs};
 use crate::stats::IoStatsSnapshot;
 
@@ -53,7 +71,16 @@ pub struct FaultPlan {
     pub crash_at_sync: Option<u64>,
     /// At the crash, let up to this many unsynced bytes of the file whose
     /// sync triggered it survive — a torn write within the sync interval.
+    /// Shared by global and queue-targeted crashes.
     pub torn_tail: usize,
+    /// Fail the Nth append *on queue q* (1-based per-queue counter).
+    pub fail_append_on_queue: Option<(QueueId, u64)>,
+    /// Fail the Nth sync *on queue q* without crashing.
+    pub fail_sync_on_queue: Option<(QueueId, u64)>,
+    /// Crash when the Nth sync *on queue q* is requested — the
+    /// deterministic trigger for concurrent compaction threads, each of
+    /// which owns one queue.
+    pub crash_at_queue_sync: Option<(QueueId, u64)>,
 }
 
 /// A fault that actually fired (for harness assertions).
@@ -68,6 +95,12 @@ pub enum FaultEvent {
     /// The env crashed at sync point `n`, which targeted `path`;
     /// `torn` unsynced bytes of `path` survived.
     Crash { n: u64, path: PathBuf, torn: usize },
+    /// Append number `n` *on queue `q`* failed.
+    FailedQueueAppend { q: QueueId, n: u64, path: PathBuf },
+    /// Sync number `n` *on queue `q`* failed (no crash).
+    FailedQueueSync { q: QueueId, n: u64, path: PathBuf },
+    /// The env crashed at sync number `n` on queue `q`.
+    QueueCrash { q: QueueId, n: u64, path: PathBuf, torn: usize },
 }
 
 /// Shared mutable fault state. One per [`FaultyEnv`], shared with every
@@ -77,6 +110,9 @@ struct FaultState {
     appends: AtomicU64,
     syncs: AtomicU64,
     reads: AtomicU64,
+    /// Per-queue op numbering, alongside (not replacing) the globals.
+    q_appends: [AtomicU64; MAX_QUEUES],
+    q_syncs: [AtomicU64; MAX_QUEUES],
     crashed: AtomicBool,
     events: Mutex<Vec<FaultEvent>>,
     hook: Mutex<Option<FaultHook>>,
@@ -89,6 +125,8 @@ impl FaultState {
             appends: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             reads: AtomicU64::new(0),
+            q_appends: std::array::from_fn(|_| AtomicU64::new(0)),
+            q_syncs: std::array::from_fn(|_| AtomicU64::new(0)),
             crashed: AtomicBool::new(false),
             events: Mutex::new(Vec::new()),
             hook: Mutex::new(None),
@@ -126,15 +164,22 @@ impl FaultState {
         }
     }
 
-    fn on_append(&self, path: &Path) -> io::Result<()> {
+    fn on_append(&self, path: &Path, queue: QueueId) -> io::Result<()> {
         self.check_live()?;
         let n = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        let qn = self.q_appends[queue % MAX_QUEUES].fetch_add(1, Ordering::Relaxed) + 1;
         let mut plan = self.plan.lock();
         if plan.fail_append == Some(n) {
             plan.fail_append = None;
             drop(plan);
             self.fire(FaultEvent::FailedAppend { n, path: path.to_path_buf() });
             return Err(self.injected_err("append", n, path));
+        }
+        if plan.fail_append_on_queue == Some((queue, qn)) {
+            plan.fail_append_on_queue = None;
+            drop(plan);
+            self.fire(FaultEvent::FailedQueueAppend { q: queue, n: qn, path: path.to_path_buf() });
+            return Err(self.injected_err("queue-append", qn, path));
         }
         Ok(())
     }
@@ -155,9 +200,10 @@ impl FaultState {
     /// Numbers the sync request and decides its fate. Returns the action
     /// the caller must take; the crash truncation itself needs the fs, so
     /// it is done by the caller.
-    fn on_sync(&self, path: &Path, fs: &MemFs) -> io::Result<()> {
+    fn on_sync(&self, path: &Path, fs: &MemFs, queue: QueueId) -> io::Result<()> {
         self.check_live()?;
         let n = self.syncs.fetch_add(1, Ordering::Relaxed) + 1;
+        let qn = self.q_syncs[queue % MAX_QUEUES].fetch_add(1, Ordering::Relaxed) + 1;
         let mut plan = self.plan.lock();
         if plan.crash_at_sync == Some(n) {
             plan.crash_at_sync = None;
@@ -171,11 +217,27 @@ impl FaultState {
             self.fire(FaultEvent::Crash { n, path: path.to_path_buf(), torn });
             return Err(self.crashed_err());
         }
+        if plan.crash_at_queue_sync == Some((queue, qn)) {
+            plan.crash_at_queue_sync = None;
+            let torn_budget = plan.torn_tail;
+            drop(plan);
+            self.crashed.store(true, Ordering::Release);
+            let torn = if torn_budget > 0 { fs.tear(path, torn_budget) } else { 0 };
+            fs.power_failure();
+            self.fire(FaultEvent::QueueCrash { q: queue, n: qn, path: path.to_path_buf(), torn });
+            return Err(self.crashed_err());
+        }
         if plan.fail_sync == Some(n) {
             plan.fail_sync = None;
             drop(plan);
             self.fire(FaultEvent::FailedSync { n, path: path.to_path_buf() });
             return Err(self.injected_err("sync", n, path));
+        }
+        if plan.fail_sync_on_queue == Some((queue, qn)) {
+            plan.fail_sync_on_queue = None;
+            drop(plan);
+            self.fire(FaultEvent::FailedQueueSync { q: queue, n: qn, path: path.to_path_buf() });
+            return Err(self.injected_err("queue-sync", qn, path));
         }
         Ok(())
     }
@@ -219,9 +281,20 @@ impl FaultyEnv {
         self.state.syncs.load(Ordering::Relaxed)
     }
 
+    /// Sync requests observed on queue `q` so far — the per-queue crash
+    /// enumeration space for [`FaultPlan::crash_at_queue_sync`].
+    pub fn sync_points_on(&self, q: QueueId) -> u64 {
+        self.state.q_syncs[q % MAX_QUEUES].load(Ordering::Relaxed)
+    }
+
     /// Total appends observed so far.
     pub fn appends(&self) -> u64 {
         self.state.appends.load(Ordering::Relaxed)
+    }
+
+    /// Appends observed on queue `q` so far.
+    pub fn appends_on(&self, q: QueueId) -> u64 {
+        self.state.q_appends[q % MAX_QUEUES].load(Ordering::Relaxed)
     }
 
     /// Total reads observed so far.
@@ -255,11 +328,25 @@ struct FaultyWritable {
     state: Arc<FaultState>,
     fs: Arc<MemFs>,
     path: PathBuf,
+    /// Explicit placement pin this handle was opened with, if any.
+    queue_pin: Option<QueueId>,
+    /// Inner env's queue count, for per-op queue resolution.
+    queues: usize,
+}
+
+impl FaultyWritable {
+    /// The queue this op counts against: the same pin-then-ambient
+    /// resolution the timing layer uses. Unhinted ambient-free IO counts
+    /// on queue 0 (the fault layer cannot see device file ids, and a
+    /// fixed fallback keeps numbering deterministic).
+    fn queue(&self) -> QueueId {
+        resolve_queue(self.queue_pin, 0, self.queues)
+    }
 }
 
 impl WritableFile for FaultyWritable {
     fn append(&mut self, data: &[u8]) -> io::Result<()> {
-        self.state.on_append(&self.path)?;
+        self.state.on_append(&self.path, self.queue())?;
         self.inner.append(data)
     }
 
@@ -269,7 +356,7 @@ impl WritableFile for FaultyWritable {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        self.state.on_sync(&self.path, &self.fs)?;
+        self.state.on_sync(&self.path, &self.fs, self.queue())?;
         self.inner.sync()
     }
 
@@ -312,6 +399,7 @@ struct FaultyRandomRw {
     inner: Box<dyn RandomRwFile>,
     state: Arc<FaultState>,
     path: PathBuf,
+    queues: usize,
 }
 
 impl RandomRwFile for FaultyRandomRw {
@@ -323,7 +411,8 @@ impl RandomRwFile for FaultyRandomRw {
     fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
         // In-place slot writes are durable on return (slot-commit model),
         // so they count as appends for failure purposes.
-        self.state.on_append(&self.path)?;
+        self.state
+            .on_append(&self.path, resolve_queue(None, 0, self.queues))?;
         self.inner.write_at(offset, data)
     }
 
@@ -340,6 +429,8 @@ impl Env for FaultyEnv {
             state: self.state.clone(),
             fs: self.fs.clone(),
             path: path.to_path_buf(),
+            queue_pin: None,
+            queues: self.inner.queue_count(),
         }))
     }
 
@@ -350,6 +441,32 @@ impl Env for FaultyEnv {
             state: self.state.clone(),
             fs: self.fs.clone(),
             path: path.to_path_buf(),
+            queue_pin: None,
+            queues: self.inner.queue_count(),
+        }))
+    }
+
+    fn new_writable_on(&self, path: &Path, queue: QueueId) -> io::Result<Box<dyn WritableFile>> {
+        self.state.check_live()?;
+        Ok(Box::new(FaultyWritable {
+            inner: self.inner.new_writable_on(path, queue)?,
+            state: self.state.clone(),
+            fs: self.fs.clone(),
+            path: path.to_path_buf(),
+            queue_pin: Some(queue),
+            queues: self.inner.queue_count(),
+        }))
+    }
+
+    fn new_appendable_on(&self, path: &Path, queue: QueueId) -> io::Result<Box<dyn WritableFile>> {
+        self.state.check_live()?;
+        Ok(Box::new(FaultyWritable {
+            inner: self.inner.new_appendable_on(path, queue)?,
+            state: self.state.clone(),
+            fs: self.fs.clone(),
+            path: path.to_path_buf(),
+            queue_pin: Some(queue),
+            queues: self.inner.queue_count(),
         }))
     }
 
@@ -377,6 +494,7 @@ impl Env for FaultyEnv {
             inner: self.inner.new_random_rw(path)?,
             state: self.state.clone(),
             path: path.to_path_buf(),
+            queues: self.inner.queue_count(),
         }))
     }
 
@@ -420,6 +538,10 @@ impl Env for FaultyEnv {
 
     fn install_fault_hook(&self, hook: FaultHook) {
         *self.state.hook.lock() = Some(hook);
+    }
+
+    fn queue_count(&self) -> usize {
+        self.inner.queue_count()
     }
 }
 
@@ -547,6 +669,9 @@ mod tests {
                     FaultEvent::FailedSync { .. } => "sync",
                     FaultEvent::FailedRead { .. } => "read",
                     FaultEvent::Crash { .. } => "crash",
+                    FaultEvent::FailedQueueAppend { .. } => "q-append",
+                    FaultEvent::FailedQueueSync { .. } => "q-sync",
+                    FaultEvent::QueueCrash { .. } => "q-crash",
                 };
                 // Re-entry through the same env's counters.
                 if let Ok(mut f) = hook_env.new_appendable(Path::new("hook.log")) {
@@ -566,6 +691,126 @@ mod tests {
         assert!(w.sync().is_err()); // sync #1 -> crash (env frozen)
         assert_eq!(seen.lock().clone(), vec!["append", "crash"]);
         assert_eq!(env.events().len(), 2, "hook saw exactly the recorded events");
+    }
+
+    /// A faulty env over a multi-queue simulated device, so queue
+    /// resolution actually has queues to resolve to.
+    fn over_queues(n: usize) -> FaultyEnv {
+        let profile = crate::DeviceProfile::instant().with_queues(n);
+        let device = Arc::new(crate::DeviceModel::from_profile(profile));
+        let fs = Arc::new(MemFs::new());
+        let inner = Arc::new(MemEnv::with_parts(fs.clone(), Some(device)));
+        FaultyEnv::new(inner, fs)
+    }
+
+    #[test]
+    fn queue_targeted_sync_fault_ignores_other_queues() {
+        let env = over_queues(4);
+        env.set_plan(FaultPlan {
+            fail_sync_on_queue: Some((2, 2)),
+            ..Default::default()
+        });
+        // Queue 1 traffic never trips a queue-2 trigger, no matter how
+        // many syncs it issues.
+        let mut other = env.new_writable_on(Path::new("other"), 1).unwrap();
+        for _ in 0..5 {
+            other.append(b"x").unwrap();
+            other.sync().unwrap();
+        }
+        // Queue 2: first sync fine, second injected, third (retry) fine.
+        let mut target = env.new_writable_on(Path::new("target"), 2).unwrap();
+        target.append(b"a").unwrap();
+        target.sync().unwrap();
+        target.append(b"b").unwrap();
+        let err = target.sync().unwrap_err();
+        assert!(err.to_string().contains("queue-sync #2"), "{err}");
+        target.sync().unwrap();
+        assert_eq!(env.sync_points_on(1), 5);
+        assert_eq!(env.sync_points_on(2), 3);
+        assert_eq!(env.sync_points(), 8, "global numbering still counts every op");
+        assert_eq!(
+            env.events(),
+            vec![FaultEvent::FailedQueueSync { q: 2, n: 2, path: PathBuf::from("target") }]
+        );
+    }
+
+    #[test]
+    fn queue_targeted_append_uses_ambient_queue() {
+        let env = over_queues(4);
+        env.set_plan(FaultPlan {
+            fail_append_on_queue: Some((3, 2)),
+            ..Default::default()
+        });
+        let _g = crate::ioqueue::QueueScope::enter(3);
+        let mut w = env.new_writable(Path::new("f")).unwrap();
+        w.append(b"1").unwrap();
+        let err = w.append(b"2").unwrap_err();
+        assert!(err.to_string().contains("queue-append #2"), "{err}");
+        w.append(b"2-retry").unwrap();
+        assert_eq!(env.appends_on(3), 3);
+        assert_eq!(env.appends(), 3);
+    }
+
+    #[test]
+    fn queue_crash_freezes_whole_env() {
+        let env = over_queues(2);
+        write_all(&env, Path::new("durable"), b"keep").unwrap();
+        env.set_plan(FaultPlan {
+            crash_at_queue_sync: Some((1, 1)),
+            ..Default::default()
+        });
+        // Queue-0 traffic sails past the queue-1 trigger.
+        write_all(&env, Path::new("also-durable"), b"keep").unwrap();
+        let mut w = env.new_writable_on(Path::new("doomed"), 1).unwrap();
+        w.append(b"never synced").unwrap();
+        let err = w.sync().unwrap_err();
+        assert!(err.to_string().contains("simulated power failure"), "{err}");
+        assert!(env.crashed(), "a queue crash downs the whole device");
+        env.heal();
+        assert!(env.exists(Path::new("durable")));
+        assert!(env.exists(Path::new("also-durable")));
+        assert!(!env.exists(Path::new("doomed")));
+        match &env.events()[..] {
+            [FaultEvent::QueueCrash { q: 1, n: 1, path, torn: 0 }] => {
+                assert_eq!(path, Path::new("doomed"));
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_queue_numbering_is_deterministic_under_concurrency() {
+        // Two threads, each owning one queue via its ambient pin — the
+        // global interleaving is nondeterministic, but each queue's count
+        // reflects exactly its owner's program order.
+        for _ in 0..3 {
+            let env = Arc::new(over_queues(2));
+            let hs: Vec<_> = (0..2usize)
+                .map(|q| {
+                    let env = env.clone();
+                    std::thread::spawn(move || {
+                        let _g = crate::ioqueue::QueueScope::enter(q);
+                        let mut w = env
+                            .new_writable(Path::new(&format!("t{q}")))
+                            .unwrap();
+                        for i in 0..(q + 1) * 3 {
+                            w.append(&[i as u8]).unwrap();
+                            w.sync().unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(env.sync_points_on(0), 3);
+            assert_eq!(env.sync_points_on(1), 6);
+            assert_eq!(env.appends_on(0), 3);
+            assert_eq!(env.appends_on(1), 6);
+            // Global counts are exact (scheduling-independent totals).
+            assert_eq!(env.sync_points(), 9);
+            assert_eq!(env.appends(), 9);
+        }
     }
 
     #[test]

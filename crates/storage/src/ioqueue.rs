@@ -1,0 +1,131 @@
+//! Submission-queue identities and thread-affine queue selection.
+//!
+//! The multi-queue device model ([`crate::DeviceModel`]) services each
+//! submission queue on its own timeline, so *which* queue an IO lands on
+//! decides what it contends with. Queue selection is resolved per
+//! operation, in priority order:
+//!
+//! 1. an explicit per-file pin ([`crate::Env::new_writable_on`] and
+//!    friends) — the placement API compaction uses to spread
+//!    subcompaction outputs,
+//! 2. the calling thread's ambient queue ([`set_thread_io_queue`]) — the
+//!    affinity API: each p2KVS worker pins its queue once at spawn and
+//!    every WAL append or engine read issued from that thread rides it,
+//! 3. a deterministic per-file default (`file_id % queues`) so unhinted
+//!    traffic still spreads instead of piling onto queue 0.
+//!
+//! Resolving at operation time (not file-open time) means a WAL handle
+//! follows its shard across an ownership migration for free: the new
+//! owning worker's ambient queue takes over on its first append.
+
+use std::cell::Cell;
+
+/// Index of a device submission queue, `0..queues`.
+pub type QueueId = usize;
+
+/// Hard bound on modeled submission queues. Per-queue statistics are
+/// fixed-size arrays of this length so snapshots stay `Copy`; device
+/// profiles clamp their queue count to it.
+pub const MAX_QUEUES: usize = 16;
+
+thread_local! {
+    /// The calling thread's ambient submission queue, if pinned.
+    static AMBIENT_QUEUE: Cell<Option<QueueId>> = const { Cell::new(None) };
+}
+
+/// Pins (or with `None` clears) the calling thread's ambient IO queue.
+/// Every subsequent un-pinned file operation from this thread resolves
+/// to it. Returns the previous value.
+pub fn set_thread_io_queue(queue: Option<QueueId>) -> Option<QueueId> {
+    AMBIENT_QUEUE.with(|q| q.replace(queue))
+}
+
+/// The calling thread's ambient IO queue, if one is pinned.
+pub fn thread_io_queue() -> Option<QueueId> {
+    AMBIENT_QUEUE.with(|q| q.get())
+}
+
+/// RAII scope that pins the ambient queue and restores the previous
+/// value on drop — for code that borrows a queue for one job (a
+/// subcompaction, a flush) on a thread it does not own.
+pub struct QueueScope {
+    prev: Option<QueueId>,
+}
+
+impl QueueScope {
+    /// Enters a scope with the ambient queue set to `queue`.
+    pub fn enter(queue: QueueId) -> QueueScope {
+        QueueScope {
+            prev: set_thread_io_queue(Some(queue)),
+        }
+    }
+
+    /// Enters a scope with the ambient queue set (or cleared) to `queue`.
+    pub fn enter_opt(queue: Option<QueueId>) -> QueueScope {
+        QueueScope {
+            prev: set_thread_io_queue(queue),
+        }
+    }
+}
+
+impl Drop for QueueScope {
+    fn drop(&mut self) {
+        set_thread_io_queue(self.prev);
+    }
+}
+
+/// Resolves the effective queue for one operation on a device with
+/// `queues` submission queues: explicit file pin, then the thread's
+/// ambient queue, then the per-file default. Always in `0..queues`.
+pub fn resolve_queue(pin: Option<QueueId>, file_id: u64, queues: usize) -> QueueId {
+    let queues = queues.clamp(1, MAX_QUEUES);
+    pin.or_else(thread_io_queue)
+        .unwrap_or(file_id as usize)
+        % queues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_queue_is_thread_local() {
+        set_thread_io_queue(Some(3));
+        assert_eq!(thread_io_queue(), Some(3));
+        let other = std::thread::spawn(|| thread_io_queue()).join().unwrap();
+        assert_eq!(other, None, "ambient pin must not leak across threads");
+        set_thread_io_queue(None);
+    }
+
+    #[test]
+    fn scope_restores_previous_pin() {
+        set_thread_io_queue(Some(1));
+        {
+            let _g = QueueScope::enter(5);
+            assert_eq!(thread_io_queue(), Some(5));
+            {
+                let _g2 = QueueScope::enter_opt(None);
+                assert_eq!(thread_io_queue(), None);
+            }
+            assert_eq!(thread_io_queue(), Some(5));
+        }
+        assert_eq!(thread_io_queue(), Some(1));
+        set_thread_io_queue(None);
+    }
+
+    #[test]
+    fn resolution_priority_pin_ambient_default() {
+        let _g = QueueScope::enter(2);
+        // Pin wins over ambient.
+        assert_eq!(resolve_queue(Some(1), 99, 4), 1);
+        // Ambient wins over the per-file default.
+        assert_eq!(resolve_queue(None, 99, 4), 2);
+        drop(_g);
+        // Default spreads by file id, modulo the queue count.
+        assert_eq!(resolve_queue(None, 7, 4), 3);
+        assert_eq!(resolve_queue(None, 8, 4), 0);
+        // Everything reduces mod queues; single queue maps all to 0.
+        assert_eq!(resolve_queue(Some(9), 7, 4), 1);
+        assert_eq!(resolve_queue(Some(3), 7, 1), 0);
+    }
+}

@@ -25,17 +25,21 @@
 pub mod device;
 pub mod env;
 pub mod fault;
+pub mod ioqueue;
 pub mod mem;
 pub mod sim;
 pub mod stats;
 pub mod stdfs;
 
-pub use device::{DeviceModel, DeviceProfile};
+pub use device::{DeviceModel, DeviceProfile, QueueDepthSnapshot};
 pub use env::{Env, FaultHook, RandomAccessFile, RandomRwFile, SequentialFile, WritableFile};
 pub use fault::{FaultEvent, FaultPlan, FaultyEnv};
+pub use ioqueue::{
+    resolve_queue, set_thread_io_queue, thread_io_queue, QueueId, QueueScope, MAX_QUEUES,
+};
 pub use mem::{MemEnv, MemFs};
 pub use sim::SimEnv;
-pub use stats::{IoClass, IoStats, IoStatsSnapshot};
+pub use stats::{IoClass, IoStats, IoStatsSnapshot, QueueIoSnapshot};
 pub use stdfs::StdEnv;
 
 use std::sync::Arc;

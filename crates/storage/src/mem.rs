@@ -22,6 +22,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::device::DeviceModel;
 use crate::env::{Env, RandomAccessFile, SequentialFile, WritableFile};
+use crate::ioqueue::{resolve_queue, QueueId};
 use crate::stats::{IoClass, IoStats, IoStatsSnapshot};
 
 /// One in-memory file.
@@ -159,6 +160,10 @@ struct MemWritable {
     /// Device offset up to which bytes have been charged.
     charged: u64,
     writeback_threshold: usize,
+    /// Explicit placement pin; outranks the ambient thread queue.
+    queue_pin: Option<QueueId>,
+    /// Device queue count, for per-op queue resolution.
+    queues: usize,
 }
 
 impl MemWritable {
@@ -172,10 +177,11 @@ impl MemWritable {
             return;
         }
         let bytes = len - self.charged;
-        self.stats.record_write(bytes, self.class);
+        let q = resolve_queue(self.queue_pin, id, self.queues);
+        self.stats.record_write_on(bytes, self.class, q);
         if let Some(dev) = &self.device {
-            let busy = dev.write(id, self.charged, bytes);
-            self.stats.record_busy(busy);
+            let busy = dev.write(id, self.charged, bytes, q);
+            self.stats.record_busy_on(busy, q);
         }
         self.charged = len;
     }
@@ -204,15 +210,17 @@ impl WritableFile for MemWritable {
 
     fn sync(&mut self) -> io::Result<()> {
         self.writeback();
-        {
+        let id = {
             let mut f = self.file.lock();
             let len = f.data.len();
             f.synced = len;
-        }
-        self.stats.record_sync();
+            f.id
+        };
+        let q = resolve_queue(self.queue_pin, id, self.queues);
+        self.stats.record_sync_on(q);
         if let Some(dev) = &self.device {
-            let busy = dev.sync();
-            self.stats.record_busy(busy);
+            let busy = dev.sync(q);
+            self.stats.record_busy_on(busy, q);
         }
         Ok(())
     }
@@ -227,6 +235,7 @@ struct MemRandomAccess {
     file: FileRef,
     device: Option<Arc<DeviceModel>>,
     stats: Arc<IoStats>,
+    queues: usize,
 }
 
 impl RandomAccessFile for MemRandomAccess {
@@ -244,10 +253,11 @@ impl RandomAccessFile for MemRandomAccess {
             buf.copy_from_slice(&f.data[start..end]);
             f.id
         };
-        self.stats.record_read(buf.len() as u64);
+        let q = resolve_queue(None, id, self.queues);
+        self.stats.record_read_on(buf.len() as u64, q);
         if let Some(dev) = &self.device {
-            let busy = dev.read(id, offset, buf.len() as u64);
-            self.stats.record_busy(busy);
+            let busy = dev.read(id, offset, buf.len() as u64, q);
+            self.stats.record_busy_on(busy, q);
         }
         Ok(())
     }
@@ -263,6 +273,7 @@ struct MemSequential {
     device: Option<Arc<DeviceModel>>,
     stats: Arc<IoStats>,
     pos: u64,
+    queues: usize,
 }
 
 impl SequentialFile for MemSequential {
@@ -275,10 +286,11 @@ impl SequentialFile for MemSequential {
             (f.id, n)
         };
         if n > 0 {
-            self.stats.record_read(n as u64);
+            let q = resolve_queue(None, id, self.queues);
+            self.stats.record_read_on(n as u64, q);
             if let Some(dev) = &self.device {
-                let busy = dev.read(id, self.pos, n as u64);
-                self.stats.record_busy(busy);
+                let busy = dev.read(id, self.pos, n as u64, q);
+                self.stats.record_busy_on(busy, q);
             }
         }
         self.pos += n as u64;
@@ -291,6 +303,7 @@ struct MemRandomRw {
     file: FileRef,
     device: Option<Arc<DeviceModel>>,
     stats: Arc<IoStats>,
+    queues: usize,
 }
 
 impl crate::env::RandomRwFile for MemRandomRw {
@@ -308,10 +321,11 @@ impl crate::env::RandomRwFile for MemRandomRw {
             buf.copy_from_slice(&f.data[start..end]);
             f.id
         };
-        self.stats.record_read(buf.len() as u64);
+        let q = resolve_queue(None, id, self.queues);
+        self.stats.record_read_on(buf.len() as u64, q);
         if let Some(dev) = &self.device {
-            let busy = dev.read(id, offset, buf.len() as u64);
-            self.stats.record_busy(busy);
+            let busy = dev.read(id, offset, buf.len() as u64, q);
+            self.stats.record_busy_on(busy, q);
         }
         Ok(())
     }
@@ -329,10 +343,11 @@ impl crate::env::RandomRwFile for MemRandomRw {
             f.synced = f.synced.max(len.min(end));
             f.id
         };
-        self.stats.record_write(data.len() as u64, IoClass::Misc);
+        let q = resolve_queue(None, id, self.queues);
+        self.stats.record_write_on(data.len() as u64, IoClass::Misc, q);
         if let Some(dev) = &self.device {
-            let busy = dev.write(id, offset, data.len() as u64);
-            self.stats.record_busy(busy);
+            let busy = dev.write(id, offset, data.len() as u64, q);
+            self.stats.record_busy_on(busy, q);
         }
         Ok(())
     }
@@ -380,27 +395,20 @@ impl MemEnv {
             .map(|d| d.profile().writeback_threshold)
             .unwrap_or(64 * 1024)
     }
-}
 
-impl Env for MemEnv {
-    fn new_writable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>> {
-        let file = self.fs.create(path, true);
-        Ok(Box::new(MemWritable {
-            file,
-            device: self.device.clone(),
-            stats: self.fs.stats.clone(),
-            class: IoClass::of_file_name(
-                &path.file_name().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
-            ),
-            charged: 0,
-            writeback_threshold: self.writeback_threshold(),
-        }))
+    fn queues(&self) -> usize {
+        self.device.as_ref().map(|d| d.queue_count()).unwrap_or(1)
     }
 
-    fn new_appendable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>> {
-        let file = self.fs.create(path, false);
-        let charged = file.lock().data.len() as u64;
-        Ok(Box::new(MemWritable {
+    fn open_writable(
+        &self,
+        path: &Path,
+        truncate: bool,
+        queue_pin: Option<QueueId>,
+    ) -> Box<dyn WritableFile> {
+        let file = self.fs.create(path, truncate);
+        let charged = if truncate { 0 } else { file.lock().data.len() as u64 };
+        Box::new(MemWritable {
             file,
             device: self.device.clone(),
             stats: self.fs.stats.clone(),
@@ -409,7 +417,27 @@ impl Env for MemEnv {
             ),
             charged,
             writeback_threshold: self.writeback_threshold(),
-        }))
+            queue_pin,
+            queues: self.queues(),
+        })
+    }
+}
+
+impl Env for MemEnv {
+    fn new_writable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>> {
+        Ok(self.open_writable(path, true, None))
+    }
+
+    fn new_appendable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>> {
+        Ok(self.open_writable(path, false, None))
+    }
+
+    fn new_writable_on(&self, path: &Path, queue: QueueId) -> io::Result<Box<dyn WritableFile>> {
+        Ok(self.open_writable(path, true, Some(queue)))
+    }
+
+    fn new_appendable_on(&self, path: &Path, queue: QueueId) -> io::Result<Box<dyn WritableFile>> {
+        Ok(self.open_writable(path, false, Some(queue)))
     }
 
     fn new_random_access(&self, path: &Path) -> io::Result<Box<dyn RandomAccessFile>> {
@@ -418,6 +446,7 @@ impl Env for MemEnv {
             file,
             device: self.device.clone(),
             stats: self.fs.stats.clone(),
+            queues: self.queues(),
         }))
     }
 
@@ -428,6 +457,7 @@ impl Env for MemEnv {
             device: self.device.clone(),
             stats: self.fs.stats.clone(),
             pos: 0,
+            queues: self.queues(),
         }))
     }
 
@@ -437,6 +467,7 @@ impl Env for MemEnv {
             file,
             device: self.device.clone(),
             stats: self.fs.stats.clone(),
+            queues: self.queues(),
         }))
     }
 
@@ -503,6 +534,10 @@ impl Env for MemEnv {
 
     fn io_stats(&self) -> IoStatsSnapshot {
         self.fs.stats.snapshot()
+    }
+
+    fn queue_count(&self) -> usize {
+        self.queues()
     }
 }
 

@@ -9,8 +9,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::device::{DeviceModel, DeviceProfile};
+use crate::device::{DeviceModel, DeviceProfile, QueueDepthSnapshot};
 use crate::env::{Env, RandomAccessFile, SequentialFile, WritableFile};
+use crate::ioqueue::QueueId;
 use crate::mem::{MemEnv, MemFs};
 use crate::stats::IoStatsSnapshot;
 
@@ -48,17 +49,44 @@ impl SimEnv {
         self.inner.fs()
     }
 
+    /// The device model (queue snapshots, profile).
+    pub fn device(&self) -> &Arc<DeviceModel> {
+        &self.device
+    }
+
     /// Fraction of the device's aggregate service capacity used since
-    /// creation: `busy_time / (wall_time × channels)`, in `[0, 1]`.
+    /// creation: `busy_time / (wall_time × aggregate_depth)`, in `[0, 1]`.
     pub fn device_utilization(&self) -> f64 {
         let snap = self.io_stats();
         let wall = self.created.elapsed().as_nanos() as f64;
-        let channels = self.profile().channels.min(64) as f64;
+        let depth = self.profile().aggregate_depth().min(64) as f64;
         if wall == 0.0 {
             0.0
         } else {
-            (snap.busy_ns as f64 / (wall * channels)).min(1.0)
+            (snap.busy_ns as f64 / (wall * depth)).min(1.0)
         }
+    }
+
+    /// Per-queue utilization since creation: each queue's busy time over
+    /// `wall_time × queue_depth`, in `[0, 1]`. One entry per queue.
+    pub fn queue_utilization(&self) -> Vec<f64> {
+        let snap = self.io_stats();
+        let wall = self.created.elapsed().as_nanos() as f64;
+        let depth = self.profile().queue_depth.min(64).max(1) as f64;
+        (0..self.device.queue_count())
+            .map(|q| {
+                if wall == 0.0 {
+                    0.0
+                } else {
+                    (snap.queues[q].busy_ns as f64 / (wall * depth)).min(1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// In-flight/backlog accounting for one submission queue.
+    pub fn queue_snapshot(&self, q: QueueId) -> QueueDepthSnapshot {
+        self.device.queue_snapshot(q)
     }
 
     /// Fraction of the device's write bandwidth consumed over the window
@@ -85,6 +113,14 @@ impl Env for SimEnv {
 
     fn new_appendable(&self, path: &Path) -> io::Result<Box<dyn WritableFile>> {
         self.inner.new_appendable(path)
+    }
+
+    fn new_writable_on(&self, path: &Path, queue: QueueId) -> io::Result<Box<dyn WritableFile>> {
+        self.inner.new_writable_on(path, queue)
+    }
+
+    fn new_appendable_on(&self, path: &Path, queue: QueueId) -> io::Result<Box<dyn WritableFile>> {
+        self.inner.new_appendable_on(path, queue)
     }
 
     fn new_random_access(&self, path: &Path) -> io::Result<Box<dyn RandomAccessFile>> {
@@ -134,6 +170,10 @@ impl Env for SimEnv {
     fn device_utilization(&self) -> Option<f64> {
         Some(SimEnv::device_utilization(self))
     }
+
+    fn queue_count(&self) -> usize {
+        self.device.queue_count()
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +216,36 @@ mod tests {
         let bw = env.bandwidth_utilization(&snap, 1.0);
         assert!((0.0..=1.0).contains(&bw));
         assert!(bw > 0.0);
+    }
+
+    #[test]
+    fn queue_placement_routes_traffic() {
+        let env = SimEnv::with_profile(DeviceProfile::instant().with_queues(4));
+        assert_eq!(Env::queue_count(&env), 4);
+
+        // Explicit pin: all IO on this handle lands on queue 2.
+        let mut w = env.new_writable_on(Path::new("pinned.sst"), 2).unwrap();
+        w.append(&[0u8; 100]).unwrap();
+        w.sync().unwrap();
+
+        // Ambient thread queue: an un-pinned handle follows the pin set on
+        // the calling thread.
+        {
+            let _g = crate::ioqueue::QueueScope::enter(1);
+            let mut w = env.new_writable(Path::new("ambient.log")).unwrap();
+            w.append(&[0u8; 40]).unwrap();
+            w.sync().unwrap();
+        }
+
+        let snap = env.io_stats();
+        assert_eq!(snap.queues[2].bytes_written, 100);
+        assert_eq!(snap.queues[2].syncs, 1);
+        assert_eq!(snap.queues[1].bytes_written, 40);
+        assert_eq!(snap.queues[1].syncs, 1);
+        // Device-side accounting saw the same placement.
+        assert_eq!(env.queue_snapshot(2).submitted, 2); // write + sync
+        assert_eq!(env.queue_snapshot(1).submitted, 2);
+        assert_eq!(env.queue_utilization().len(), 4);
     }
 
     #[test]

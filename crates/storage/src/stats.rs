@@ -2,10 +2,32 @@
 //!
 //! Engines tag their files with an [`IoClass`] (WAL, flush, compaction, ...)
 //! by path convention or explicitly; the counters feed the paper's
-//! IO-amplification and bandwidth-utilization figures.
+//! IO-amplification and bandwidth-utilization figures. Counters are kept
+//! both device-wide and per submission queue ([`MAX_QUEUES`] slots), so the
+//! multi-queue device model can report where traffic actually landed.
+//!
+//! # Snapshot coherence
+//!
+//! A recorded operation updates several counters (`bytes_written`, the
+//! per-class counter, the per-queue counter, ...). A naive field-by-field
+//! read can *tear* across those updates — e.g. observe the new
+//! `bytes_written` but the old `compaction_bytes`, so the per-class split
+//! no longer sums to the total. With concurrent compaction writers this
+//! happened often enough to corrupt windowed deltas. [`IoStats::snapshot`]
+//! therefore uses a multi-writer seqlock: every recorder brackets its
+//! updates between `started`/`finished` generation bumps, and the reader
+//! retries until it observes a window with no recorder active. Because a
+//! saturated recorder can be mid-update almost permanently (on a one-CPU
+//! host the preempted writer freezes inside the bracket), the reader also
+//! *announces* itself: new recorders park at the bracket entrance while a
+//! snapshot is in flight, so quiescence is reached by draining rather than
+//! by luck. Both waits are bounded; a stalled party delays the other,
+//! never wedges it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use crate::ioqueue::{QueueId, MAX_QUEUES};
 
 /// Classification of IO traffic, used to split the bandwidth timelines into
 /// user/log vs. flush vs. compaction traffic (Figs 4, 5b).
@@ -40,6 +62,18 @@ impl IoClass {
     }
 }
 
+/// Per-submission-queue counters.
+#[derive(Default)]
+struct QueueCounters {
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    syncs: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// How many times `snapshot` re-reads before settling for best-effort.
+const SNAPSHOT_RETRIES: usize = 64;
+
 /// Monotonic IO counters. All fields are cumulative since creation.
 #[derive(Default)]
 pub struct IoStats {
@@ -55,6 +89,17 @@ pub struct IoStats {
     pub flush_bytes: AtomicU64,
     pub compaction_bytes: AtomicU64,
     pub misc_bytes: AtomicU64,
+    /// Per-queue counters (slots past the device's queue count stay zero).
+    queues: [QueueCounters; MAX_QUEUES],
+    /// Seqlock generations: recorders bump `started` before touching any
+    /// counter and `finished` after the last one.
+    seq_started: AtomicU64,
+    seq_finished: AtomicU64,
+    /// Readers currently collecting a coherent snapshot. While nonzero,
+    /// new recorders park before entering their critical section, so the
+    /// counters drain to quiescence instead of the reader having to catch
+    /// a saturated recorder between updates.
+    snap_waiters: AtomicU64,
 }
 
 impl IoStats {
@@ -63,8 +108,45 @@ impl IoStats {
         Self::default()
     }
 
-    /// Records a write of `bytes` attributed to `class`.
+    /// Marks the start of one multi-counter update.
+    #[inline]
+    fn begin_record(&self) {
+        if self.snap_waiters.load(Ordering::Relaxed) > 0 {
+            self.park_for_snapshot();
+        }
+        self.seq_started.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Holds a new recorder at the door while a snapshot reader drains the
+    /// in-flight updates. Without this gate a saturated recorder is almost
+    /// always mid-update on a single-CPU host (its whole loop body sits
+    /// inside the bracket), so the reader never observes quiescence no
+    /// matter how often it retries. The wait is bounded: a reader that
+    /// somehow stalls can delay a recorder, never wedge it.
+    #[cold]
+    fn park_for_snapshot(&self) {
+        for _ in 0..200 {
+            if self.snap_waiters.load(Ordering::Relaxed) == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+
+    /// Marks the end of one multi-counter update.
+    #[inline]
+    fn end_record(&self) {
+        self.seq_finished.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Records a write of `bytes` attributed to `class` (queue 0).
     pub fn record_write(&self, bytes: u64, class: IoClass) {
+        self.record_write_on(bytes, class, 0);
+    }
+
+    /// Records a write of `bytes` attributed to `class` on `queue`.
+    pub fn record_write_on(&self, bytes: u64, class: IoClass, queue: QueueId) {
+        self.begin_record();
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         self.write_ops.fetch_add(1, Ordering::Relaxed);
         let ctr = match class {
@@ -74,27 +156,70 @@ impl IoStats {
             IoClass::Read | IoClass::Misc => &self.misc_bytes,
         };
         ctr.fetch_add(bytes, Ordering::Relaxed);
+        self.queues[queue % MAX_QUEUES]
+            .bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.end_record();
     }
 
-    /// Records a read of `bytes`.
+    /// Records a read of `bytes` (queue 0).
     pub fn record_read(&self, bytes: u64) {
+        self.record_read_on(bytes, 0);
+    }
+
+    /// Records a read of `bytes` on `queue`.
+    pub fn record_read_on(&self, bytes: u64, queue: QueueId) {
+        self.begin_record();
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.queues[queue % MAX_QUEUES]
+            .bytes_read
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.end_record();
     }
 
-    /// Records a durability barrier.
+    /// Records a durability barrier (queue 0).
     pub fn record_sync(&self) {
+        self.record_sync_on(0);
+    }
+
+    /// Records a durability barrier on `queue`.
+    pub fn record_sync_on(&self, queue: QueueId) {
+        self.begin_record();
         self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.queues[queue % MAX_QUEUES]
+            .syncs
+            .fetch_add(1, Ordering::Relaxed);
+        self.end_record();
     }
 
-    /// Records device service time.
+    /// Records device service time (queue 0).
     pub fn record_busy(&self, dur: Duration) {
-        self.busy_ns
-            .fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+        self.record_busy_on(dur, 0);
     }
 
-    /// Takes a consistent-enough snapshot of all counters.
-    pub fn snapshot(&self) -> IoStatsSnapshot {
+    /// Records device service time on `queue`.
+    pub fn record_busy_on(&self, dur: Duration, queue: QueueId) {
+        self.begin_record();
+        let ns = dur.as_nanos() as u64;
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        self.queues[queue % MAX_QUEUES]
+            .busy_ns
+            .fetch_add(ns, Ordering::Relaxed);
+        self.end_record();
+    }
+
+    /// Reads every counter without coherence guarantees.
+    fn read_all(&self) -> IoStatsSnapshot {
+        let mut queues = [QueueIoSnapshot::default(); MAX_QUEUES];
+        for (slot, q) in queues.iter_mut().zip(self.queues.iter()) {
+            *slot = QueueIoSnapshot {
+                bytes_written: q.bytes_written.load(Ordering::Relaxed),
+                bytes_read: q.bytes_read.load(Ordering::Relaxed),
+                syncs: q.syncs.load(Ordering::Relaxed),
+                busy_ns: q.busy_ns.load(Ordering::Relaxed),
+            };
+        }
         IoStatsSnapshot {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
@@ -106,6 +231,71 @@ impl IoStats {
             flush_bytes: self.flush_bytes.load(Ordering::Relaxed),
             compaction_bytes: self.compaction_bytes.load(Ordering::Relaxed),
             misc_bytes: self.misc_bytes.load(Ordering::Relaxed),
+            queues,
+        }
+    }
+
+    /// Takes a coherent snapshot of all counters: the returned fields were
+    /// all observed in a window with no recorder mid-update, so cross-field
+    /// invariants (per-class bytes summing to `bytes_written`, per-queue
+    /// sums matching totals) hold. Falls back to a best-effort read if
+    /// recorders never go quiescent within the retry budget.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        // Announce the read: recorders that haven't entered their critical
+        // section yet will park until we're done, so `started == finished`
+        // is reached by draining rather than by luck.
+        self.snap_waiters.fetch_add(1, Ordering::AcqRel);
+        let snap = self.snapshot_inner();
+        self.snap_waiters.fetch_sub(1, Ordering::AcqRel);
+        snap
+    }
+
+    fn snapshot_inner(&self) -> IoStatsSnapshot {
+        let mut last = None;
+        for attempt in 0..SNAPSHOT_RETRIES {
+            let finished = self.seq_finished.load(Ordering::Acquire);
+            let started = self.seq_started.load(Ordering::Acquire);
+            if finished != started {
+                // A recorder is mid-update. On a loaded single-CPU machine
+                // it may be *preempted* there, freezing this state for the
+                // reader's whole timeslice — and `yield_now` is too weak to
+                // force a reschedule. Spin briefly for the in-flight case,
+                // then sleep so the preempted recorder can finish.
+                if attempt < 4 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                continue;
+            }
+            let snap = self.read_all();
+            std::sync::atomic::fence(Ordering::Acquire);
+            if self.seq_started.load(Ordering::Relaxed) == started {
+                return snap;
+            }
+            last = Some(snap);
+        }
+        last.unwrap_or_else(|| self.read_all())
+    }
+}
+
+/// A point-in-time copy of one queue's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueueIoSnapshot {
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub syncs: u64,
+    pub busy_ns: u64,
+}
+
+impl QueueIoSnapshot {
+    /// Difference `self - earlier`, for windowed rates.
+    pub fn delta(&self, earlier: &QueueIoSnapshot) -> QueueIoSnapshot {
+        QueueIoSnapshot {
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            syncs: self.syncs - earlier.syncs,
+            busy_ns: self.busy_ns - earlier.busy_ns,
         }
     }
 }
@@ -123,6 +313,8 @@ pub struct IoStatsSnapshot {
     pub flush_bytes: u64,
     pub compaction_bytes: u64,
     pub misc_bytes: u64,
+    /// Per-queue counters; slots past the device's queue count are zero.
+    pub queues: [QueueIoSnapshot; MAX_QUEUES],
 }
 
 impl IoStatsSnapshot {
@@ -133,6 +325,10 @@ impl IoStatsSnapshot {
 
     /// Difference `self - earlier`, for windowed rates.
     pub fn delta(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        let mut queues = [QueueIoSnapshot::default(); MAX_QUEUES];
+        for (i, slot) in queues.iter_mut().enumerate() {
+            *slot = self.queues[i].delta(&earlier.queues[i]);
+        }
         IoStatsSnapshot {
             bytes_written: self.bytes_written - earlier.bytes_written,
             bytes_read: self.bytes_read - earlier.bytes_read,
@@ -144,6 +340,7 @@ impl IoStatsSnapshot {
             flush_bytes: self.flush_bytes - earlier.flush_bytes,
             compaction_bytes: self.compaction_bytes - earlier.compaction_bytes,
             misc_bytes: self.misc_bytes - earlier.misc_bytes,
+            queues,
         }
     }
 
@@ -160,6 +357,8 @@ impl IoStatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
 
     #[test]
     fn class_inference() {
@@ -192,11 +391,34 @@ mod tests {
     }
 
     #[test]
+    fn counters_accumulate_per_queue() {
+        let s = IoStats::new();
+        s.record_write_on(100, IoClass::Wal, 0);
+        s.record_write_on(200, IoClass::Compaction, 3);
+        s.record_read_on(50, 3);
+        s.record_sync_on(1);
+        s.record_busy_on(Duration::from_micros(5), 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.queues[0].bytes_written, 100);
+        assert_eq!(snap.queues[3].bytes_written, 200);
+        assert_eq!(snap.queues[3].bytes_read, 50);
+        assert_eq!(snap.queues[1].syncs, 1);
+        assert_eq!(snap.queues[3].busy_ns, 5_000);
+        assert_eq!(snap.queues[2], QueueIoSnapshot::default());
+        // Queue ids reduce modulo MAX_QUEUES instead of panicking.
+        s.record_sync_on(MAX_QUEUES + 1);
+        assert_eq!(s.snapshot().queues[1].syncs, 2);
+        // Per-queue sums match the device-wide totals.
+        let sum: u64 = snap.queues.iter().map(|q| q.bytes_written).sum();
+        assert_eq!(sum, snap.bytes_written);
+    }
+
+    #[test]
     fn snapshot_delta() {
         let s = IoStats::new();
         s.record_write(100, IoClass::Wal);
         let a = s.snapshot();
-        s.record_write(150, IoClass::Compaction);
+        s.record_write_on(150, IoClass::Compaction, 2);
         s.record_read(10);
         let b = s.snapshot();
         let d = b.delta(&a);
@@ -204,6 +426,57 @@ mod tests {
         assert_eq!(d.bytes_read, 10);
         assert_eq!(d.wal_bytes, 0);
         assert_eq!(d.compaction_bytes, 150);
+        assert_eq!(d.queues[0].bytes_written, 0);
+        assert_eq!(d.queues[2].bytes_written, 150);
+    }
+
+    /// Regression: with concurrent writers hammering multi-counter updates,
+    /// every snapshot must still satisfy the cross-field invariants — the
+    /// old field-by-field read tore between `bytes_written` and the
+    /// per-class/per-queue counters.
+    #[test]
+    fn snapshot_is_coherent_under_concurrent_writers() {
+        let s = Arc::new(IoStats::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..3usize)
+            .map(|w| {
+                let s = s.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let class = match i % 3 {
+                            0 => IoClass::Wal,
+                            1 => IoClass::Flush,
+                            _ => IoClass::Compaction,
+                        };
+                        s.record_write_on(7, class, w % MAX_QUEUES);
+                        s.record_read_on(3, w % MAX_QUEUES);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..2000 {
+            let snap = s.snapshot();
+            let class_sum =
+                snap.wal_bytes + snap.flush_bytes + snap.compaction_bytes + snap.misc_bytes;
+            assert_eq!(
+                class_sum, snap.bytes_written,
+                "per-class split tore from the total: {snap:?}"
+            );
+            let queue_w: u64 = snap.queues.iter().map(|q| q.bytes_written).sum();
+            assert_eq!(queue_w, snap.bytes_written, "per-queue writes tore: {snap:?}");
+            let queue_r: u64 = snap.queues.iter().map(|q| q.bytes_read).sum();
+            assert_eq!(queue_r, snap.bytes_read, "per-queue reads tore: {snap:?}");
+            // Every write is exactly 7 bytes; ops and bytes must agree.
+            assert_eq!(snap.bytes_written, snap.write_ops * 7);
+            assert_eq!(snap.bytes_read, snap.read_ops * 3);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

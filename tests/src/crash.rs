@@ -45,7 +45,9 @@ use std::time::Duration;
 use lsmkv::SyncPolicy;
 use p2kvs::engine::LsmFactory;
 use p2kvs::{HashPartitioner, JournalKind, P2Kvs, P2KvsOptions, Partitioner, WriteOp};
-use p2kvs_storage::{EnvRef, FaultPlan, FaultyEnv};
+use p2kvs_storage::{
+    DeviceModel, DeviceProfile, EnvRef, FaultPlan, FaultyEnv, MemEnv, MemFs, QueueId,
+};
 use p2kvs_util::hash::mix64;
 
 /// Workers (and therefore engine instances) every matrix store runs.
@@ -804,6 +806,124 @@ pub fn run_crash_point_with_backup(seed: u64, point: u64) -> BackupCrashOutcome 
     BackupCrashOutcome { point, crashed, backup_completed: completed, violations }
 }
 
+/// Submission queues the queue-targeted subcompaction matrix models.
+pub const QUEUE_MATRIX_QUEUES: usize = 4;
+
+/// Engine options for the subcompaction matrix: the standard crash-
+/// matrix tuning plus parallel compaction — two background jobs at
+/// disjoint levels and three-way range-partitioned subcompactions, so a
+/// major compaction has several output files in flight on different
+/// queues when the power fails.
+pub fn parallel_engine_options(env: EnvRef) -> lsmkv::Options {
+    let mut o = engine_options(env);
+    o.compaction_threads = 2;
+    o.subcompactions = 3;
+    o
+}
+
+/// A [`FaultyEnv`] over an instant-timing multi-queue device: the fault
+/// layer counts appends and syncs **per submission queue** (the same
+/// pin-then-ambient resolution the timing layer uses), so
+/// [`FaultPlan::crash_at_queue_sync`] can target "the Nth sync on queue
+/// q" deterministically even while concurrent compaction threads make
+/// the *global* interleaving nondeterministic.
+pub fn faulty_multi_queue(queues: usize) -> Arc<FaultyEnv> {
+    let fs = Arc::new(MemFs::new());
+    let device = Arc::new(DeviceModel::from_profile(
+        DeviceProfile::instant().with_queues(queues),
+    ));
+    let inner = Arc::new(MemEnv::with_parts(fs.clone(), Some(device)));
+    Arc::new(FaultyEnv::new(inner, fs))
+}
+
+/// Dry-runs the parallel workload on the multi-queue env and returns the
+/// per-queue sync counts — the crash-point space of the queue matrix.
+/// With queue affinity on (`WORKERS` == queues), shard `s`'s WAL and
+/// flushes ride queue `s`, while subcompaction outputs spread over the
+/// queues *after* the instance's home queue; every queue therefore
+/// exposes both WAL and compaction-output sync points. Counts on
+/// off-home queues vary slightly run-to-run (compaction scheduling is
+/// load-dependent); they size the matrix, and every crash run validates
+/// against the acks it observed itself.
+pub fn dry_run_queue_sync_points(seed: u64) -> Vec<u64> {
+    let faulty = faulty_multi_queue(QUEUE_MATRIX_QUEUES);
+    let env: EnvRef = faulty.clone();
+    let store = P2Kvs::open(
+        LsmFactory::new(parallel_engine_options(env.clone())),
+        "db",
+        store_options(),
+    )
+    .expect("fault-free open");
+    run_workload(&store, seed);
+    store.close();
+    (0..QUEUE_MATRIX_QUEUES).map(|q| faulty.sync_points_on(q)).collect()
+}
+
+/// Queue-targeted crash run: the parallel workload power-failed when the
+/// `point`-th sync lands **on queue `queue`** — with subcompactions
+/// spreading output files across queues, points on an instance's
+/// off-home queues land in the middle of multi-threaded compactions,
+/// between one subcompaction's output sync and its siblings'. After
+/// healing, recovery must satisfy the standard oracle contract, and a
+/// full store scan must read every surviving SST end to end: a version
+/// edit that installed a truncated or torn subcompaction output would
+/// surface here as a read error or a lost acked write.
+pub fn run_queue_crash_point(seed: u64, queue: QueueId, point: u64) -> CrashPointOutcome {
+    let faulty = faulty_multi_queue(QUEUE_MATRIX_QUEUES);
+    let env: EnvRef = faulty.clone();
+    faulty.set_plan(FaultPlan {
+        crash_at_queue_sync: Some((queue, point)),
+        // Deterministic torn-tail budget, varied so the matrix also
+        // covers partially surviving unsynced compaction output.
+        torn_tail: ((point + queue as u64) % 17) as usize,
+        ..FaultPlan::default()
+    });
+    let open = |env: &EnvRef| {
+        P2Kvs::open(
+            LsmFactory::new(parallel_engine_options(env.clone())),
+            "db",
+            store_options(),
+        )
+    };
+    let oracle = match open(&env) {
+        // A crash with a small `point` fires during store creation.
+        Err(_) => Oracle::default(),
+        Ok(store) => {
+            let oracle = run_workload(&store, seed);
+            store.close();
+            oracle
+        }
+    };
+    let crashed = faulty.crashed();
+    faulty.heal();
+    let store = match open(&env) {
+        Ok(s) => s,
+        Err(e) => {
+            return CrashPointOutcome {
+                point,
+                crashed,
+                violations: vec![format!("recovery failed to reopen the store: {e}")],
+                recovered_flight: 0,
+            }
+        }
+    };
+    let mut violations = oracle.check(|k| store.get(k).expect("post-recovery read"));
+    violations.extend(flight_journal_violations(&store));
+    // Truncated-output check: walk the whole recovered keyspace. The
+    // scan touches every SST the recovered version sets reference — an
+    // installed-but-torn compaction output fails the read here even when
+    // the affected keys also exist in older, still-live files.
+    if let Err(e) = store.range(b"", &[0xffu8; 8]) {
+        violations.push(format!(
+            "full scan of the recovered store failed — a version set references \
+             unreadable (truncated?) compaction output: {e}"
+        ));
+    }
+    let recovered_flight = store.recovered_flight_records().len();
+    store.close();
+    CrashPointOutcome { point, crashed, violations, recovered_flight }
+}
+
 /// The sampled crash points for a space of `total` sync points: every one
 /// of the first 160, then a stride over the rest. Dense early coverage
 /// catches creation/metadata crashes; the stride keeps the matrix bounded
@@ -1127,6 +1247,32 @@ mod tests {
             let out = run_crash_point_with_backup(7, point);
             assert!(out.crashed, "point {point} did not fire");
             assert!(out.violations.is_empty(), "point {point}: {:?}", out.violations);
+        }
+    }
+
+    #[test]
+    fn queue_workload_exposes_sync_points_on_every_queue() {
+        let per_queue = dry_run_queue_sync_points(7);
+        assert_eq!(per_queue.len(), QUEUE_MATRIX_QUEUES);
+        for (q, &n) in per_queue.iter().enumerate() {
+            assert!(
+                n >= 10,
+                "queue {q} saw only {n} sync points — affinity routed nothing there \
+                 ({per_queue:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn a_few_queue_crash_points_recover_cleanly() {
+        for (queue, point) in [(0, 20), (1, 15), (2, 10), (3, 10)] {
+            let out = run_queue_crash_point(7, queue, point);
+            assert!(out.crashed, "queue {queue} point {point} did not fire");
+            assert!(
+                out.violations.is_empty(),
+                "queue {queue} point {point}: {:?}",
+                out.violations
+            );
         }
     }
 

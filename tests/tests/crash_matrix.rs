@@ -19,8 +19,9 @@
 //! --test crash_matrix`.
 
 use p2kvs_integration_tests::crash::{
-    dry_run_sync_points, run_crash_point, run_crash_point_cached,
-    run_crash_point_with_migration, sample_points, unfiltered_partial_txn,
+    dry_run_queue_sync_points, dry_run_sync_points, run_crash_point, run_crash_point_cached,
+    run_crash_point_with_migration, run_queue_crash_point, sample_points,
+    unfiltered_partial_txn, QUEUE_MATRIX_QUEUES,
 };
 
 /// Default seed; override with `P2KVS_CRASH_SEED` to explore.
@@ -174,6 +175,56 @@ fn crash_matrix_recovers_with_the_read_cache_enabled() {
         crashed >= points.len() / 2,
         "only {crashed} of {} sampled points actually crashed (seed {seed})",
         points.len()
+    );
+}
+
+/// The subcompaction matrix: the workload runs with parallel compaction
+/// (two background jobs, three-way subcompactions) on a four-queue
+/// device with queue affinity on, and the power fails at the Nth sync
+/// **of one submission queue** — so sampled points land mid-compaction,
+/// after some subcompactions synced their output and before their
+/// siblings did. Recovery must satisfy the standard oracle contract and
+/// a full scan of the recovered store must read every referenced SST:
+/// no version set may install truncated compaction output.
+#[test]
+fn crash_matrix_recovers_mid_subcompaction_on_every_queue() {
+    let seed = seed();
+    let per_queue = dry_run_queue_sync_points(seed);
+    let mut sampled = 0usize;
+    let mut crashed = 0usize;
+    let mut failures = Vec::new();
+    for (queue, &total) in per_queue.iter().enumerate().take(QUEUE_MATRIX_QUEUES) {
+        assert!(
+            total >= 10,
+            "queue {queue} exposes only {total} sync points — affinity routed \
+             nothing there ({per_queue:?})"
+        );
+        // Per-queue numbering keeps the target deterministic even though
+        // concurrent compaction threads shuffle the global order; a
+        // stride over each queue's range covers WAL-only points, flush
+        // output, and mid-subcompaction output syncs.
+        for point in (1..=total).step_by(6) {
+            sampled += 1;
+            let out = run_queue_crash_point(seed, queue, point);
+            if out.crashed {
+                crashed += 1;
+            }
+            for v in out.violations {
+                failures.push(format!("seed {seed}, queue {queue}, sync point {point}: {v}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} recovery violations in the queue matrix:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    // Off-home-queue sync counts vary with compaction scheduling, so a
+    // tail of sampled points may not fire; the bulk must.
+    assert!(
+        crashed >= sampled / 2,
+        "only {crashed} of {sampled} sampled queue points actually crashed (seed {seed})"
     );
 }
 
