@@ -258,7 +258,7 @@ mod tests {
         }
     }
 
-    /// The schema contract, checked against all six `BENCH_*.json`
+    /// The schema contract, checked against the `BENCH_*.json`
     /// renderers with synthetic results (no benchmark execution).
     #[test]
     fn all_bench_artifacts_conform_to_schema() {
@@ -402,6 +402,35 @@ mod tests {
             1000,
             7,
         );
+        let elastic = crate::elastic::render_json(
+            &crate::elastic::ElasticSummary {
+                results: vec![crate::elastic::PhaseResult {
+                    config: "elastic",
+                    phase: 0,
+                    load_x: 1,
+                    workers_avg: 1.5,
+                    workers_end: 2,
+                    ops: 1000,
+                    wall_secs: 0.5,
+                    throughput_ops_sec: 2000.0,
+                    p50_get_ns: 900,
+                    p99_get_ns: 4000,
+                }],
+                elastic_avg_workers: 2.5,
+                static_avg_workers: 8.0,
+                elastic_peak_workers: 6,
+                provisioning_improvement: 3.2,
+                elastic_p99_ns: 4000,
+                static_p99_ns: 3500,
+                p99_ratio: 1.14,
+                latency_within_budget: true,
+                provisioning_within_budget: true,
+                reads_identical: true,
+            },
+            10_000,
+            4_000,
+            7,
+        );
         for (name, doc) in [
             ("accessing", &accessing),
             ("scan", &scan),
@@ -409,6 +438,7 @@ mod tests {
             ("trace", &trace),
             ("cache", &cache),
             ("backup", &backup),
+            ("elastic", &elastic),
         ] {
             let v = validate_schema(doc);
             assert!(v.is_empty(), "BENCH_{name}.json schema: {v:?}\n{doc}");

@@ -1,0 +1,68 @@
+//! Runs the diurnal elastic-scaling benchmark and writes
+//! `BENCH_elastic.json` (to `$P2KVS_METRICS_DIR` when set). Exits
+//! nonzero when either CI gate fails: auto-scale steady-state GET p99
+//! beyond 1.5× the statically over-provisioned pool's, or average
+//! provisioned workers not at least 2× lower.
+
+use p2kvs_bench::elastic;
+
+fn main() {
+    let path = elastic::artifact_path();
+    let summary = elastic::run_default(&path).expect("bench run failed");
+
+    let rows: Vec<Vec<String>> = summary
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                r.phase.to_string(),
+                format!("{}x", r.load_x),
+                format!("{:.1}", r.workers_avg),
+                p2kvs_bench::kqps(r.throughput_ops_sec),
+                format!("{} ns", r.p50_get_ns),
+                format!("{} ns", r.p99_get_ns),
+            ]
+        })
+        .collect();
+    p2kvs_bench::print_table(
+        "diurnal ramp 1x -> 8x -> 1x",
+        &["config", "phase", "load", "workers", "kops/s", "p50 get", "p99 get"],
+        &rows,
+    );
+
+    println!(
+        "avg workers: elastic {:.2} vs static {:.2} ({:.2}x fewer, peak {})",
+        summary.elastic_avg_workers,
+        summary.static_avg_workers,
+        summary.provisioning_improvement,
+        summary.elastic_peak_workers,
+    );
+    println!(
+        "steady-state p99: elastic {} ns vs static {} ns ({:.2}x)",
+        summary.elastic_p99_ns, summary.static_p99_ns, summary.p99_ratio,
+    );
+    println!("wrote {}", path.display());
+
+    let mut failed = false;
+    if !summary.latency_within_budget {
+        eprintln!(
+            "GATE FAILED: elastic p99 is {:.2}x static (budget {:.1}x)",
+            summary.p99_ratio,
+            elastic::P99_BUDGET,
+        );
+        failed = true;
+    }
+    if !summary.provisioning_within_budget {
+        eprintln!(
+            "GATE FAILED: elastic pool only saves {:.2}x workers (budget {:.1}x)",
+            summary.provisioning_improvement,
+            elastic::PROVISIONING_BUDGET,
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("gates passed");
+}

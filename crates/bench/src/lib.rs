@@ -14,6 +14,7 @@ pub mod backupload;
 pub mod cachebench;
 pub mod clients;
 pub mod compstall;
+pub mod elastic;
 pub mod figures;
 pub mod scaninterf;
 pub mod setups;

@@ -41,31 +41,83 @@ impl Default for BalancePolicy {
     }
 }
 
+/// Tunables for utilization-driven pool scaling (DESIGN.md §14). When
+/// [`crate::store::P2KvsOptions::scale`] carries one, each balancer tick
+/// also compares the interval's aggregate busy time against what the
+/// live workers *should* absorb at `target_util`, and scales the pool
+/// one worker per tick toward the derived size — retiring via the
+/// epoch-fenced drain, spawning with fresh rings.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePolicy {
+    /// Per-worker busy fraction the pool aims for. The desired size is
+    /// `ceil(busy_time / (target_util × interval))`: 0.6 keeps workers
+    /// ~60% busy, leaving headroom for bursts.
+    pub target_util: f64,
+    /// Never retire below this many workers.
+    pub min_workers: usize,
+    /// Never spawn above this many workers.
+    pub max_workers: usize,
+    /// Ticks to sit out after a scale operation before the next one —
+    /// the pool must not thrash on one interval's noise (migration
+    /// costs are small but not free: each drain quiesces the submit
+    /// path once per shard moved).
+    pub cooldown: u32,
+}
+
+impl Default for ScalePolicy {
+    fn default() -> Self {
+        ScalePolicy {
+            target_util: 0.6,
+            min_workers: 1,
+            max_workers: 8,
+            cooldown: 2,
+        }
+    }
+}
+
+impl ScalePolicy {
+    /// The pool size that would absorb `busy_ns` of aggregate service
+    /// time over an `interval_ns` window at `target_util` per worker,
+    /// clamped to `[min_workers, max_workers]`.
+    pub fn desired_workers(&self, busy_ns: u64, interval_ns: u64) -> usize {
+        let per_worker = (interval_ns as f64 * self.target_util).max(1.0);
+        let want = (busy_ns as f64 / per_worker).ceil() as usize;
+        let floor = self.min_workers.max(1);
+        want.clamp(floor, self.max_workers.max(floor))
+    }
+}
+
 /// Plans up to [`BalancePolicy::max_moves`] ownership migrations given
-/// the current map, the worker count, and the per-shard load observed
-/// since the last tick (`load[s]` in any consistent unit — the store
-/// feeds service-time nanoseconds). Returns `(shard, target_worker)`
-/// pairs; later pairs assume earlier ones applied.
+/// the current map, the **live** worker ids (the elastic pool may have
+/// retired slots), and the per-shard load observed since the last tick
+/// (`load[s]` in any consistent unit — the store feeds service-time
+/// nanoseconds). Returns `(shard, target_worker)` pairs; later pairs
+/// assume earlier ones applied.
 pub(crate) fn plan_moves(
     map: &ShardMap,
-    workers: usize,
+    live: &[usize],
     load: &[u64],
     policy: &BalancePolicy,
 ) -> Vec<(usize, usize)> {
     debug_assert_eq!(load.len(), map.shards());
-    let workers = workers.max(1);
+    if live.is_empty() {
+        return Vec::new();
+    }
+    let slots = live.iter().max().unwrap() + 1;
     let mut owner: Vec<usize> = (0..map.shards()).map(|s| map.owner(s)).collect();
-    let mut per_worker = vec![0u64; workers];
+    let mut per_worker = vec![0u64; slots];
     for (s, o) in owner.iter().enumerate() {
-        per_worker[*o] += load[s];
+        if *o < slots {
+            per_worker[*o] += load[s];
+        }
     }
     let mut moves = Vec::new();
     for _ in 0..policy.max_moves {
-        let busiest = match (0..workers).max_by_key(|w| per_worker[*w]) {
+        let busiest = match live.iter().copied().max_by_key(|w| per_worker[*w]) {
             Some(w) => w,
             None => break,
         };
-        let idlest = match (0..workers).min_by_key(|w| per_worker[*w]) {
+        let idlest = match live.iter().copied().min_by_key(|w| per_worker[*w]) {
             Some(w) => w,
             None => break,
         };
@@ -112,7 +164,7 @@ mod tests {
         // 8 shards, 2 workers, uniform load.
         let m = map(8, 2);
         let load = vec![100u64; 8];
-        assert!(plan_moves(&m, 2, &load, &BalancePolicy::default()).is_empty());
+        assert!(plan_moves(&m, &[0, 1], &load, &BalancePolicy::default()).is_empty());
     }
 
     #[test]
@@ -124,7 +176,7 @@ mod tests {
         load[2] = 400;
         let moves = plan_moves(
             &m,
-            2,
+            &[0, 1],
             &load,
             &BalancePolicy {
                 min_ratio: 1.25,
@@ -145,7 +197,7 @@ mod tests {
         load[0] = 500; // worker 0
         load[4] = 450; // worker 0
         load[1] = 10; // worker 1
-        let moves = plan_moves(&m, 4, &load, &BalancePolicy::default());
+        let moves = plan_moves(&m, &[0, 1, 2, 3], &load, &BalancePolicy::default());
         assert!(!moves.is_empty());
         let (shard, target) = moves[0];
         assert!(shard == 0 || shard == 4, "a hot shard moves");
@@ -158,7 +210,7 @@ mod tests {
         // just swap which worker saturates — no move.
         let m = map(2, 2);
         let load = vec![1000u64, 10];
-        assert!(plan_moves(&m, 2, &load, &BalancePolicy::default()).is_empty());
+        assert!(plan_moves(&m, &[0, 1], &load, &BalancePolicy::default()).is_empty());
     }
 
     #[test]
@@ -166,7 +218,7 @@ mod tests {
         let m = map(4, 2);
         // Worker 0: 110, worker 1: 100 — inside the 1.25 dead band.
         let load = vec![60u64, 50, 50, 50];
-        assert!(plan_moves(&m, 2, &load, &BalancePolicy::default()).is_empty());
+        assert!(plan_moves(&m, &[0, 1], &load, &BalancePolicy::default()).is_empty());
     }
 
     #[test]
@@ -180,7 +232,7 @@ mod tests {
         load[4] = 300;
         let moves = plan_moves(
             &m,
-            4,
+            &[0, 1, 2, 3],
             &load,
             &BalancePolicy {
                 min_ratio: 1.1,
@@ -189,5 +241,67 @@ mod tests {
         );
         assert_eq!(moves.len(), 2);
         assert_ne!(moves[0].1, moves[1].1, "hot shards spread to different workers");
+    }
+
+    #[test]
+    fn retired_slots_never_receive_moves() {
+        // The elastic pool retired worker 1: the live set is {0, 2}.
+        // Every shard worker 1 used to own has already been drained, so
+        // the plan must only ever target live ids.
+        let m = map(8, 4);
+        let mut load = vec![1u64; 8];
+        load[0] = 500; // worker 0
+        load[4] = 400; // worker 0
+        let moves = plan_moves(
+            &m,
+            &[0, 2, 3],
+            &load,
+            &BalancePolicy {
+                min_ratio: 1.1,
+                max_moves: 2,
+            },
+        );
+        assert!(!moves.is_empty());
+        for (_, target) in &moves {
+            assert_ne!(*target, 1, "retired slot 1 must not be a target");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_live_sets_plan_nothing() {
+        let m = map(4, 2);
+        let load = vec![1000u64, 0, 0, 0];
+        assert!(plan_moves(&m, &[], &load, &BalancePolicy::default()).is_empty());
+        assert!(plan_moves(&m, &[0], &load, &BalancePolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn desired_workers_tracks_aggregate_busy_time() {
+        let p = ScalePolicy {
+            target_util: 0.5,
+            min_workers: 1,
+            max_workers: 8,
+            cooldown: 0,
+        };
+        // 2s busy over a 1s window at 50% target → 4 workers.
+        assert_eq!(p.desired_workers(2_000_000_000, 1_000_000_000), 4);
+        // Idle window collapses to the floor.
+        assert_eq!(p.desired_workers(0, 1_000_000_000), 1);
+        // Saturation clamps at the ceiling.
+        assert_eq!(p.desired_workers(100_000_000_000, 1_000_000_000), 8);
+    }
+
+    #[test]
+    fn desired_workers_respects_min_floor() {
+        let p = ScalePolicy {
+            target_util: 0.6,
+            min_workers: 2,
+            max_workers: 6,
+            cooldown: 1,
+        };
+        assert_eq!(p.desired_workers(0, 1_000_000_000), 2);
+        // Fractional demand rounds up: 0.7s busy at 0.6 target = 1.16…
+        // workers → 2 (already the floor), 1.3s → 3.
+        assert_eq!(p.desired_workers(1_300_000_000, 1_000_000_000), 3);
     }
 }

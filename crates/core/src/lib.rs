@@ -74,6 +74,7 @@ pub mod balance;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod pool;
 pub mod queue;
 pub mod scan;
 pub mod shard;
@@ -84,7 +85,7 @@ pub mod types;
 pub mod worker;
 
 pub use backup::{BackupHandle, BackupReport};
-pub use balance::BalancePolicy;
+pub use balance::{BalancePolicy, ScalePolicy};
 pub use cache::{CacheCounters, ReadCache};
 pub use engine::{
     BackupSource, Capabilities, EngineEvent, EngineEventHook, EngineFactory, EnginePhases,

@@ -34,9 +34,9 @@
 use std::collections::VecDeque;
 
 use crate::error::{Error, Result};
+use crate::pool::QueueTable;
 use crate::shard::MapCell;
 use crate::types::{Op, Request, Response};
-use crate::worker::WorkerHandle;
 
 /// One per-shard scan stream: the shard it reads, the parked cursor id
 /// (if the stream is not exhausted), and locally buffered entries not
@@ -61,7 +61,7 @@ struct Stream {
 /// [`P2Kvs::iter_from`]: crate::store::P2Kvs::iter_from
 /// [`P2Kvs::iter_range`]: crate::store::P2Kvs::iter_range
 pub struct StoreIter<'a> {
-    workers: &'a [WorkerHandle],
+    queues: &'a QueueTable,
     map: &'a MapCell,
     streams: Vec<Stream>,
     chunk_entries: usize,
@@ -75,7 +75,7 @@ impl<'a> StoreIter<'a> {
     /// opening chunk (the scan-strategy knob); refills use
     /// `chunk_entries`.
     pub(crate) fn open(
-        workers: &'a [WorkerHandle],
+        queues: &'a QueueTable,
         map: &'a MapCell,
         shards: usize,
         start: &[u8],
@@ -96,7 +96,7 @@ impl<'a> StoreIter<'a> {
                 limit: first_limit.max(1),
                 max_bytes: chunk_bytes,
             });
-            match workers[pin.owner(shard)].queue.push(req.on_shard(shard as u64)) {
+            match queues.push_to(pin.owner(shard), req.on_shard(shard as u64)) {
                 Ok(()) => completions.push((shard, done)),
                 Err(_) => {
                     push_err = Some(Error::Closed);
@@ -124,7 +124,7 @@ impl<'a> StoreIter<'a> {
                     });
                 }
             }
-            close_streams(workers, map, &mut streams);
+            close_streams(queues, map, &mut streams);
             return Err(e);
         }
         let mut streams = Vec::with_capacity(completions.len());
@@ -146,11 +146,11 @@ impl<'a> StoreIter<'a> {
             }
         }
         if let Some(e) = first_err {
-            close_streams(workers, map, &mut streams);
+            close_streams(queues, map, &mut streams);
             return Err(e);
         }
         Ok(StoreIter {
-            workers,
+            queues,
             map,
             streams,
             chunk_entries: chunk_entries.max(1),
@@ -173,14 +173,17 @@ impl<'a> StoreIter<'a> {
                 max_bytes: self.chunk_bytes,
             });
             let stream = &mut self.streams[i];
-            // Resolve the owner per request: the cursor follows its
-            // shard across migrations.
-            let owner = self.map.owner(stream.shard);
-            if self.workers[owner]
-                .queue
-                .push(req.on_shard(stream.shard as u64))
-                .is_err()
-            {
+            // Resolve the owner *under a pin held across the push*: the
+            // cursor follows its shard across migrations, and the pin
+            // is the epoch fence that keeps a concurrent migration (or
+            // a pool scale-down draining the owner) from retiring the
+            // resolved ring between the read and the push.
+            let pushed = {
+                let pin = self.map.pin();
+                self.queues
+                    .push_to(pin.owner(stream.shard), req.on_shard(stream.shard as u64))
+            };
+            if pushed.is_err() {
                 // Queue closed: the worker is gone and its cursor table
                 // with it — nothing left to close.
                 stream.cursor = None;
@@ -260,20 +263,23 @@ impl<'a> StoreIter<'a> {
     /// Marks the iterator failed and releases every parked cursor.
     fn poison(&mut self) {
         self.poisoned = true;
-        close_streams(self.workers, self.map, &mut self.streams);
+        close_streams(self.queues, self.map, &mut self.streams);
     }
 }
 
 /// Fire-and-forget `ScanClose` for every stream that still holds a
 /// cursor. Uses an asynchronous request so neither `Drop` nor an error
 /// path blocks on the worker; a closed queue means the worker (and its
-/// cursor table) is already gone.
-fn close_streams(workers: &[WorkerHandle], map: &MapCell, streams: &mut [Stream]) {
+/// cursor table) is already gone. The pin is held across each push so a
+/// concurrent migration or scale-down cannot retire the resolved ring
+/// mid-send (the close would silently leak the parked cursor).
+fn close_streams(queues: &QueueTable, map: &MapCell, streams: &mut [Stream]) {
     for s in streams {
         if let Some(id) = s.cursor.take() {
             let req = Request::asynchronous(Op::ScanClose { cursor: id }, Box::new(|_| {}))
                 .on_shard(s.shard as u64);
-            let _ = workers[map.owner(s.shard)].queue.push(req);
+            let pin = map.pin();
+            let _ = queues.push_to(pin.owner(s.shard), req);
         }
     }
 }
@@ -296,6 +302,6 @@ impl Iterator for StoreIter<'_> {
 
 impl Drop for StoreIter<'_> {
     fn drop(&mut self) {
-        close_streams(self.workers, self.map, &mut self.streams);
+        close_streams(self.queues, self.map, &mut self.streams);
     }
 }

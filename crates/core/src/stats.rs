@@ -36,6 +36,11 @@ pub struct WorkerSnapshot {
     pub busy: Duration,
     /// Current queue depth.
     pub queue_depth: usize,
+    /// Whether the slot currently runs a worker thread. Retired slots
+    /// stay in the snapshot with their final counters (and zero
+    /// `shards_owned`/`active_scans`/`queue_depth` — the drain zeroes
+    /// them before the thread exits).
+    pub live: bool,
 }
 
 /// Snapshot of one shard's cumulative load and current placement.
@@ -143,6 +148,7 @@ mod tests {
             rerouted: 0,
             busy,
             queue_depth: 0,
+            live: true,
         }
     }
 

@@ -20,15 +20,16 @@ use p2kvs_obs::{
     PeriodicTask, SpanKind, SpanRecord, SpanRing, TraceCtx, TraceEvent, TraceRing, WorkerLifecycle,
 };
 
-use crate::balance::{plan_moves, BalancePolicy};
+use crate::balance::{plan_moves, BalancePolicy, ScalePolicy};
 use crate::engine::{EngineEvent, EngineFactory, GsnFilter, KvsEngine};
 use crate::error::{Error, Result};
+use crate::pool::{SpawnSpec, WorkerPool};
 use crate::scan::StoreIter;
 use crate::shard::{HashPartitioner, MapCell, Partitioner, ShardMap};
 use crate::stats::{ShardSnapshot, StoreSnapshot, WorkerSnapshot};
 use crate::txn::TxnManager;
 use crate::types::{Op, Request, Response, WriteOp};
-use crate::worker::{ShardRuntime, WorkerHandle, WorkerStats};
+use crate::worker::ShardRuntime;
 
 /// How SCAN sizes the opening per-shard quota (§4.4).
 ///
@@ -149,6 +150,18 @@ pub struct P2KvsOptions {
     /// workers stop serializing behind one device timeline. `false` (or
     /// a single-queue env) keeps file-hash striping.
     pub queue_affinity: bool,
+    /// Utilization-driven elastic scaling (DESIGN.md §14). When set,
+    /// every balancer tick also compares the interval's aggregate
+    /// busy time against the live pool at
+    /// [`ScalePolicy::target_util`] and steps the pool one worker
+    /// toward the derived size — spawning with a fresh ring, or
+    /// draining the highest-id worker through the epoch-fenced handoff
+    /// and joining it. Scaling rides the balancer clock: it needs
+    /// `balance_interval` (or explicit [`P2Kvs::rebalance_once`]
+    /// calls) to tick. `None` (the default, and always the paper
+    /// layout) pins the pool at `workers` forever; manual
+    /// [`P2Kvs::scale_workers`] remains available either way.
+    pub scale: Option<ScalePolicy>,
 }
 
 impl Default for P2KvsOptions {
@@ -176,6 +189,7 @@ impl Default for P2KvsOptions {
             flight_recorder_capacity: 256,
             cache_capacity: 16 << 20,
             queue_affinity: true,
+            scale: None,
         }
     }
 }
@@ -220,7 +234,7 @@ struct ObsShared<E: KvsEngine> {
     registry: Arc<MetricsRegistry>,
     trace: Arc<TraceRing>,
     runtime: Arc<ShardRuntime<E>>,
-    worker_stats: Vec<Arc<WorkerStats>>,
+    pool: Arc<WorkerPool>,
     opened: Instant,
 }
 
@@ -231,12 +245,10 @@ impl<E: KvsEngine> ObsShared<E> {
     fn snapshot(&self) -> MetricsSnapshot {
         let reg = &self.registry;
         let ordering = Ordering::Relaxed;
-        for (i, (stats, queue)) in self
-            .worker_stats
-            .iter()
-            .zip(&self.runtime.queues)
-            .enumerate()
-        {
+        // Walk every slot the pool ever provisioned: retired slots keep
+        // their final counters, so scraped series end at their true
+        // values instead of freezing mid-interval or vanishing.
+        for (i, (stats, live)) in self.pool.slots_view().into_iter().enumerate() {
             let w = i.to_string();
             let l = |base: &str| labeled(base, &[("worker", &w)]);
             reg.counter(&l("p2kvs_worker_ops_total"))
@@ -273,8 +285,9 @@ impl<E: KvsEngine> ObsShared<E> {
             );
             // The live queue depth gauge reads the ring's relaxed atomic
             // counter — sampling never locks or contends with the data
-            // path.
-            reg.set_gauge(&l("p2kvs_queue_depth"), queue.len() as f64);
+            // path. A retired slot reads 0: its ring is gone.
+            reg.set_gauge(&l("p2kvs_queue_depth"), self.runtime.queues.len_of(i) as f64);
+            reg.set_gauge(&l("p2kvs_worker_live"), if live { 1.0 } else { 0.0 });
         }
         for (s, stats) in self.runtime.shard_stats.iter().enumerate() {
             let sh = s.to_string();
@@ -293,7 +306,7 @@ impl<E: KvsEngine> ObsShared<E> {
                 reg.set_gauge(&labeled(&name, &[("instance", &inst)]), value);
             }
         }
-        reg.set_gauge("p2kvs_workers", self.worker_stats.len() as f64);
+        reg.set_gauge("p2kvs_workers", self.pool.live_count() as f64);
         reg.set_gauge("p2kvs_shards", self.runtime.engines.len() as f64);
         reg.set_gauge("p2kvs_map_epoch", self.runtime.map.epoch() as f64);
         reg.counter("p2kvs_migrations_total")
@@ -374,11 +387,12 @@ impl<E: KvsEngine> ObsShared<E> {
     /// One-line summary for the periodic reporter.
     fn summary_line(&self, snapshot: &MetricsSnapshot) -> String {
         let ops: u64 = self
-            .worker_stats
+            .pool
+            .slots_view()
             .iter()
-            .map(|s| s.ops.load(Ordering::Relaxed))
+            .map(|(s, _)| s.ops.load(Ordering::Relaxed))
             .sum();
-        let depth: usize = self.runtime.queues.iter().map(|q| q.len()).sum();
+        let depth = self.runtime.queues.total_len();
         let write_p99 = snapshot
             .histograms_of("p2kvs_service_ns")
             .iter()
@@ -404,8 +418,9 @@ impl<E: KvsEngine> ObsShared<E> {
 /// last-sample snapshot the tick differentiates against.
 struct BalanceShared<E: KvsEngine> {
     runtime: Arc<ShardRuntime<E>>,
-    workers: usize,
+    pool: Arc<WorkerPool>,
     policy: BalancePolicy,
+    scale: Option<ScalePolicy>,
     state: parking_lot::Mutex<BalanceState>,
 }
 
@@ -414,6 +429,12 @@ struct BalanceShared<E: KvsEngine> {
 /// the *last interval*, not all of history.
 struct BalanceState {
     last_busy_ns: Vec<u64>,
+    /// When the previous tick ran — the wall interval the scale
+    /// decision normalizes busy time against. `None` before the first
+    /// tick (which only baselines).
+    last_tick: Option<Instant>,
+    /// Ticks to sit out before the next scale operation may fire.
+    cooldown_left: u32,
 }
 
 /// Migrates ownership of `shard` to `target` through the epoch-fenced
@@ -433,10 +454,10 @@ fn migrate_locked<E: KvsEngine>(rt: &ShardRuntime<E>, shard: usize, target: usiz
             pin.shards()
         )));
     }
-    if target >= rt.queues.len() {
+    if rt.queues.get(target).is_none() {
         return Err(Error::Config(format!(
-            "worker {target} out of range: the store has {} workers",
-            rt.queues.len()
+            "worker {target} is not live (the pool has {} slots)",
+            rt.queues.slot_count()
         )));
     }
     let source = pin.owner(shard);
@@ -452,7 +473,7 @@ fn migrate_locked<E: KvsEngine>(rt: &ShardRuntime<E>, shard: usize, target: usiz
     let (req, done) = Request::sync(Op::HandoffOut {
         shard: shard as u64,
     });
-    if rt.queues[source].push(req.on_shard(shard as u64)).is_err() {
+    if rt.queues.push_to(source, req.on_shard(shard as u64)).is_err() {
         // Source queue closed mid-shutdown: settle the depot so nothing
         // waits on a phase that cannot advance.
         rt.depot.abort(shard as u64);
@@ -469,11 +490,18 @@ fn migrate_locked<E: KvsEngine>(rt: &ShardRuntime<E>, shard: usize, target: usiz
 }
 
 /// One balancer tick: sample per-shard busy time, difference against the
-/// previous sample, plan moves, execute them. Returns how many
-/// migrations were applied.
+/// previous sample, plan moves, execute them, then (with a
+/// [`ScalePolicy`] configured) step the pool one worker toward the size
+/// the interval's utilization calls for. Returns how many migrations
+/// were applied.
 fn rebalance_tick<E: KvsEngine>(b: &BalanceShared<E>) -> Result<usize> {
     let mut st = b.state.lock();
     let rt = &b.runtime;
+    let now = Instant::now();
+    let interval_ns = st
+        .last_tick
+        .map(|t| now.duration_since(t).as_nanos().min(u128::from(u64::MAX)) as u64);
+    st.last_tick = Some(now);
     let busy: Vec<u64> = rt
         .shard_stats
         .iter()
@@ -485,8 +513,9 @@ fn rebalance_tick<E: KvsEngine>(b: &BalanceShared<E>) -> Result<usize> {
         .map(|(now, last)| now.saturating_sub(*last))
         .collect();
     st.last_busy_ns = busy;
+    let live = b.pool.live_ids();
     let pin = rt.map.pin();
-    let moves = plan_moves(&pin, b.workers, &delta, &b.policy);
+    let moves = plan_moves(&pin, &live, &delta, &b.policy);
     drop(pin);
     let mut applied = 0;
     for (shard, target) in moves {
@@ -503,7 +532,58 @@ fn rebalance_tick<E: KvsEngine>(b: &BalanceShared<E>) -> Result<usize> {
         }
         applied += 1;
     }
+    // Elastic step (DESIGN.md §14): one spawn or one drain-retire per
+    // tick toward the desired size, separated by the policy's cooldown.
+    // The state lock is already held — exactly the fence every scale
+    // operation requires. The first tick only baselines: without a
+    // previous tick there is no interval to normalize busy time by.
+    if let Some(policy) = b.scale {
+        if st.cooldown_left > 0 {
+            st.cooldown_left -= 1;
+        } else if let Some(interval_ns) = interval_ns.filter(|&ns| ns > 0) {
+            let aggregate: u64 = delta.iter().sum();
+            let desired = policy.desired_workers(aggregate, interval_ns);
+            let live_now = b.pool.live_count();
+            if desired > live_now {
+                b.pool.spawn_into(rt);
+                st.cooldown_left = policy.cooldown;
+            } else if desired < live_now && live_now > 1 {
+                scale_down_locked(rt, &b.pool)?;
+                st.cooldown_left = policy.cooldown;
+            }
+        }
+    }
     Ok(applied)
+}
+
+/// Retires the highest-id live worker: migrates every shard it owns to
+/// the survivors round-robin through the epoch-fenced handoff (parked
+/// scan cursors ride along in the depot), then clears its table slot,
+/// closes its ring, and joins the thread. Caller must hold the
+/// [`BalanceShared::state`] lock — the same fence migrations and the
+/// backup freeze take — and must leave at least one live worker.
+fn scale_down_locked<E: KvsEngine>(rt: &Arc<ShardRuntime<E>>, pool: &WorkerPool) -> Result<usize> {
+    let live = pool.live_ids();
+    let Some((&victim, survivors)) = live.split_last() else {
+        return Err(Error::Config("the pool has no live workers".into()));
+    };
+    if survivors.is_empty() {
+        return Err(Error::Config("cannot retire the last live worker".into()));
+    }
+    // Collect the victim's shards under a pin that is dropped before
+    // the first migration: `migrate_locked` publishes and quiesces the
+    // displaced epoch, and quiesce would wait forever on our own pin.
+    let shards = {
+        let pin = rt.map.pin();
+        pin.shards_of(victim)
+    };
+    let mut drained = 0u64;
+    for (i, &shard) in shards.iter().enumerate() {
+        migrate_locked(rt, shard, survivors[i % survivors.len()])?;
+        drained += 1;
+    }
+    pool.retire(victim, drained, rt.journal.as_deref())?;
+    Ok(victim)
 }
 
 /// A live, structured view of the store's control plane — the shard
@@ -540,7 +620,7 @@ pub struct StoreIntrospection {
 /// One worker's slice of [`StoreIntrospection`].
 #[derive(Debug, Clone)]
 pub struct WorkerView {
-    /// Worker index.
+    /// Worker (slot) index.
     pub worker: usize,
     /// Shards the current map assigns to this worker.
     pub shards: Vec<usize>,
@@ -550,18 +630,21 @@ pub struct WorkerView {
     pub active_scans: u64,
     /// Cumulative useful processing time.
     pub busy: Duration,
+    /// Whether the slot currently runs a worker thread. Retired slots
+    /// stay in the view with their final counters.
+    pub live: bool,
 }
 
 /// A p2KVS store over engine type `E`.
 pub struct P2Kvs<E: KvsEngine> {
-    // Declared before `workers` so the background tasks stop before the
+    // Declared before `pool` so the background tasks stop before the
     // workers are joined on drop.
     reporter: Option<PeriodicTask>,
     balancer: Option<PeriodicTask>,
     obs: Arc<ObsShared<E>>,
     balance: Arc<BalanceShared<E>>,
     runtime: Arc<ShardRuntime<E>>,
-    workers: Vec<WorkerHandle>,
+    pool: Arc<WorkerPool>,
     partitioner: Arc<dyn Partitioner>,
     txn: TxnManager,
     opts: P2KvsOptions,
@@ -742,16 +825,12 @@ impl<E: KvsEngine> P2Kvs<E> {
             // (a = MAX marks a full reset, c = the configured budget).
             j.record(JournalKind::CacheFlush, u64::MAX, 0, c.capacity(), 0);
         }
-        let queues: Vec<Arc<crate::queue::RequestQueue>> = (0..n)
-            .map(|_| {
-                Arc::new(crate::queue::RequestQueue::with_capacity(
-                    opts.queue_capacity,
-                ))
-            })
-            .collect();
+        // The queue table starts empty: the pool installs each worker's
+        // ring (before its thread starts) as it spawns them.
+        let queues = Arc::new(crate::pool::QueueTable::new(Vec::new()));
         let runtime = Arc::new(ShardRuntime {
             engines,
-            queues,
+            queues: queues.clone(),
             map: Arc::new(MapCell::new(ShardMap::initial(shards, n))),
             depot: Arc::new(crate::shard::HandoffDepot::new()),
             shard_stats: (0..shards)
@@ -763,27 +842,40 @@ impl<E: KvsEngine> P2Kvs<E> {
             env: Some(env.clone()),
             backup: Arc::new(crate::backup::BackupHub::default()),
         });
-        let mut workers = Vec::with_capacity(n);
-        for i in 0..n {
-            let config = crate::worker::WorkerConfig {
-                batch_max: if opts.obm { opts.batch_max } else { 1 },
-                queue_capacity: opts.queue_capacity,
-                pin: opts.pin_workers,
-                scan_chunk_entries: opts.scan_chunk_entries,
-                scan_chunk_bytes: opts.scan_chunk_bytes,
-                io_queue: worker_queue(i),
-            };
-            let lifecycle = opts
-                .metrics
-                .then(|| WorkerLifecycle::new(&registry, i, slow_ns, trace.clone()));
-            workers.push(WorkerHandle::spawn_in(i, runtime.clone(), config, lifecycle));
+        let pool = Arc::new(WorkerPool::new(
+            queues,
+            SpawnSpec {
+                config: crate::worker::WorkerConfig {
+                    batch_max: if opts.obm { opts.batch_max } else { 1 },
+                    queue_capacity: opts.queue_capacity,
+                    pin: opts.pin_workers,
+                    scan_chunk_entries: opts.scan_chunk_entries,
+                    scan_chunk_bytes: opts.scan_chunk_bytes,
+                    // Recomputed per worker id by the pool so the
+                    // `w % queues` mapping holds as the pool resizes.
+                    io_queue: None,
+                },
+                device_queues,
+                queue_affinity: opts.queue_affinity,
+                lifecycle: {
+                    let registry = registry.clone();
+                    let trace = trace.clone();
+                    let metrics = opts.metrics;
+                    Box::new(move |w| {
+                        metrics.then(|| WorkerLifecycle::new(&registry, w, slow_ns, trace.clone()))
+                    })
+                },
+            },
+        ));
+        for _ in 0..n {
+            pool.spawn_into(&runtime);
         }
         let opened = Instant::now();
         let obs = Arc::new(ObsShared {
             registry,
             trace,
             runtime: runtime.clone(),
-            worker_stats: workers.iter().map(|w| w.stats.clone()).collect(),
+            pool: pool.clone(),
             opened,
         });
         let reporter = opts.report_interval.map(|interval| {
@@ -795,10 +887,13 @@ impl<E: KvsEngine> P2Kvs<E> {
         });
         let balance = Arc::new(BalanceShared {
             runtime: runtime.clone(),
-            workers: n,
+            pool: pool.clone(),
             policy: opts.balance,
+            scale: opts.scale,
             state: parking_lot::Mutex::new(BalanceState {
                 last_busy_ns: vec![0; shards],
+                last_tick: None,
+                cooldown_left: 0,
             }),
         });
         let balancer = opts.balance_interval.map(|interval| {
@@ -815,7 +910,7 @@ impl<E: KvsEngine> P2Kvs<E> {
             obs,
             balance,
             runtime,
-            workers,
+            pool,
             partitioner,
             txn,
             opts,
@@ -841,9 +936,16 @@ impl<E: KvsEngine> P2Kvs<E> {
         }
     }
 
-    /// Number of workers.
+    /// Number of **live** workers (the pool may also hold retired
+    /// slots; see [`P2Kvs::live_workers`]).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.pool.live_count()
+    }
+
+    /// Live worker ids, ascending. Ids are pool *slot* indices:
+    /// retiring leaves a gap that the next scale-up reuses.
+    pub fn live_workers(&self) -> Vec<usize> {
+        self.pool.live_ids()
     }
 
     /// Number of shards (engine instances).
@@ -856,9 +958,10 @@ impl<E: KvsEngine> P2Kvs<E> {
         &self.runtime.engines
     }
 
-    /// Per-worker counters (monitoring and benchmarks).
+    /// Per-slot counters (monitoring and benchmarks), indexed by worker
+    /// id. Retired slots expose their final values.
     pub fn worker_stats(&self) -> Vec<Arc<crate::worker::WorkerStats>> {
-        self.workers.iter().map(|w| w.stats.clone()).collect()
+        self.pool.slots_view().into_iter().map(|(s, _)| s).collect()
     }
 
     /// The current `shard → worker` assignment (a snapshot; migrations
@@ -889,8 +992,45 @@ impl<E: KvsEngine> P2Kvs<E> {
 
     /// Runs one balancer tick right now (regardless of
     /// `balance_interval`), returning how many migrations it applied.
+    /// With a [`ScalePolicy`] configured this also runs the elastic
+    /// step, so tests and benchmarks can drive auto-scaling on their
+    /// own clock.
     pub fn rebalance_once(&self) -> Result<usize> {
         rebalance_tick(&self.balance)
+    }
+
+    /// Resizes the pool to exactly `n` live workers, one spawn or
+    /// drain-retire at a time under the migration fence (DESIGN.md
+    /// §14).
+    ///
+    /// Scale-up installs each newcomer's ring in the queue table before
+    /// its thread starts and leaves shard placement to the balancer (or
+    /// [`P2Kvs::rebalance_once`] / [`P2Kvs::migrate_shard`]).
+    /// Scale-down drains the highest-id live worker by migrating every
+    /// shard it owns to the survivors through the epoch-fenced handoff
+    /// — parked scan cursors ride along, acked writes survive, and no
+    /// request fails merely because the pool resized — then closes its
+    /// ring and joins the thread. Both directions land `worker_spawn` /
+    /// `worker_retire` flight records.
+    ///
+    /// Safe against concurrent [`P2Kvs::backup`]: the freeze fence and
+    /// every scale step take the same lock, so markers always target
+    /// the live worker set. Returns the live count (`n`); `n == 0` is a
+    /// configuration error.
+    pub fn scale_workers(&self, n: usize) -> Result<usize> {
+        if n == 0 {
+            return Err(Error::Config(
+                "a store needs at least one live worker".into(),
+            ));
+        }
+        let _fence = self.balance.state.lock();
+        while self.pool.live_count() < n {
+            self.pool.spawn_into(&self.runtime);
+        }
+        while self.pool.live_count() > n {
+            scale_down_locked(&self.runtime, &self.pool)?;
+        }
+        Ok(self.pool.live_count())
     }
 
     fn submit_to_shard(&self, shard: usize, op: Op) -> Result<Response> {
@@ -899,9 +1039,12 @@ impl<E: KvsEngine> P2Kvs<E> {
             // Pin only across the push: the pin is the epoch fence, and
             // parking it across `wait` would stall migrations.
             let pin = self.runtime.map.pin();
-            self.workers[pin.owner(shard)]
-                .queue
-                .push(req.on_shard(shard as u64).traced(self.next_trace()))
+            self.runtime
+                .queues
+                .push_to(
+                    pin.owner(shard),
+                    req.on_shard(shard as u64).traced(self.next_trace()),
+                )
                 .map_err(|_| Error::Closed)?;
         }
         done.wait()
@@ -940,9 +1083,12 @@ impl<E: KvsEngine> P2Kvs<E> {
         let shard = self.partitioner.shard_of(key);
         let req = Request::asynchronous(op, Box::new(move |r| cb(r.map(|_| ()))));
         let pin = self.runtime.map.pin();
-        self.workers[pin.owner(shard)]
-            .queue
-            .push(req.on_shard(shard as u64).traced(self.next_trace()))
+        self.runtime
+            .queues
+            .push_to(
+                pin.owner(shard),
+                req.on_shard(shard as u64).traced(self.next_trace()),
+            )
             .map_err(|_| Error::Closed)
     }
 
@@ -1014,10 +1160,10 @@ impl<E: KvsEngine> P2Kvs<E> {
                     }
                 }
                 let (req, done) = Request::sync(Op::Get { key: key.clone() });
-                match self.workers[pin.owner(shard)]
-                    .queue
-                    .push(req.on_shard(shard as u64).traced(self.next_trace()))
-                {
+                match self.runtime.queues.push_to(
+                    pin.owner(shard),
+                    req.on_shard(shard as u64).traced(self.next_trace()),
+                ) {
                     Ok(()) => completions.push((i, done)),
                     Err(_) => {
                         push_err = Some(Error::Closed);
@@ -1097,10 +1243,10 @@ impl<E: KvsEngine> P2Kvs<E> {
                     ops: std::mem::take(&mut per_shard[s]),
                     gsn,
                 });
-                match self.workers[pin.owner(s)]
-                    .queue
-                    .push(req.on_shard(s as u64).traced(self.next_trace()))
-                {
+                match self.runtime.queues.push_to(
+                    pin.owner(s),
+                    req.on_shard(s as u64).traced(self.next_trace()),
+                ) {
                     Ok(()) => completions.push(done),
                     Err(_) => {
                         push_err = Some(Error::Closed);
@@ -1172,7 +1318,7 @@ impl<E: KvsEngine> P2Kvs<E> {
     /// Like [`P2Kvs::iter`], starting at the first key `>= start`.
     pub fn iter_from(&self, start: &[u8]) -> Result<StoreIter<'_>> {
         StoreIter::open(
-            &self.workers,
+            &self.runtime.queues,
             &self.runtime.map,
             self.shards(),
             start,
@@ -1186,7 +1332,7 @@ impl<E: KvsEngine> P2Kvs<E> {
     /// Like [`P2Kvs::iter`], bounded to `[begin, end)`.
     pub fn iter_range(&self, begin: &[u8], end: &[u8]) -> Result<StoreIter<'_>> {
         StoreIter::open(
-            &self.workers,
+            &self.runtime.queues,
             &self.runtime.map,
             self.shards(),
             begin,
@@ -1224,7 +1370,7 @@ impl<E: KvsEngine> P2Kvs<E> {
             return Ok(Vec::new());
         }
         let mut iter = StoreIter::open(
-            &self.workers,
+            &self.runtime.queues,
             &self.runtime.map,
             self.shards(),
             start,
@@ -1299,7 +1445,12 @@ impl<E: KvsEngine> P2Kvs<E> {
                 // would, without holding a pin across a push that may
                 // block on a full ring.
                 let owner = self.runtime.map.owner(s);
-                if self.workers[owner].queue.push(req.on_shard(s as u64)).is_err() {
+                if self
+                    .runtime
+                    .queues
+                    .push_to(owner, req.on_shard(s as u64))
+                    .is_err()
+                {
                     push_err = Some(Error::Closed);
                     break;
                 }
@@ -1434,23 +1585,26 @@ impl<E: KvsEngine> P2Kvs<E> {
         let ordering = Ordering::Relaxed;
         StoreSnapshot {
             workers: self
-                .workers
-                .iter()
-                .map(|w| WorkerSnapshot {
-                    ops: w.stats.ops.load(ordering),
-                    batches: w.stats.batches.load(ordering),
-                    merged_ops: w.stats.merged_ops.load(ordering),
-                    scans: w.stats.scans_opened.load(ordering),
-                    scan_chunks: w.stats.scan_chunks.load(ordering),
-                    scan_resumes: w.stats.scan_resumes.load(ordering),
-                    active_scans: w.stats.scans_active.load(ordering),
-                    shards_owned: w.stats.shards_owned.load(ordering),
-                    handoffs_out: w.stats.handoffs_out.load(ordering),
-                    handoffs_in: w.stats.handoffs_in.load(ordering),
-                    stashed: w.stats.stashed.load(ordering),
-                    rerouted: w.stats.rerouted.load(ordering),
-                    busy: w.stats.busy.busy(),
-                    queue_depth: w.queue.len(),
+                .pool
+                .slots_view()
+                .into_iter()
+                .enumerate()
+                .map(|(i, (stats, live))| WorkerSnapshot {
+                    ops: stats.ops.load(ordering),
+                    batches: stats.batches.load(ordering),
+                    merged_ops: stats.merged_ops.load(ordering),
+                    scans: stats.scans_opened.load(ordering),
+                    scan_chunks: stats.scan_chunks.load(ordering),
+                    scan_resumes: stats.scan_resumes.load(ordering),
+                    active_scans: stats.scans_active.load(ordering),
+                    shards_owned: stats.shards_owned.load(ordering),
+                    handoffs_out: stats.handoffs_out.load(ordering),
+                    handoffs_in: stats.handoffs_in.load(ordering),
+                    stashed: stats.stashed.load(ordering),
+                    rerouted: stats.rerouted.load(ordering),
+                    busy: stats.busy.busy(),
+                    queue_depth: self.runtime.queues.len_of(i),
+                    live,
                 })
                 .collect(),
             shards: self
@@ -1541,15 +1695,17 @@ impl<E: KvsEngine> P2Kvs<E> {
         let pin = self.runtime.map.pin();
         let shard_owners: Vec<usize> = (0..pin.shards()).map(|s| pin.owner(s)).collect();
         let workers = self
-            .workers
-            .iter()
+            .pool
+            .slots_view()
+            .into_iter()
             .enumerate()
-            .map(|(i, w)| WorkerView {
+            .map(|(i, (stats, live))| WorkerView {
                 worker: i,
                 shards: pin.shards_of(i),
-                queue_depth: w.queue.len(),
-                active_scans: w.stats.scans_active.load(ordering),
-                busy: w.stats.busy.busy(),
+                queue_depth: self.runtime.queues.len_of(i),
+                active_scans: stats.scans_active.load(ordering),
+                busy: stats.busy.busy(),
+                live,
             })
             .collect();
         StoreIntrospection {
@@ -1597,15 +1753,13 @@ impl<E: KvsEngine> Drop for P2Kvs<E> {
     fn drop(&mut self) {
         self.reporter.take();
         self.balancer.take();
-        for w in &mut self.workers {
-            w.shutdown();
-        }
+        self.pool.shutdown_all();
         if let Some(j) = &self.runtime.journal {
             // Workers are joined: StoreClose is the journal's last word.
             j.record(
                 JournalKind::StoreClose,
                 self.runtime.engines.len() as u64,
-                self.workers.len() as u64,
+                self.pool.live_count() as u64,
                 0,
                 0,
             );
@@ -1687,7 +1841,7 @@ mod tests {
         store.get(&k_cached).unwrap(); // second miss fills the cache
         // Kill worker 1's queue: pushes to it now fail, and its shards
         // become unreachable — the mid-batch failure path.
-        store.workers[1].queue.close();
+        store.runtime.queues.get(1).unwrap().close();
         let request = vec![k_cached.clone(), k_live.clone(), k_dead.clone()];
         let err = store.get_many(&request).unwrap_err();
         assert!(matches!(err, Error::Closed), "push failure surfaces as Closed: {err}");
@@ -1879,6 +2033,176 @@ mod tests {
         }
         store.delete(b"ryw").unwrap();
         assert_eq!(store.get(b"ryw").unwrap(), None, "delete invalidates");
+    }
+
+    #[test]
+    fn scale_workers_rejects_zero_and_scaling_stays_opt_in() {
+        let store = open_cached(2, 0);
+        assert!(matches!(store.scale_workers(0), Err(Error::Config(_))));
+        assert_eq!(store.workers(), 2, "a rejected resize changes nothing");
+        assert!(P2KvsOptions::default().scale.is_none(), "auto-scaling is opt-in");
+        assert!(
+            P2KvsOptions::paper_layout(4).scale.is_none(),
+            "the paper layout pins the pool"
+        );
+    }
+
+    #[test]
+    fn scale_up_then_down_keeps_every_write_and_finalizes_metrics() {
+        let store = open_cached(2, 1 << 20);
+        for i in 0..200u32 {
+            store
+                .put(format!("el-{i:04}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        assert_eq!(store.scale_workers(4).unwrap(), 4);
+        assert_eq!(store.workers(), 4);
+        assert_eq!(store.live_workers(), vec![0, 1, 2, 3]);
+        // Spread shards onto the newcomers so they do real work.
+        let shards = store.shards();
+        for s in 0..shards {
+            store.migrate_shard(s, s % 4).unwrap();
+        }
+        for i in 200..400u32 {
+            store
+                .put(format!("el-{i:04}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        // Retire back down to one: every shard drains through the
+        // epoch-fenced handoff and no acked write may be lost.
+        assert_eq!(store.scale_workers(1).unwrap(), 1);
+        assert_eq!(store.live_workers(), vec![0]);
+        for i in 0..400u32 {
+            assert_eq!(
+                store.get(format!("el-{i:04}").as_bytes()).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes()),
+                "key {i} after the resizes"
+            );
+        }
+        // Writes keep landing on the shrunken pool.
+        store.put(b"post-scale", b"ok").unwrap();
+        assert_eq!(store.get(b"post-scale").unwrap().as_deref(), Some(&b"ok"[..]));
+        // Retired slots are finalized, not stale: the survivor owns
+        // every shard and the retired slots read zero ownership, zero
+        // parked cursors, zero depth.
+        let snap = store.snapshot();
+        assert_eq!(snap.workers.len(), 4, "retired slots stay visible");
+        let live: Vec<_> = snap.workers.iter().filter(|w| w.live).collect();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].shards_owned as usize, shards, "survivor owns everything");
+        for w in snap.workers.iter().filter(|w| !w.live) {
+            assert_eq!(w.shards_owned, 0, "retired slot owns nothing");
+            assert_eq!(w.active_scans, 0, "retired slot parks no cursors");
+            assert_eq!(w.queue_depth, 0, "retired ring is gone");
+        }
+        let metrics = store.metrics_snapshot();
+        assert_eq!(metrics.gauge("p2kvs_workers"), Some(1.0));
+        assert_eq!(
+            metrics.gauge("p2kvs_worker_live{worker=\"0\"}"),
+            Some(1.0)
+        );
+        assert_eq!(
+            metrics.gauge("p2kvs_worker_live{worker=\"3\"}"),
+            Some(0.0)
+        );
+        // The flight journal tells the story: 2 spawns at open, 2 more
+        // at scale-up, 3 retires on the way down.
+        let records = store.flight_records(usize::MAX);
+        let spawns = records
+            .iter()
+            .filter(|r| r.kind == JournalKind::WorkerSpawn)
+            .count();
+        let retires = records
+            .iter()
+            .filter(|r| r.kind == JournalKind::WorkerRetire)
+            .count();
+        assert_eq!(spawns, 4);
+        assert_eq!(retires, 3);
+    }
+
+    #[test]
+    fn a_revived_slot_carries_its_retired_counters_forward() {
+        let store = open_cached(2, 0);
+        // Work lands on both workers (round-robin map over 8 shards).
+        for i in 0..120u32 {
+            store.put(format!("cc-{i:04}").as_bytes(), b"v").unwrap();
+        }
+        store.scale_workers(1).unwrap();
+        let retired = store.snapshot().workers[1].clone();
+        assert!(!retired.live);
+        assert!(retired.ops > 0, "worker 1 served writes before retiring");
+        // Reviving slot 1 must not reset its metric series: the new
+        // incarnation starts from the retired incarnation's counters,
+        // so the per-worker sums stay monotonic across the respawn.
+        store.scale_workers(2).unwrap();
+        let revived = store.snapshot().workers[1].clone();
+        assert!(revived.live);
+        assert!(
+            revived.ops >= retired.ops,
+            "slot 1's ops went backwards across the respawn: {} < {}",
+            revived.ops,
+            retired.ops
+        );
+        assert!(revived.busy >= retired.busy, "busy time went backwards");
+        assert_eq!(revived.shards_owned, 0, "gauges start fresh on respawn");
+    }
+
+    #[test]
+    fn open_scans_survive_a_scale_down() {
+        let store = open_cached(3, 0);
+        for i in 0..300u32 {
+            store.put(format!("sc-{i:04}").as_bytes(), b"v").unwrap();
+        }
+        let mut iter = store.iter().unwrap();
+        // Pull a bit so per-shard cursors are parked on their owners.
+        let head = iter.next_chunk(10).unwrap();
+        assert_eq!(head.len(), 10);
+        // Drain two workers mid-scan; the parked cursors ride the
+        // handoff depot to the survivor.
+        store.scale_workers(1).unwrap();
+        let rest = iter.next_chunk(usize::MAX).unwrap();
+        assert_eq!(
+            head.len() + rest.len(),
+            300,
+            "no entry lost or duplicated across the resize"
+        );
+    }
+
+    #[test]
+    fn idle_pool_auto_scales_down_to_the_policy_floor() {
+        let mut opts = P2KvsOptions::with_workers(3);
+        opts.pin_workers = false;
+        opts.cache_capacity = 0;
+        opts.scale = Some(ScalePolicy {
+            target_util: 0.5,
+            min_workers: 1,
+            max_workers: 4,
+            cooldown: 0,
+        });
+        let store = P2Kvs::open(
+            LsmFactory::new(lsmkv::Options::for_test()),
+            "store-autoscale",
+            opts,
+        )
+        .unwrap();
+        store.put(b"k", b"v").unwrap();
+        // The first tick only baselines (no interval yet); each later
+        // tick sees an idle interval and retires one worker until the
+        // policy floor.
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(2));
+            store.rebalance_once().unwrap();
+        }
+        assert_eq!(store.workers(), 1, "idle pool converges on min_workers");
+        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        let retired: Vec<_> = store
+            .introspect()
+            .workers
+            .iter()
+            .filter(|w| !w.live)
+            .map(|w| w.worker)
+            .collect();
+        assert_eq!(retired, vec![1, 2], "highest ids retire first");
     }
 
     #[test]

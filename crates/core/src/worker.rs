@@ -153,8 +153,11 @@ pub(crate) struct ShardRuntime<E> {
     /// Engine instances, indexed by shard.
     pub engines: Vec<Arc<E>>,
     /// Every worker's queue, indexed by worker id (re-route and the
-    /// install half of a handoff need to address peers).
-    pub queues: Vec<Arc<RequestQueue>>,
+    /// install half of a handoff need to address peers). A dynamic
+    /// table since the elastic pool (DESIGN.md §14): slots are
+    /// installed at spawn and cleared at retire, so pushes to a
+    /// vanished worker bounce like pushes to a closed ring.
+    pub queues: Arc<crate::pool::QueueTable>,
     /// The live, versioned `shard → worker` map.
     pub map: Arc<MapCell>,
     /// Ferries non-clonable per-shard state (parked scan cursors)
@@ -208,7 +211,7 @@ impl WorkerHandle {
         let queue = Arc::new(RequestQueue::with_capacity(config.queue_capacity));
         let runtime = Arc::new(ShardRuntime {
             engines: vec![engine],
-            queues: vec![queue.clone()],
+            queues: Arc::new(crate::pool::QueueTable::new(vec![queue.clone()])),
             map: Arc::new(MapCell::new(ShardMap::initial(1, 1))),
             depot: Arc::new(HandoffDepot::new()),
             shard_stats: vec![Arc::new(ShardStats::default())],
@@ -222,8 +225,9 @@ impl WorkerHandle {
     }
 
     /// Spawns worker `id` inside a shared [`ShardRuntime`]. The worker
-    /// drains `queue` (which must be `runtime.queues[id]`) and initially
-    /// owns the shards the runtime's map assigns to `id`.
+    /// drains the ring installed in the runtime's queue table at slot
+    /// `id` (the pool installs it before spawning) and initially owns
+    /// the shards the runtime's map assigns to `id`.
     ///
     /// When `lifecycle` is present the worker stamps every batch at
     /// dequeue and completion, publishing queue-wait and service latency
@@ -234,7 +238,10 @@ impl WorkerHandle {
         config: WorkerConfig,
         lifecycle: Option<WorkerLifecycle>,
     ) -> WorkerHandle {
-        let queue = runtime.queues[id].clone();
+        let queue = runtime
+            .queues
+            .get(id)
+            .expect("ring installed in the queue table before spawn");
         WorkerHandle::spawn_inner(id, id, runtime, queue, config, lifecycle)
     }
 
@@ -516,9 +523,10 @@ fn handoff_out<E: KvsEngine>(
         return;
     }
     let req = Request::asynchronous(Op::ShardInstall { shard }, Box::new(|_| {})).on_shard(shard);
-    if rt.queues[target].push(req).is_err() {
-        // Target queue closed (shutdown): drop the parcel — parked
-        // cursors release their snapshots — and settle the handoff.
+    if rt.queues.push_to(target, req).is_err() {
+        // Target queue closed or retired (shutdown): drop the parcel —
+        // parked cursors release their snapshots — and settle the
+        // handoff.
         rt.depot.abort(shard);
     }
 }
@@ -645,7 +653,7 @@ fn reroute_or_stash<E: KvsEngine>(
         // the HandoffOut marker only after those pins quiesce, so its
         // own traffic can never land here.
         stats.rerouted.fetch_add(1, Ordering::Relaxed);
-        if let Err(r) = rt.queues[owner].push(req) {
+        if let Err(r) = rt.queues.push_to(owner, req) {
             r.finish_err(&Error::Closed);
         }
     }
@@ -1606,7 +1614,7 @@ mod tests {
         let map = Arc::new(MapCell::new(ShardMap::initial(1, 2)));
         let rt = Arc::new(ShardRuntime {
             engines: vec![engine.clone()],
-            queues: queues.clone(),
+            queues: Arc::new(crate::pool::QueueTable::new(queues.clone())),
             map: map.clone(),
             depot: Arc::new(HandoffDepot::new()),
             shard_stats: vec![Arc::new(ShardStats::default())],

@@ -80,6 +80,14 @@ pub enum JournalKind {
     /// shards streamed, `b` = total entries, `c` = total payload bytes;
     /// `gsn` = the horizon).
     BackupComplete,
+    /// The pool spawned a worker — at open or a runtime scale-up (`a` =
+    /// worker id, `b` = live workers after the spawn, `c` = home device
+    /// queue + 1, or 0 when affinity is off).
+    WorkerSpawn,
+    /// The pool drained and retired a worker (`a` = worker id, `b` =
+    /// live workers after the retire, `c` = shards migrated off it
+    /// during the drain).
+    WorkerRetire,
 }
 
 impl JournalKind {
@@ -103,6 +111,8 @@ impl JournalKind {
             JournalKind::BackupBegin => "backup_begin",
             JournalKind::ShardFrozen => "shard_frozen",
             JournalKind::BackupComplete => "backup_complete",
+            JournalKind::WorkerSpawn => "worker_spawn",
+            JournalKind::WorkerRetire => "worker_retire",
         }
     }
 
@@ -126,6 +136,8 @@ impl JournalKind {
             "backup_begin" => JournalKind::BackupBegin,
             "shard_frozen" => JournalKind::ShardFrozen,
             "backup_complete" => JournalKind::BackupComplete,
+            "worker_spawn" => JournalKind::WorkerSpawn,
+            "worker_retire" => JournalKind::WorkerRetire,
             _ => return None,
         })
     }

@@ -533,6 +533,70 @@ pub fn run_crash_point_with_migration(seed: u64, point: u64) -> CrashPointOutcom
     CrashPointOutcome { point, crashed, violations, recovered_flight }
 }
 
+/// Crash-matrix variant exercising the elastic worker pool: the store
+/// opens with the migration layout ([`migration_store_options`]) and
+/// every round ends with a `scale_workers` call thrashing the pool
+/// around its opening size — even rounds grow to `WORKERS + 1` (fresh
+/// rings spawn and take shards from the balancer's next moves), odd
+/// rounds shrink to `WORKERS - 1` (the two highest live workers drain
+/// *every* shard they own through the epoch-fenced handoff, then their
+/// rings close and the threads join). Sampled sync points therefore
+/// land before, during, and after in-flight scale operations — between
+/// a retiring worker's per-shard drains, right after a `worker_spawn`
+/// journal record, mid-join. Recovery reopens with the fixed-size
+/// layout: durability must not depend on how many workers were alive,
+/// or which were mid-retirement, when the power failed.
+pub fn run_crash_point_during_scale(seed: u64, point: u64) -> CrashPointOutcome {
+    let faulty = Arc::new(FaultyEnv::over_mem());
+    let env: EnvRef = faulty.clone();
+    faulty.set_plan(FaultPlan {
+        crash_at_sync: Some(point),
+        torn_tail: (point % 17) as usize,
+        ..FaultPlan::default()
+    });
+    let open = |env: &EnvRef| {
+        P2Kvs::open(
+            LsmFactory::new(engine_options(env.clone())),
+            "db",
+            migration_store_options(),
+        )
+    };
+    let oracle = match open(&env) {
+        // A crash with a small `point` fires during store creation.
+        Err(_) => Oracle::default(),
+        Ok(store) => {
+            let oracle = run_workload_hooked(&store, seed, |round, st| {
+                // After the crash fires the drains and journal appends
+                // hit the dead env; `scale_workers` still completes or
+                // errors (the handoff path is queue redirection, not
+                // I/O) and the remaining workload ops fail the same way.
+                let n = if round % 2 == 0 { WORKERS + 1 } else { WORKERS - 1 };
+                let _ = st.scale_workers(n);
+            });
+            store.close();
+            oracle
+        }
+    };
+    let crashed = faulty.crashed();
+    faulty.heal();
+    let store = match open(&env) {
+        Ok(s) => s,
+        Err(e) => {
+            return CrashPointOutcome {
+                point,
+                crashed,
+                violations: vec![format!("recovery failed to reopen the store: {e}")],
+                recovered_flight: 0,
+            }
+        }
+    };
+    let mut violations = oracle.check(|k| store.get(k).expect("post-recovery read"));
+    violations.extend(flight_journal_violations(&store));
+    let recovered_flight = store.recovered_flight_records().len();
+    store.close();
+    CrashPointOutcome { point, crashed, violations, recovered_flight }
+}
+
 /// Cached crash-matrix variant: the migration layout with the read
 /// cache enabled ([`cached_store_options`]) and the per-round hook
 /// extended with point reads, so the crash can land while the cache
@@ -1208,6 +1272,54 @@ mod tests {
         let v = oracle.check(|k| store.get(k).unwrap());
         assert!(v.is_empty(), "{v:?}");
         store.close();
+    }
+
+    #[test]
+    fn scale_workload_stays_consistent_without_faults() {
+        let faulty = Arc::new(FaultyEnv::over_mem());
+        let env: EnvRef = faulty.clone();
+        let store = P2Kvs::open(
+            LsmFactory::new(engine_options(env.clone())),
+            "db",
+            migration_store_options(),
+        )
+        .unwrap();
+        let oracle = run_workload_hooked(&store, 7, |round, st| {
+            let n = if round % 2 == 0 { WORKERS + 1 } else { WORKERS - 1 };
+            st.scale_workers(n).unwrap();
+        });
+        // The last round (7, odd) left the pool at WORKERS - 1.
+        assert_eq!(store.workers(), WORKERS - 1);
+        assert!(oracle.txns.iter().all(|t| t.acked));
+        let v = oracle.check(|k| store.get(k).unwrap());
+        assert!(v.is_empty(), "{v:?}");
+        // Every scale operation is journaled: four grows from the even
+        // rounds plus the regrow after each shrink, and matching drains.
+        let recs = store.flight_records(usize::MAX);
+        let spawns = recs.iter().filter(|r| r.kind == JournalKind::WorkerSpawn).count();
+        let retires = recs.iter().filter(|r| r.kind == JournalKind::WorkerRetire).count();
+        assert!(spawns >= 4, "only {spawns} worker_spawn records");
+        assert!(retires >= 4, "only {retires} worker_retire records");
+        store.close();
+        // The state survives a reopen at the fixed size.
+        let store = P2Kvs::open(
+            LsmFactory::new(engine_options(env.clone())),
+            "db",
+            migration_store_options(),
+        )
+        .unwrap();
+        let v = oracle.check(|k| store.get(k).unwrap());
+        assert!(v.is_empty(), "{v:?}");
+        store.close();
+    }
+
+    #[test]
+    fn scale_crash_points_recover_cleanly() {
+        for point in [25, 90, 170] {
+            let out = run_crash_point_during_scale(17, point);
+            assert!(out.crashed, "point {point} did not fire");
+            assert!(out.violations.is_empty(), "point {point}: {:?}", out.violations);
+        }
     }
 
     #[test]

@@ -20,8 +20,8 @@
 
 use p2kvs_integration_tests::crash::{
     dry_run_queue_sync_points, dry_run_sync_points, run_crash_point, run_crash_point_cached,
-    run_crash_point_with_migration, run_queue_crash_point, sample_points,
-    unfiltered_partial_txn, QUEUE_MATRIX_QUEUES,
+    run_crash_point_during_scale, run_crash_point_with_migration, run_queue_crash_point,
+    sample_points, unfiltered_partial_txn, QUEUE_MATRIX_QUEUES,
 };
 
 /// Default seed; override with `P2KVS_CRASH_SEED` to explore.
@@ -132,6 +132,61 @@ fn crash_matrix_recovers_across_shard_migrations() {
     assert!(
         journaled >= points.len() / 2,
         "only {journaled} of {} migration crash points recovered flight records (seed {seed})",
+        points.len()
+    );
+}
+
+/// The elastic-pool matrix: the same oracle discipline, but every
+/// workload round ends with a `scale_workers` call thrashing the pool
+/// around its opening size — even rounds grow a worker (fresh ring,
+/// journaled `worker_spawn`), odd rounds retire two (every owned shard
+/// drained through the epoch-fenced handoff, rings closed, threads
+/// joined, journaled `worker_retire`). Sampled crash points land
+/// before, between, and after the per-shard drains of an in-flight
+/// retirement. Recovery reopens at the fixed size: no acked write may
+/// depend on how many workers were alive — or which were mid-drain —
+/// when the power failed, and the flight journal must come back
+/// gap-free. Sampled at a stride to bound CI time.
+#[test]
+fn crash_matrix_recovers_during_scale() {
+    let seed = seed();
+    let total = dry_run_sync_points(seed);
+    // Scale operations add their own durable journal syncs, so the live
+    // run's numbering shifts relative to the dry run; a stride over the
+    // dry run's range still covers creation, in-flight drains, spawns,
+    // and steady state.
+    let points: Vec<u64> = (1..=total).step_by(5).collect();
+    let mut crashed = 0usize;
+    let mut journaled = 0usize;
+    let mut failures = Vec::new();
+    for &point in &points {
+        let out = run_crash_point_during_scale(seed, point);
+        if out.crashed {
+            crashed += 1;
+        }
+        if out.recovered_flight > 0 {
+            journaled += 1;
+        }
+        for v in out.violations {
+            failures.push(format!("seed {seed}, sync point {point} (scale): {v}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} recovery violations during scale:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    assert!(
+        crashed >= points.len() / 2,
+        "only {crashed} of {} sampled points actually crashed (seed {seed})",
+        points.len()
+    );
+    // Spawns and retirements are journaled durably; the bulk of the
+    // matrix must recover those histories gap-free.
+    assert!(
+        journaled >= points.len() / 2,
+        "only {journaled} of {} scale crash points recovered flight records (seed {seed})",
         points.len()
     );
 }
